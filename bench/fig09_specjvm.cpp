@@ -1,0 +1,56 @@
+//===- bench/fig09_specjvm.cpp - Figure 9 reproduction ----------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+// Figure 9: percentage improvement of the generational collector for the
+// SPECjvm benchmarks, multiprocessor and uniprocessor.  The shape to
+// reproduce: mtrt and javac gain clearly, compress and db are flat, jess
+// and jack lose a little (the paper's anti-generational benchmarks).
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include "harness/BenchHarness.h"
+
+using namespace gengc;
+using namespace gengc::bench;
+using namespace gengc::workload;
+
+namespace {
+struct PaperRow {
+  const char *Name;
+  double Multi;
+  double Uni;
+};
+} // namespace
+
+int main() {
+  printFigureHeader("Figure 9", "% improvement for SPECjvm benchmarks");
+
+  const PaperRow Paper[] = {
+      {"mtrt", 7.0, 25.2},   {"compress", 0.0, 2.0}, {"db", -0.9, 0.7},
+      {"jess", -3.7, -2.5},  {"javac", 17.2, 15.3},  {"jack", -2.12, -7.7},
+  };
+
+  BenchOptions Options = withEnv({.Scale = 0.5, .Reps = 3});
+
+  Table T({"benchmark", "paper multi %", "paper uni %",
+           "measured CPU-cost %", "measured wall-clock %"});
+  for (const PaperRow &Row : Paper) {
+    Profile P = profileByName(Row.Name);
+    double CpuImp = medianImprovement(P, Options, Metric::CpuSeconds);
+    double WallImp = medianImprovement(P, Options, Metric::Elapsed);
+    T.addRow({std::string("_") + Row.Name, Table::percent(Row.Multi),
+              Table::percent(Row.Uni), Table::percent(CpuImp),
+              Table::percent(WallImp)});
+  }
+  T.print(stdout);
+  std::printf("\nThe CPU-cost metric (mutator seconds + collector seconds) models the\n"
+              "paper's saturated machine, where collector cycles displace mutator\n"
+              "work; wall-clock on this 2-core host lets the collector hide on the\n"
+              "spare core, which resembles the paper's lightly-loaded case.\n");
+  T.print(stdout);
+  printFigureFooter();
+  return 0;
+}

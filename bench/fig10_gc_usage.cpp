@@ -1,0 +1,64 @@
+//===- bench/fig10_gc_usage.cpp - Figure 10 reproduction --------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+// Figure 10: how much each application uses the collector — percent of time
+// a collection is active, number of partial and full collections with the
+// generational collector, and the same for the non-generational baseline.
+// The shapes: Anagram and javac are collection-bound, compress and db
+// barely collect, and the generational collector turns almost all full
+// collections into partial ones.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include "harness/BenchHarness.h"
+
+using namespace gengc;
+using namespace gengc::bench;
+using namespace gengc::workload;
+
+namespace {
+struct PaperRow {
+  const char *Name;
+  double PctGen;
+  unsigned Partial, Full;
+  double PctBase;
+  unsigned CyclesBase;
+};
+} // namespace
+
+int main() {
+  printFigureHeader("Figure 10", "use of garbage collection in application");
+
+  const PaperRow Paper[] = {
+      {"mtrt", 21.5, 36, 0, 30.5, 26},   {"compress", 1.7, 5, 15, 1.2, 17},
+      {"db", 2.4, 15, 1, 3.4, 15},       {"jess", 13.3, 70, 2, 14.8, 51},
+      {"javac", 23.8, 36, 16, 43.3, 82}, {"jack", 7.7, 45, 4, 6.3, 35},
+      {"anagram", 62.8, 152, 8, 78.9, 56},
+  };
+
+  BenchOptions Options = withEnv({.Scale = 1.0, .Reps = 1});
+
+  Table T({"benchmark", "%GC (paper)", "%GC", "#partial (paper)", "#partial",
+           "#full (paper)", "#full", "%GC w/o gen (paper)", "%GC w/o gen",
+           "#GC w/o gen (paper)", "#GC w/o gen"});
+  for (const PaperRow &Row : Paper) {
+    Profile P = profileByName(Row.Name);
+    RunResult Gen = runMedian(P, CollectorChoice::Generational, Options);
+    RunResult Base = runMedian(P, CollectorChoice::NonGenerational, Options);
+    T.addRow({Row.Name, Table::number(Row.PctGen),
+              Table::number(Gen.percentGcActive()), Table::count(Row.Partial),
+              Table::count(Gen.Gc.count(CycleKind::Partial)),
+              Table::count(Row.Full),
+              Table::count(Gen.Gc.count(CycleKind::Full)),
+              Table::number(Row.PctBase),
+              Table::number(Base.percentGcActive()),
+              Table::count(Row.CyclesBase),
+              Table::count(Base.Gc.count(CycleKind::NonGenerational))});
+  }
+  T.print(stdout);
+  printFigureFooter();
+  return 0;
+}

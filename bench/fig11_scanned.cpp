@@ -1,0 +1,73 @@
+//===- bench/fig11_scanned.cpp - Figure 11 reproduction ---------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+// Figure 11: generational characterization, part 1 — average number of
+// objects scanned per collection: old objects scanned for inter-
+// generational pointers (dirty cards), objects scanned by partial and by
+// full collections, and by the non-generational baseline.  The headline
+// shape: partial collections scan orders of magnitude fewer objects than
+// whole-heap collections, except where inter-generational pointers are
+// rampant (jess, javac).
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include "harness/BenchHarness.h"
+
+using namespace gengc;
+using namespace gengc::bench;
+using namespace gengc::workload;
+
+namespace {
+struct PaperRow {
+  const char *Name;
+  double InterGen, Partial, Full, NonGen;
+};
+} // namespace
+
+int main() {
+  printFigureHeader("Figure 11",
+                    "avg objects scanned per collection (part 1)");
+
+  const PaperRow Paper[] = {
+      {"mtrt", 280, 1023, -1, 238703},
+      {"compress", 3, 168, 4789, 4778},
+      {"db", 7, 399, 294534, 287522},
+      {"jess", 1373, 3797, 25411, 25446},
+      {"javac", 16184, 53833, 213735, 194267},
+      {"jack", 151, 4890, 14972, 11241},
+      {"anagram", 1, 863, 273248, 271453},
+  };
+
+  BenchOptions Options = withEnv({.Scale = 1.0, .Reps = 1});
+
+  auto Cell = [](double Value) {
+    return Value < 0 ? std::string("N/A") : Table::number(Value, 0);
+  };
+
+  Table T({"benchmark", "inter-gen (paper)", "inter-gen", "partial (paper)",
+           "partial", "full (paper)", "full", "non-gen (paper)", "non-gen"});
+  for (const PaperRow &Row : Paper) {
+    Profile P = profileByName(Row.Name);
+    RunResult Gen = runMedian(P, CollectorChoice::Generational, Options);
+    RunResult Base = runMedian(P, CollectorChoice::NonGenerational, Options);
+    double MeasuredFull =
+        Gen.Gc.count(CycleKind::Full)
+            ? Gen.Gc.mean(CycleKind::Full, &CycleStats::ObjectsTraced)
+            : -1;
+    T.addRow({Row.Name, Cell(Row.InterGen),
+              Cell(Gen.Gc.mean(CycleKind::Partial,
+                               &CycleStats::OldObjectsScanned)),
+              Cell(Row.Partial),
+              Cell(Gen.Gc.mean(CycleKind::Partial,
+                               &CycleStats::ObjectsTraced)),
+              Cell(Row.Full), Cell(MeasuredFull), Cell(Row.NonGen),
+              Cell(Base.Gc.mean(CycleKind::NonGenerational,
+                                &CycleStats::ObjectsTraced))});
+  }
+  T.print(stdout);
+  printFigureFooter();
+  return 0;
+}

@@ -1,0 +1,70 @@
+//===- bench/fig12_freed.cpp - Figure 12 reproduction -----------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+// Figure 12: generational characterization, part 2 — the percentage of
+// bytes/objects freed by partial collections (of the young generation) and
+// of objects freed by full / non-generational collections (of everything
+// allocated).  The generational hypothesis in numbers: where the partial
+// percentage is high and the full percentage low (mtrt, db, anagram),
+// generations win; where full collections free as much as partials (jess,
+// jack), the old generation is a revolving door and generations only add
+// overhead.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include "harness/BenchHarness.h"
+
+using namespace gengc;
+using namespace gengc::bench;
+using namespace gengc::workload;
+
+namespace {
+struct PaperRow {
+  const char *Name;
+  double BytesPartial, ObjPartial, ObjFull, ObjNonGen;
+};
+} // namespace
+
+int main() {
+  printFigureHeader("Figure 12", "percentage freed per collection (part 2)");
+
+  const PaperRow Paper[] = {
+      {"mtrt", 99.89, 99.54, -1, 52.3},
+      {"compress", 19.29, 40.43, 2.6, 2.3},
+      {"db", 97.66, 99.77, 22.2, 43.1},
+      {"jess", 98.02, 97.88, 87.2, 86.3},
+      {"javac", 71.25, 68.67, 44.7, 26.8},
+      {"jack", 91.63, 96.58, 90.8, 94.7},
+      {"anagram", 86.22, 93.43, 14.2, 13.2},
+  };
+
+  BenchOptions Options = withEnv({.Scale = 1.0, .Reps = 1});
+
+  auto Cell = [](double Value) {
+    return Value < 0 ? std::string("N/A") : Table::number(Value);
+  };
+
+  Table T({"benchmark", "%bytes partial (paper)", "%bytes partial",
+           "%obj partial (paper)", "%obj partial", "%obj full (paper)",
+           "%obj full", "%obj non-gen (paper)", "%obj non-gen"});
+  for (const PaperRow &Row : Paper) {
+    Profile P = profileByName(Row.Name);
+    RunResult Gen = runMedian(P, CollectorChoice::Generational, Options);
+    RunResult Base = runMedian(P, CollectorChoice::NonGenerational, Options);
+    double FullPct = Gen.Gc.count(CycleKind::Full)
+                         ? Gen.Gc.percentFreedWholeHeap(CycleKind::Full)
+                         : -1;
+    T.addRow({Row.Name, Cell(Row.BytesPartial),
+              Cell(Gen.Gc.percentFreedPartialBytes()), Cell(Row.ObjPartial),
+              Cell(Gen.Gc.percentFreedPartialObjects()), Cell(Row.ObjFull),
+              Cell(FullPct), Cell(Row.ObjNonGen),
+              Cell(Base.Gc.percentFreedWholeHeap(
+                  CycleKind::NonGenerational))});
+  }
+  T.print(stdout);
+  printFigureFooter();
+  return 0;
+}

@@ -1,0 +1,66 @@
+//===- bench/fig13_cycle_times.cpp - Figure 13 reproduction -----------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+// Figure 13: average elapsed time of collection cycles — partial vs full vs
+// non-generational.  The paper's observation to reproduce: partial
+// collections are cheaper but not drastically so, because a mark-and-sweep
+// sweep costs the same either way; only the trace shrinks.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include "harness/BenchHarness.h"
+
+using namespace gengc;
+using namespace gengc::bench;
+using namespace gengc::workload;
+
+namespace {
+struct PaperRow {
+  const char *Name;
+  double PartialMs, FullMs, NonGenMs;
+};
+} // namespace
+
+int main() {
+  printFigureHeader("Figure 13", "average elapsed time of collection cycles");
+
+  const PaperRow Paper[] = {
+      {"mtrt", 99, -1, 260},   {"compress", 17, 35, 31},
+      {"db", 80, 270, 215},    {"jess", 61, 116, 87},
+      {"javac", 145, 367, 249}, {"jack", 60, 95, 71},
+      {"anagram", 52, 429, 346},
+  };
+
+  BenchOptions Options = withEnv({.Scale = 1.0, .Reps = 1});
+
+  auto Cell = [](double Value) {
+    return Value < 0 ? std::string("N/A") : Table::number(Value, 2);
+  };
+
+  Table T({"benchmark", "partial ms (paper)", "partial ms",
+           "full ms (paper)", "full ms", "non-gen ms (paper)",
+           "non-gen ms"});
+  for (const PaperRow &Row : Paper) {
+    Profile P = profileByName(Row.Name);
+    RunResult Gen = runMedian(P, CollectorChoice::Generational, Options);
+    RunResult Base = runMedian(P, CollectorChoice::NonGenerational, Options);
+    double PartialMs =
+        Gen.Gc.mean(CycleKind::Partial, &CycleStats::DurationNanos) * 1e-6;
+    double FullMs =
+        Gen.Gc.count(CycleKind::Full)
+            ? Gen.Gc.mean(CycleKind::Full, &CycleStats::DurationNanos) * 1e-6
+            : -1;
+    double NonGenMs = Base.Gc.mean(CycleKind::NonGenerational,
+                                   &CycleStats::DurationNanos) *
+                      1e-6;
+    T.addRow({Row.Name, Cell(Row.PartialMs), Cell(PartialMs),
+              Cell(Row.FullMs), Cell(FullMs), Cell(Row.NonGenMs),
+              Cell(NonGenMs)});
+  }
+  T.print(stdout);
+  printFigureFooter();
+  return 0;
+}

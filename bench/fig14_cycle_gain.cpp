@@ -1,0 +1,79 @@
+//===- bench/fig14_cycle_gain.cpp - Figure 14 reproduction ------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+// Figure 14: average gain from collections — objects and bytes freed per
+// partial / full / non-generational cycle.  Shape: a partial collection
+// recovers a large fraction of what a whole-heap collection would, at the
+// Figure 13 fraction of the cost.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include "harness/BenchHarness.h"
+
+using namespace gengc;
+using namespace gengc::bench;
+using namespace gengc::workload;
+
+namespace {
+struct PaperRow {
+  const char *Name;
+  double ObjPartial, ObjFull, ObjNonGen;
+  double SpacePartial, SpaceFull, SpaceNonGen;
+};
+} // namespace
+
+int main() {
+  printFigureHeader("Figure 14", "average objects/space freed per cycle");
+
+  const PaperRow Paper[] = {
+      {"mtrt", 161441, -1, 261305, 4008271, -1, 6517749},
+      {"compress", 112, 112, 111, 1057472, 6922551, 67953331},
+      {"db", 170175, 187882, 217685, 3914861, 6196926, 5188449},
+      {"jess", 106185, 166720, 160458, 3934524, 6759448, 5982237},
+      {"javac", 82536, 178289, 71024, 2863730, 5788769, 2387539},
+      {"jack", 133671, 186370, 202109, 3677861, 6905298, 5841292},
+      {"anagram", 12251, 30088, 41370, 3515684, 13279332, 12590566},
+  };
+
+  BenchOptions Options = withEnv({.Scale = 1.0, .Reps = 1});
+
+  auto Cell = [](double Value) {
+    return Value < 0 ? std::string("N/A") : Table::number(Value, 0);
+  };
+
+  Table T({"benchmark", "obj/partial (paper)", "obj/partial",
+           "obj/full (paper)", "obj/full", "obj/non-gen (paper)",
+           "obj/non-gen", "bytes/partial (paper)", "bytes/partial",
+           "bytes/full (paper)", "bytes/full", "bytes/non-gen (paper)",
+           "bytes/non-gen"});
+  for (const PaperRow &Row : Paper) {
+    Profile P = profileByName(Row.Name);
+    RunResult Gen = runMedian(P, CollectorChoice::Generational, Options);
+    RunResult Base = runMedian(P, CollectorChoice::NonGenerational, Options);
+    bool HasFull = Gen.Gc.count(CycleKind::Full) != 0;
+    T.addRow(
+        {Row.Name, Cell(Row.ObjPartial),
+         Cell(Gen.Gc.mean(CycleKind::Partial, &CycleStats::ObjectsFreed)),
+         Cell(Row.ObjFull),
+         Cell(HasFull
+                  ? Gen.Gc.mean(CycleKind::Full, &CycleStats::ObjectsFreed)
+                  : -1),
+         Cell(Row.ObjNonGen),
+         Cell(Base.Gc.mean(CycleKind::NonGenerational,
+                           &CycleStats::ObjectsFreed)),
+         Cell(Row.SpacePartial),
+         Cell(Gen.Gc.mean(CycleKind::Partial, &CycleStats::BytesFreed)),
+         Cell(Row.SpaceFull),
+         Cell(HasFull ? Gen.Gc.mean(CycleKind::Full, &CycleStats::BytesFreed)
+                      : -1),
+         Cell(Row.SpaceNonGen),
+         Cell(Base.Gc.mean(CycleKind::NonGenerational,
+                           &CycleStats::BytesFreed))});
+  }
+  T.print(stdout);
+  printFigureFooter();
+  return 0;
+}

@@ -1,0 +1,73 @@
+//===- bench/fig16_raytracer_young.cpp - Figure 16 reproduction -------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+// Figure 16: tuning the young-generation size for the multithreaded Ray
+// Tracer — % improvement of generations for block marking (4096-byte
+// cards) and object marking (16-byte cards), young sizes 1/2/4/8 MB,
+// threads 2..10.  Paper shape: more threads and bigger young generations
+// help; object marking with 8 MB young is best.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include "harness/BenchHarness.h"
+
+using namespace gengc;
+using namespace gengc::bench;
+using namespace gengc::workload;
+
+int main() {
+  BenchOptions Base = withEnv({.Scale = 0.35, .Reps = 1});
+  printFigureHeader("Figure 16",
+                    "young-size tuning, multithreaded Ray Tracer");
+
+  const unsigned ThreadCounts[] = {2, 4, 6, 8, 10};
+  const unsigned YoungMb[] = {1, 2, 4, 8};
+  const struct {
+    const char *Label;
+    uint32_t CardBytes;
+    double Paper[4][5]; // [young][threads]
+  } Markings[] = {
+      {"block marking (4096B cards)",
+       4096,
+       {{-3.9, -8.8, 5.0, 9.0, 8.2},
+        {0.8, -7.1, 6.0, 9.8, 8.7},
+        {1.1, -2.5, 6.6, 9.8, 7.4},
+        {-0.9, 4.7, 7.7, 10.9, 8.8}}},
+      {"object marking (16B cards)",
+       16,
+       {{-4.7, -2.6, 4.3, 14.0, 13.0},
+        {1.4, -4.4, 5.9, 11.3, 8.6},
+        {1.3, 2.6, 10.6, 16.0, 11.7},
+        {1.9, 8.0, 13.2, 18.8, 15.4}}},
+  };
+
+  for (const auto &Marking : Markings) {
+    std::printf("-- %s --\n", Marking.Label);
+    Table T({"young", "2 thr (paper/meas)", "4 thr", "6 thr", "8 thr",
+             "10 thr"});
+    for (unsigned Y = 0; Y < 4; ++Y) {
+      std::vector<std::string> Row{std::to_string(YoungMb[Y]) + "m"};
+      for (unsigned TIdx = 0; TIdx < 5; ++TIdx) {
+        Profile P = profileByName("raytracer");
+        P.Threads = ThreadCounts[TIdx];
+        P.AllocBytesPerThread =
+            (P.AllocBytesPerThread * 4) / ThreadCounts[TIdx];
+        BenchOptions Options = Base;
+        Options.YoungBytes = uint64_t(YoungMb[Y]) << 20;
+        Options.CardBytes = Marking.CardBytes;
+        double Measured =
+            medianImprovement(P, Options, Metric::CpuSeconds);
+        Row.push_back(Table::percent(Marking.Paper[Y][TIdx]) + " / " +
+                      Table::percent(Measured));
+      }
+      T.addRow(Row);
+    }
+    T.print(stdout);
+    std::printf("\n");
+  }
+  printFigureFooter();
+  return 0;
+}

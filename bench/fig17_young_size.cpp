@@ -1,0 +1,72 @@
+//===- bench/fig17_young_size.cpp - Figure 17 reproduction ------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+// Figure 17: tuning the young-generation size for the SPECjvm benchmarks
+// (plus Anagram): % improvement of generations under block marking and
+// object marking with young sizes 1/2/4/8 MB.  Paper shape: no single best
+// size, but 4 MB is the best average; tiny young generations hurt the
+// promotion-heavy benchmarks (jess, javac at 1m) badly.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include "harness/BenchHarness.h"
+
+using namespace gengc;
+using namespace gengc::bench;
+using namespace gengc::workload;
+
+namespace {
+struct PaperRow {
+  const char *Name;
+  double Block[4];  // 1m 2m 4m 8m
+  double Object[4]; // 1m 2m 4m 8m
+};
+} // namespace
+
+int main() {
+  BenchOptions Base = withEnv({.Scale = 0.5, .Reps = 1});
+  printFigureHeader("Figure 17", "young-size tuning, SPECjvm benchmarks");
+
+  const PaperRow Paper[] = {
+      {"compress", {-0.41, 0.19, -0.05, 0.46}, {-0.04, 0.11, 0.02, 0.29}},
+      {"jess",
+       {-22.44, -12.97, -5.05, -1.55},
+       {-13.77, -8.72, -3.7, -5.66}},
+      {"db", {-0.50, 0.44, -0.97, 0.15}, {-1.00, 0.11, -0.91, -0.22}},
+      {"javac", {-16.73, -3.11, 10.89, 20.85}, {7.21, 13.24, 17.23, 19.57}},
+      {"mtrt", {-2.16, 5.36, 9.49, 0.09}, {-5.48, 5.45, 7.01, -0.40}},
+      {"jack", {-12.14, -6.27, -2.83, -14.84}, {-6.85, -3.45, -2.12, -2.23}},
+      {"anagram", {14.43, 30.03, 37.17, 38.73}, {-8.67, 12.06, 24.67, 26.42}},
+  };
+  const unsigned YoungMb[] = {1, 2, 4, 8};
+
+  for (bool ObjectMarking : {false, true}) {
+    std::printf("-- %s --\n", ObjectMarking
+                                  ? "object marking (16B cards)"
+                                  : "block marking (4096B cards)");
+    Table T({"benchmark", "1m (paper/meas)", "2m", "4m", "8m"});
+    for (const PaperRow &Row : Paper) {
+      Profile P = profileByName(Row.Name);
+      std::vector<std::string> Cells{Row.Name};
+      for (unsigned Y = 0; Y < 4; ++Y) {
+        BenchOptions Options = Base;
+        Options.YoungBytes = uint64_t(YoungMb[Y]) << 20;
+        Options.CardBytes = ObjectMarking ? 16 : 4096;
+        double Measured =
+            medianImprovement(P, Options, Metric::CpuSeconds);
+        double PaperValue =
+            ObjectMarking ? Row.Object[Y] : Row.Block[Y];
+        Cells.push_back(Table::percent(PaperValue) + " / " +
+                        Table::percent(Measured));
+      }
+      T.addRow(Cells);
+    }
+    T.print(stdout);
+    std::printf("\n");
+  }
+  printFigureFooter();
+  return 0;
+}

@@ -1,0 +1,75 @@
+//===- bench/fig19_aging_hi.cpp - Figure 19 reproduction --------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+// Figure 19: the aging mechanism with tenuring thresholds 8 and 10 (the
+// second half of the paper's aging sweep; see fig18 for 4 and 6).  Same
+// conclusion: higher thresholds do not rescue aging.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include "harness/BenchHarness.h"
+
+using namespace gengc;
+using namespace gengc::bench;
+using namespace gengc::workload;
+
+namespace {
+struct PaperRow {
+  const char *Name;
+  double Values[4]; // 1m 2m 4m 8m
+};
+
+void agingSweep(unsigned OldestAge, const PaperRow (&Paper)[7]) {
+  BenchOptions Base = withEnv({.Scale = 0.5, .Reps = 1});
+  std::printf("-- object marking with aging, age %u is old --\n", OldestAge);
+  const unsigned YoungMb[] = {1, 2, 4, 8};
+  Table T({"benchmark", "1m (paper/meas)", "2m", "4m", "8m"});
+  for (const PaperRow &Row : Paper) {
+    Profile P = profileByName(Row.Name);
+    std::vector<std::string> Cells{Row.Name};
+    for (unsigned Y = 0; Y < 4; ++Y) {
+      BenchOptions Options = Base;
+      Options.YoungBytes = uint64_t(YoungMb[Y]) << 20;
+      Options.Aging = true;
+      Options.OldestAge = uint8_t(OldestAge);
+      double Measured =
+            medianImprovement(P, Options, Metric::CpuSeconds);
+      Cells.push_back(Table::percent(Row.Values[Y]) + " / " +
+                      Table::percent(Measured));
+    }
+    T.addRow(Cells);
+  }
+  T.print(stdout);
+  std::printf("\n");
+}
+} // namespace
+
+int main() {
+  printFigureHeader("Figure 19", "aging mechanism, thresholds 8 and 10");
+
+  const PaperRow Age8[] = {
+      {"compress", {0.8, 0.2, -0.2, 0.1}},
+      {"jess", {-14.6, -17.3, -5.1, -3.8}},
+      {"db", {-3.0, -1.5, -1.2, 0.0}},
+      {"javac", {-27.0, -13.1, 3.6, 17.4}},
+      {"mtrt", {-10.3, -8.0, -3.1, -2.8}},
+      {"jack", {-11.6, -3.5, -2.0, -0.4}},
+      {"anagram", {-11.8, -0.4, 16.1, 23.9}},
+  };
+  const PaperRow Age10[] = {
+      {"compress", {0.7, 0.5, -0.3, 0.2}},
+      {"jess", {-17.6, -9.4, -4.9, -3.6}},
+      {"db", {-3.5, -2.0, -1.7, -0.3}},
+      {"javac", {-33.5, -16.2, 3.2, 15.5}},
+      {"mtrt", {-22.9, -10.6, -1.7, -1.4}},
+      {"jack", {-14.4, -4.2, -2.6, -1.2}},
+      {"anagram", {-11.7, -1.6, 14.9, 23.4}},
+  };
+  agingSweep(8, Age8);
+  agingSweep(10, Age10);
+  printFigureFooter();
+  return 0;
+}

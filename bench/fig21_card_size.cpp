@@ -1,0 +1,69 @@
+//===- bench/fig21_card_size.cpp - Figure 21 reproduction -------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+// Figure 21: % improvement of generations for every power-of-two card size
+// from 16 to 4096 bytes (young generation fixed at 4 MB).  Paper shape:
+// card size barely matters for most benchmarks; javac prefers the smallest
+// cards, anagram the largest, jess likes the two extremes.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+
+#include "harness/BenchHarness.h"
+
+using namespace gengc;
+using namespace gengc::bench;
+using namespace gengc::workload;
+
+namespace {
+struct PaperRow {
+  const char *Name;
+  double Values[9]; // 16..4096
+};
+} // namespace
+
+int main() {
+  BenchOptions Base = withEnv({.Scale = 0.5, .Reps = 1});
+  printFigureHeader("Figure 21", "% improvement per card size (16..4096)");
+
+  const PaperRow Paper[] = {
+      {"compress",
+       {0.11, 0.16, 0.10, -0.41, 0.25, 0.33, 0.40, 0.46, 0.62}},
+      {"jess",
+       {-4.25, -4.02, -6.64, -9.17, -7.24, -7.17, -6.96, -7.01, -6.65}},
+      {"db", {-0.45, -0.87, -0.30, -0.03, -0.70, 0.06, -0.12, 0.33, -0.63}},
+      {"javac",
+       {18.82, 16.22, 15.50, 14.78, 13.88, 13.21, 12.22, 11.87, 11.83}},
+      {"mtrt", {9.05, 7.72, 9.58, 8.36, 9.11, 9.63, 8.24, 8.78, 8.90}},
+      {"jack",
+       {-7.43, -6.24, -7.01, -6.12, -6.79, -7.16, -6.78, -6.72, -6.50}},
+      {"anagram",
+       {23.61, 18.92, 24.04, 28.59, 31.35, 33.09, 33.41, 34.48, 35.24}},
+  };
+
+  std::vector<std::string> Header{"benchmark"};
+  for (uint32_t Card = 16; Card <= 4096; Card *= 2)
+    Header.push_back(std::to_string(Card) + "B");
+  Table T(Header);
+
+  for (const PaperRow &Row : Paper) {
+    Profile P = profileByName(Row.Name);
+    std::vector<std::string> Cells{Row.Name};
+    unsigned Idx = 0;
+    for (uint32_t Card = 16; Card <= 4096; Card *= 2, ++Idx) {
+      BenchOptions Options = Base;
+      Options.CardBytes = Card;
+      double Measured =
+            medianImprovement(P, Options, Metric::CpuSeconds);
+      Cells.push_back(Table::percent(Row.Values[Idx]) + "/" +
+                      Table::percent(Measured));
+    }
+    T.addRow(Cells);
+  }
+  T.print(stdout);
+  std::printf("\n(cells: paper %% / measured %%)\n");
+  printFigureFooter();
+  return 0;
+}

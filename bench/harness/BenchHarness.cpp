@@ -1,0 +1,98 @@
+//===- bench/harness/BenchHarness.cpp - Shared bench plumbing --------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "harness/BenchHarness.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+using namespace gengc;
+using namespace gengc::bench;
+using namespace gengc::workload;
+
+BenchOptions gengc::bench::withEnv(BenchOptions Options) {
+  Options.Scale *= envScale(1.0);
+  if (const char *Reps = std::getenv("GENGC_REPS")) {
+    int Value = std::atoi(Reps);
+    if (Value > 0)
+      Options.Reps = unsigned(Value);
+  }
+  return Options;
+}
+
+RuntimeConfig gengc::bench::configFor(CollectorChoice Choice,
+                                      const BenchOptions &Options) {
+  RuntimeConfig Config = makeConfig(Choice, Options.YoungBytes,
+                                    Options.CardBytes);
+  Config.Collector.Aging = Options.Aging;
+  Config.Collector.OldestAge = Options.OldestAge;
+  Config.Heap.TrackPages = Options.TrackPages;
+  return Config;
+}
+
+RunResult gengc::bench::runMedian(const Profile &P, CollectorChoice Choice,
+                                  const BenchOptions &Options) {
+  std::vector<RunResult> Runs;
+  Runs.reserve(Options.Reps);
+  for (unsigned Rep = 0; Rep < Options.Reps; ++Rep) {
+    Profile Shifted = P;
+    Shifted.Seed += Rep; // independent allocation streams per repetition
+    Runs.push_back(runWorkloadCopies(Shifted, configFor(Choice, Options),
+                                     Options.Copies, Options.Scale));
+  }
+  std::sort(Runs.begin(), Runs.end(),
+            [](const RunResult &A, const RunResult &B) {
+              return A.ElapsedSeconds < B.ElapsedSeconds;
+            });
+  return Runs[Runs.size() / 2];
+}
+
+double gengc::bench::metricValue(const Profile &P, const RunResult &R,
+                                 Metric M) {
+  if (M == Metric::Elapsed)
+    return R.ElapsedSeconds;
+  return R.ElapsedSeconds * double(P.Threads) +
+         double(R.Gc.GcActiveNanos) * 1e-9;
+}
+
+double gengc::bench::medianImprovement(const Profile &P,
+                                       const BenchOptions &Options,
+                                       Metric M) {
+  std::vector<double> Improvements;
+  for (unsigned Rep = 0; Rep < Options.Reps; ++Rep) {
+    Profile Shifted = P;
+    Shifted.Seed += Rep;
+    RunResult Base =
+        runWorkloadCopies(Shifted, configFor(CollectorChoice::NonGenerational,
+                                             Options),
+                          Options.Copies, Options.Scale);
+    RunResult Gen =
+        runWorkloadCopies(Shifted, configFor(CollectorChoice::Generational,
+                                             Options),
+                          Options.Copies, Options.Scale);
+    double BaseValue = metricValue(Shifted, Base, M);
+    double GenValue = metricValue(Shifted, Gen, M);
+    Improvements.push_back(
+        BaseValue > 0 ? 100.0 * (BaseValue - GenValue) / BaseValue : 0.0);
+  }
+  std::sort(Improvements.begin(), Improvements.end());
+  return Improvements[Improvements.size() / 2];
+}
+
+void gengc::bench::printFigureHeader(const char *Figure, const char *Title) {
+  std::printf("\n=== %s — %s ===\n", Figure, Title);
+  std::printf("(Domani/Kolodner/Petrank, PLDI 2000; \"paper\" columns are "
+              "the published values)\n\n");
+}
+
+void gengc::bench::printFigureFooter() {
+  std::printf("\nNote: our substrate is a synthetic runtime on different "
+              "hardware; compare shapes\n(sign, ordering, rough ratios), "
+              "not absolute values.  GENGC_SCALE / GENGC_REPS\nadjust run "
+              "length and repetitions.\n");
+}

@@ -1,0 +1,86 @@
+//===- bench/harness/BenchHarness.h - Shared bench plumbing -----*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared plumbing for the per-figure bench binaries: run a workload under
+/// one or both collectors, repeat runs and take medians (the paper averaged
+/// 8 runs per data point), and print tables that put the paper's published
+/// numbers next to ours.
+///
+/// Every binary honors:
+///   GENGC_SCALE  — multiplies every allocation budget (default per-bench;
+///                  raise it for more stable numbers, lower for smoke runs);
+///   GENGC_REPS   — overrides the repetition count for timing benches.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_BENCH_BENCHHARNESS_H
+#define GENGC_BENCH_BENCHHARNESS_H
+
+#include <string>
+
+#include "support/Table.h"
+#include "workload/Runner.h"
+
+namespace gengc::bench {
+
+/// Run parameters shared by the figure benches.
+struct BenchOptions {
+  double Scale = 1.0;
+  unsigned Reps = 3;
+  unsigned Copies = 1;
+  uint64_t YoungBytes = 4ull << 20;
+  uint32_t CardBytes = 16;
+  bool Aging = false;
+  uint8_t OldestAge = 2;
+  bool TrackPages = false;
+};
+
+/// Applies GENGC_SCALE / GENGC_REPS on top of the bench's defaults.
+BenchOptions withEnv(BenchOptions Options);
+
+/// Builds the runtime configuration for \p Choice under \p Options.
+RuntimeConfig configFor(CollectorChoice Choice, const BenchOptions &Options);
+
+/// Runs \p P under \p Choice, repeating Options.Reps times and returning
+/// the run with the median elapsed time (counts come from that same run).
+workload::RunResult runMedian(const workload::Profile &P,
+                              CollectorChoice Choice,
+                              const BenchOptions &Options);
+
+/// What a comparison measures.
+enum class Metric {
+  /// Wall-clock elapsed time of the program — the paper's uniprocessor
+  /// measurement (the collector largely hides on the spare core).
+  Elapsed,
+  /// Total CPU cost: mutator-thread seconds plus collector-active seconds.
+  /// Our substitute for the paper's saturated-multiprocessor runs: when
+  /// every processor is busy, every collector second displaces a mutator
+  /// second, so the cheaper total wins.  (Running real simultaneous copies
+  /// on this machine oversubscribes the cores and handshake scheduling
+  /// latency — milliseconds per handshake — swamps the signal.)
+  CpuSeconds,
+};
+
+/// Extracts \p Metric from a run of \p P.
+double metricValue(const workload::Profile &P, const workload::RunResult &R,
+                   Metric M);
+
+/// Median improvement of the generational collector over the baseline for
+/// \p P under \p Metric (each rep pairs one run of each collector).
+double medianImprovement(const workload::Profile &P,
+                         const BenchOptions &Options,
+                         Metric M = Metric::Elapsed);
+
+/// Prints the standard figure banner.
+void printFigureHeader(const char *Figure, const char *Title);
+
+/// Prints the standard trailer explaining the comparison semantics.
+void printFigureFooter();
+
+} // namespace gengc::bench
+
+#endif // GENGC_BENCH_BENCHHARNESS_H

@@ -1,0 +1,56 @@
+//===- core/Runtime.cpp - Public embedding API ------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Runtime.h"
+
+using namespace gengc;
+
+static CollectorConfig fixupCollectorConfig(const RuntimeConfig &Config) {
+  CollectorConfig Fixed = Config.Collector;
+  // The trigger must agree with the collector choice; fix it up rather than
+  // making every caller remember the invariant.
+  Fixed.Trigger.Generational =
+      Config.Choice == CollectorChoice::Generational;
+  if (Config.Choice != CollectorChoice::Generational) {
+    Fixed.Aging = false;
+    Fixed.RememberedSets = false;
+  }
+  return Fixed;
+}
+
+Runtime::Runtime(const RuntimeConfig &Config)
+    : Config(Config), TheHeap(Config.Heap), Registry(State),
+      Roots(TheHeap, State) {
+  CollectorConfig GcConfig = fixupCollectorConfig(Config);
+  switch (Config.Choice) {
+  case CollectorChoice::Generational:
+    Gc = std::make_unique<GenerationalCollector>(TheHeap, State, Registry,
+                                                 Roots, GcConfig);
+    break;
+  case CollectorChoice::NonGenerational:
+    Gc = std::make_unique<DlgCollector>(TheHeap, State, Registry, Roots,
+                                        GcConfig);
+    break;
+  case CollectorChoice::StopTheWorld:
+    Gc = std::make_unique<StwCollector>(TheHeap, State, Registry, Roots,
+                                        GcConfig);
+    break;
+  }
+  if (Config.StartCollector)
+    Gc->start();
+}
+
+Runtime::~Runtime() {
+  GENGC_ASSERT(Registry.size() == 0,
+               "all mutators must detach before the runtime is destroyed");
+  Gc->stop();
+}
+
+std::unique_ptr<Mutator> Runtime::attachMutator() {
+  auto M = std::make_unique<Mutator>(TheHeap, State, Registry);
+  M->setMemoryWaiter(Gc.get());
+  return M;
+}

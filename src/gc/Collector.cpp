@@ -1,0 +1,163 @@
+//===- gc/Collector.cpp - Collector thread and cycle driver ----------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Collector.h"
+
+#include "support/Timer.h"
+
+using namespace gengc;
+
+Collector::Collector(Heap &H, CollectorState &S, MutatorRegistry &Registry,
+                     GlobalRoots &Roots, const CollectorConfig &Config)
+    : H(H), State(S), Registry(Registry), Roots(Roots), Config(Config),
+      Handshakes(S, Registry), TraceEngine(H, S), SweepEngine(H, S),
+      Trig(Config.Trigger, H.heapBytes()) {
+  // During-cycle allocation budget: the trigger fires around YoungBytes of
+  // allocation, so allowing another half generation during the cycle
+  // bounds occupancy carry-over at 1.5 young generations — comfortably
+  // inside the trigger's 3-generation headroom even when two consecutive
+  // cycles carry over (identical for both collectors).
+  State.ThrottleBytes.store(Config.Trigger.YoungBytes +
+                                Config.Trigger.YoungBytes / 2,
+                            std::memory_order_relaxed);
+}
+
+Collector::~Collector() { stop(); }
+
+void Collector::start() {
+  GENGC_ASSERT(!Running, "collector started twice");
+  StopFlag.store(false, std::memory_order_relaxed);
+  Thread = std::thread([this] { threadLoop(); });
+  Running = true;
+}
+
+void Collector::stop() {
+  if (!Running)
+    return;
+  {
+    std::scoped_lock Locked(RequestMutex);
+    StopFlag.store(true, std::memory_order_relaxed);
+  }
+  RequestCv.notify_all();
+  Thread.join();
+  Running = false;
+}
+
+void Collector::requestCycle(CycleRequest Kind) {
+  GENGC_ASSERT(Kind != CycleRequest::None, "requested an empty cycle");
+  {
+    std::scoped_lock Locked(RequestMutex);
+    // Full dominates Partial if both are pending.
+    if (Pending == CycleRequest::None || Kind == CycleRequest::Full)
+      Pending = Kind;
+  }
+  RequestCv.notify_all();
+}
+
+void Collector::collectSync(CycleRequest Kind) {
+  GENGC_ASSERT(Running, "collectSync requires a started collector");
+  uint64_t Before = completedCycles();
+  requestCycle(Kind);
+  std::unique_lock Locked(RequestMutex);
+  DoneCv.wait(Locked, [&] { return completedCycles() > Before; });
+}
+
+void Collector::collectSyncCooperating(CycleRequest Kind, Mutator &M) {
+  GENGC_ASSERT(Running, "collectSyncCooperating requires a started collector");
+  uint64_t Before = completedCycles();
+  requestCycle(Kind);
+  while (completedCycles() <= Before) {
+    M.cooperate();
+    std::this_thread::sleep_for(std::chrono::microseconds(20));
+  }
+}
+
+void Collector::waitForMemory(Mutator &M) {
+  MemoryWaits.fetch_add(1, std::memory_order_relaxed);
+  collectSyncCooperating(CycleRequest::Full, M);
+}
+
+GcRunStats Collector::statsSnapshot() const {
+  std::scoped_lock Locked(StatsMutex);
+  return Stats;
+}
+
+void Collector::resetStats() {
+  std::scoped_lock Locked(StatsMutex);
+  Stats = GcRunStats();
+}
+
+void Collector::resetGrayCounters() {
+  CollectorGrays.reset();
+  Registry.forEach([](Mutator &M) { M.grayCounters().reset(); });
+}
+
+void Collector::sumGrayCounters(CycleStats &Stats) {
+  uint64_t Objects = CollectorGrays.FromClear.load(std::memory_order_relaxed);
+  uint64_t Bytes =
+      CollectorGrays.FromClearBytes.load(std::memory_order_relaxed);
+  Registry.forEach([&](Mutator &M) {
+    Objects += M.grayCounters().FromClear.load(std::memory_order_relaxed);
+    Bytes += M.grayCounters().FromClearBytes.load(std::memory_order_relaxed);
+  });
+  Stats.YoungSurvivors = Objects;
+  Stats.YoungSurvivorBytes = Bytes;
+}
+
+void Collector::runOneCycle(CycleRequest Kind) {
+  H.pages().reset();
+  resetGrayCounters();
+  // Entries left from the previous cycle's late shades are stale; objects
+  // that are genuinely still gray are re-found by this cycle's
+  // verification pass.
+  State.Grays.clear();
+
+  StopWatch Watch;
+  Watch.start();
+  CycleStats Cycle = runCycle(Kind);
+  Cycle.DurationNanos = Watch.stop();
+  Cycle.PagesTouched = H.pages().countTouched();
+  sumGrayCounters(Cycle);
+
+  H.resetAllocatedSinceGc();
+  Trig.afterCycle(Cycle.LiveEstimateBytes);
+
+  {
+    std::scoped_lock Locked(StatsMutex);
+    Stats.Cycles.push_back(Cycle);
+    Stats.GcActiveNanos += Cycle.DurationNanos;
+  }
+  {
+    // Publish completion under RequestMutex so collectSync's predicate and
+    // wakeup cannot miss each other.
+    std::scoped_lock Locked(RequestMutex);
+    CyclesDone.fetch_add(1, std::memory_order_release);
+  }
+  DoneCv.notify_all();
+}
+
+void Collector::threadLoop() {
+  for (;;) {
+    CycleRequest Kind = CycleRequest::None;
+    {
+      std::unique_lock Locked(RequestMutex);
+      RequestCv.wait_for(Locked,
+                         std::chrono::microseconds(Config.PollMicros), [&] {
+                           return StopFlag.load(std::memory_order_relaxed) ||
+                                  Pending != CycleRequest::None;
+                         });
+      if (StopFlag.load(std::memory_order_relaxed) &&
+          Pending == CycleRequest::None)
+        return;
+      Kind = Pending;
+      Pending = CycleRequest::None;
+    }
+    if (Kind == CycleRequest::None)
+      Kind = Trig.evaluate(H);
+    if (Kind != CycleRequest::None)
+      runOneCycle(Kind);
+  }
+}

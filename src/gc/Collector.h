@@ -1,0 +1,156 @@
+//===- gc/Collector.h - Collector thread and cycle driver -------*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The collector base class: one dedicated thread that waits for a trigger
+/// (or an explicit request), runs a collection cycle concurrently with the
+/// mutators, and records statistics.  Subclasses implement the cycle itself:
+/// DlgCollector (the non-generational baseline of Section 2, with the
+/// Remark 5.1 color toggle) and GenerationalCollector (Sections 3-7).
+///
+/// The collector also implements the allocation back-pressure hook: a
+/// mutator that finds the heap exhausted calls waitForMemory(), which
+/// requests a full collection and cooperates with handshakes while waiting,
+/// so the collection it is waiting for can actually make progress.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_GC_COLLECTOR_H
+#define GENGC_GC_COLLECTOR_H
+
+#include <condition_variable>
+#include <mutex>
+#include <thread>
+
+#include "gc/CycleStats.h"
+#include "gc/Sweeper.h"
+#include "gc/Tracer.h"
+#include "gc/Trigger.h"
+#include "heap/Heap.h"
+#include "runtime/Handshake.h"
+#include "runtime/Mutator.h"
+#include "runtime/MutatorRegistry.h"
+#include "runtime/Roots.h"
+
+namespace gengc {
+
+/// Static collector configuration.
+struct CollectorConfig {
+  TriggerPolicy Trigger;
+
+  /// Use the Section 6 aging mechanism (GenerationalCollector only).
+  bool Aging = false;
+
+  /// Track inter-generational pointers with remembered sets instead of
+  /// card marking — the Section 3.1 alternative the paper rejected.
+  /// GenerationalCollector, simple promotion only.
+  bool RememberedSets = false;
+
+  /// Tenuring threshold for aging mode; objects are allocated with age 1
+  /// and promoted when their age reaches this value.  The paper evaluates
+  /// 2, 4, 6, 8 and 10 (Figures 18-20).
+  uint8_t OldestAge = 2;
+
+  /// How often the collector thread re-evaluates the trigger.
+  uint32_t PollMicros = 200;
+};
+
+/// Base class of both collectors.
+class Collector : public MemoryWaiter {
+public:
+  Collector(Heap &H, CollectorState &S, MutatorRegistry &Registry,
+            GlobalRoots &Roots, const CollectorConfig &Config);
+  ~Collector() override;
+
+  Collector(const Collector &) = delete;
+  Collector &operator=(const Collector &) = delete;
+
+  /// Spawns the collector thread.
+  void start();
+
+  /// Finishes any in-progress cycle and joins the thread.  Idempotent.
+  void stop();
+
+  /// Asks for a cycle of (at least) \p Kind; returns immediately.
+  void requestCycle(CycleRequest Kind);
+
+  /// Requests a cycle and blocks until one completes.  Must be called from
+  /// a thread that is NOT a registered mutator (e.g. a test driver);
+  /// mutator threads use collectSyncCooperating instead.
+  void collectSync(CycleRequest Kind);
+
+  /// Requests a cycle and waits for completion while cooperating with
+  /// handshakes on behalf of \p M (safe to call from a mutator thread).
+  void collectSyncCooperating(CycleRequest Kind, Mutator &M);
+
+  /// MemoryWaiter: a mutator ran out of memory.
+  void waitForMemory(Mutator &M) override;
+
+  /// Copy of the statistics so far.
+  GcRunStats statsSnapshot() const;
+
+  /// Resets the accumulated statistics (between benchmark phases).
+  void resetStats();
+
+  /// Number of completed cycles.
+  uint64_t completedCycles() const {
+    return CyclesDone.load(std::memory_order_acquire);
+  }
+
+  /// Number of times a mutator had to wait for memory (allocation found
+  /// the heap exhausted) — should stay 0 in healthy configurations.
+  uint64_t memoryWaits() const {
+    return MemoryWaits.load(std::memory_order_relaxed);
+  }
+
+  const Trigger &trigger() const { return Trig; }
+  CollectorState &state() { return State; }
+
+protected:
+  /// Runs one cycle; implemented by subclasses.
+  virtual CycleStats runCycle(CycleRequest Kind) = 0;
+
+  /// Resets the per-cycle gray counters of the collector and all mutators.
+  void resetGrayCounters();
+
+  /// Sums the per-cycle gray counters into \p Stats (young survivors).
+  void sumGrayCounters(CycleStats &Stats);
+
+  Heap &H;
+  CollectorState &State;
+  MutatorRegistry &Registry;
+  GlobalRoots &Roots;
+  CollectorConfig Config;
+
+  HandshakeDriver Handshakes;
+  Tracer TraceEngine;
+  Sweeper SweepEngine;
+  Trigger Trig;
+  GrayCounters CollectorGrays;
+
+private:
+  void threadLoop();
+  void runOneCycle(CycleRequest Kind);
+
+  std::thread Thread;
+  bool Running = false;
+  std::atomic<bool> StopFlag{false};
+
+  std::mutex RequestMutex;
+  std::condition_variable RequestCv;
+  std::condition_variable DoneCv;
+  CycleRequest Pending = CycleRequest::None;
+
+  std::atomic<uint64_t> CyclesDone{0};
+  std::atomic<uint64_t> MemoryWaits{0};
+
+  mutable std::mutex StatsMutex;
+  GcRunStats Stats;
+};
+
+} // namespace gengc
+
+#endif // GENGC_GC_COLLECTOR_H

@@ -1,0 +1,83 @@
+//===- gc/CycleStats.cpp - Per-cycle and per-run GC statistics ------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/CycleStats.h"
+
+using namespace gengc;
+
+const char *gengc::cycleKindName(CycleKind Kind) {
+  switch (Kind) {
+  case CycleKind::Partial:
+    return "partial";
+  case CycleKind::Full:
+    return "full";
+  case CycleKind::NonGenerational:
+    return "non-generational";
+  }
+  return "invalid";
+}
+
+size_t GcRunStats::count(CycleKind Kind) const {
+  size_t N = 0;
+  for (const CycleStats &C : Cycles)
+    if (C.Kind == Kind)
+      ++N;
+  return N;
+}
+
+uint64_t GcRunStats::total(CycleKind Kind,
+                           uint64_t CycleStats::*Field) const {
+  uint64_t Sum = 0;
+  for (const CycleStats &C : Cycles)
+    if (C.Kind == Kind)
+      Sum += C.*Field;
+  return Sum;
+}
+
+uint64_t GcRunStats::totalAll(uint64_t CycleStats::*Field) const {
+  uint64_t Sum = 0;
+  for (const CycleStats &C : Cycles)
+    Sum += C.*Field;
+  return Sum;
+}
+
+double GcRunStats::mean(CycleKind Kind, uint64_t CycleStats::*Field) const {
+  size_t N = count(Kind);
+  if (N == 0)
+    return 0.0;
+  return double(total(Kind, Field)) / double(N);
+}
+
+double GcRunStats::percentActive(uint64_t ElapsedNanos) const {
+  if (ElapsedNanos == 0)
+    return 0.0;
+  return 100.0 * double(GcActiveNanos) / double(ElapsedNanos);
+}
+
+double GcRunStats::percentFreedPartialObjects() const {
+  uint64_t Freed = total(CycleKind::Partial, &CycleStats::ObjectsFreed);
+  uint64_t Survived = total(CycleKind::Partial, &CycleStats::YoungSurvivors);
+  if (Freed + Survived == 0)
+    return 0.0;
+  return 100.0 * double(Freed) / double(Freed + Survived);
+}
+
+double GcRunStats::percentFreedPartialBytes() const {
+  uint64_t Freed = total(CycleKind::Partial, &CycleStats::BytesFreed);
+  uint64_t Survived =
+      total(CycleKind::Partial, &CycleStats::YoungSurvivorBytes);
+  if (Freed + Survived == 0)
+    return 0.0;
+  return 100.0 * double(Freed) / double(Freed + Survived);
+}
+
+double GcRunStats::percentFreedWholeHeap(CycleKind Kind) const {
+  uint64_t Freed = total(Kind, &CycleStats::ObjectsFreed);
+  uint64_t Live = total(Kind, &CycleStats::LiveObjectsAfter);
+  if (Freed + Live == 0)
+    return 0.0;
+  return 100.0 * double(Freed) / double(Freed + Live);
+}

@@ -1,0 +1,40 @@
+//===- gc/DlgCollector.h - Non-generational DLG baseline --------*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The non-generational on-the-fly mark-and-sweep collector the paper
+/// compares against (Section 2), with the color toggle added per Remark 5.1
+/// ("it is not fair to let only the generational collector enjoy this
+/// improvement") — toggling removes the sweep's recoloring pass and the
+/// create/sweep race, exactly as in the generational version.
+///
+/// With the toggle, "black" is simply the current allocation color: trace
+/// shades clear-colored reachable objects gray and recolors them with the
+/// allocation color; sweep frees clear-colored cells; the next cycle's
+/// toggle swaps the roles.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_GC_DLGCOLLECTOR_H
+#define GENGC_GC_DLGCOLLECTOR_H
+
+#include "gc/Collector.h"
+
+namespace gengc {
+
+/// The DLG baseline.  Every cycle collects the whole heap.
+class DlgCollector : public Collector {
+public:
+  DlgCollector(Heap &H, CollectorState &S, MutatorRegistry &Registry,
+               GlobalRoots &Roots, const CollectorConfig &Config);
+
+protected:
+  CycleStats runCycle(CycleRequest Kind) override;
+};
+
+} // namespace gengc
+
+#endif // GENGC_GC_DLGCOLLECTOR_H

@@ -1,0 +1,261 @@
+//===- gc/GenerationalCollector.cpp - The paper's collector ----------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/GenerationalCollector.h"
+
+#include "runtime/ObjectModel.h"
+#include "support/Timer.h"
+
+using namespace gengc;
+
+GenerationalCollector::GenerationalCollector(Heap &H, CollectorState &S,
+                                             MutatorRegistry &Registry,
+                                             GlobalRoots &Roots,
+                                             const CollectorConfig &Config)
+    : Collector(H, S, Registry, Roots, Config) {
+  GENGC_ASSERT(Config.Trigger.Generational,
+               "generational collector needs the young-generation trigger");
+  GENGC_ASSERT(!Config.Aging || Config.OldestAge >= 2,
+               "aging threshold below 2 is meaningless (allocation age is 1)");
+  GENGC_ASSERT(!(Config.RememberedSets && Config.Aging),
+               "remembered sets are implemented for simple promotion only "
+               "(the paper used cards exclusively; Section 3.1)");
+  State.Barrier.store(Config.Aging ? BarrierKind::Aging : BarrierKind::Simple,
+                      std::memory_order_release);
+  State.UseRememberedSets.store(Config.RememberedSets,
+                                std::memory_order_release);
+  if (Config.Aging)
+    TraceEngine.setAgingThreshold(Config.OldestAge);
+}
+
+void GenerationalCollector::recolorTracedToAllocation() {
+  Color Alloc = State.allocationColor();
+  PageTouchTracker &Pages = H.pages();
+  for (size_t BlockIdx = 0, E = H.numBlocks(); BlockIdx != E; ++BlockIdx) {
+    const BlockDescriptor &Desc = H.block(BlockIdx);
+    uint64_t Base = uint64_t(BlockIdx) << Heap::BlockShift;
+    if (Desc.State == BlockState::LargeStart) {
+      ObjectRef Ref = ObjectRef(Base);
+      Pages.touch(Region::ColorTable, Ref >> GranuleShift);
+      Color C = H.loadColor(Ref);
+      if (C == Color::Black || C == Color::Gray)
+        H.storeColor(Ref, Alloc);
+      continue;
+    }
+    if (Desc.State != BlockState::SizeClass)
+      continue;
+    Pages.touchRange(Region::ColorTable, Base >> GranuleShift,
+                     Heap::BlockBytes >> GranuleShift);
+    for (uint32_t Cell = 0; Cell < Desc.NumCells; ++Cell) {
+      ObjectRef Ref = ObjectRef(Base + uint64_t(Cell) * Desc.CellBytes);
+      Color C = H.loadColor(Ref, std::memory_order_relaxed);
+      if (C == Color::Black || C == Color::Gray)
+        H.storeColor(Ref, Alloc);
+    }
+  }
+}
+
+void GenerationalCollector::initFullCollectionSimple() {
+  recolorTracedToAllocation();
+  // Every object is about to be traced, so the recorded inter-generational
+  // pointers carry no information this cycle; pointers created from here
+  // on re-record themselves (the write barrier stays active all cycle).
+  if (Config.RememberedSets) {
+    std::vector<ObjectRef> Recorded;
+    State.Remembered.drainTo(Recorded);
+    for (ObjectRef Ref : Recorded)
+      H.rememberedFlags().entryFor(Ref).store(0, std::memory_order_relaxed);
+    return;
+  }
+  H.cards().clearAll();
+  H.pages().touchRange(Region::CardTable, 0, H.cards().numCards());
+}
+
+void GenerationalCollector::initFullCollectionAging() {
+  // Dirty cards are NOT cleared: with aging, a young object may stay young
+  // across this full collection, so existing inter-generational pointers
+  // remain relevant for the following partial collections (Section 6).
+  recolorTracedToAllocation();
+}
+
+void GenerationalCollector::clearCardsSimple(CycleStats &Cycle) {
+  CardTable &Cards = H.cards();
+  PageTouchTracker &Pages = H.pages();
+  // The dirty scan reads the whole card table.
+  Pages.touchRange(Region::CardTable, 0, Cards.numCards());
+
+  ObjectRef LastScanned = NullRef;
+  std::vector<ObjectRef> Regrayed;
+  Cards.forEachDirtyIndex([&](size_t CardIdx) {
+    ++Cycle.DirtyCardsAtStart;
+    Cards.clearCardUncontended(CardIdx);
+    H.forEachObjectOverlappingCard(CardIdx, [&](ObjectRef Ref) {
+      // Several consecutive dirty cards typically cover one object; scan
+      // each object once (cards are visited in address order).
+      if (Ref == LastScanned)
+        return;
+      LastScanned = Ref;
+      Pages.touch(Region::ColorTable, Ref >> GranuleShift);
+      Color C = H.loadColor(Ref, std::memory_order_relaxed);
+      if (C == Color::Blue)
+        return;
+      Cycle.CardScanAreaBytes += H.storageBytesOf(Ref);
+      // Figure 3: shade black (old) objects on dirty cards gray; the trace
+      // will scan them and shade their young sons.
+      if (C == Color::Black) {
+        ++Cycle.OldObjectsScanned;
+        H.storeColor(Ref, Color::Gray);
+        Regrayed.push_back(Ref);
+      }
+    });
+  });
+  State.Grays.pushMany(Regrayed);
+}
+
+void GenerationalCollector::drainRememberedSet(CycleStats &Cycle) {
+  std::vector<ObjectRef> Recorded;
+  State.Remembered.drainTo(Recorded);
+  std::vector<ObjectRef> Regrayed;
+  for (ObjectRef Ref : Recorded) {
+    H.rememberedFlags().entryFor(Ref).store(0, std::memory_order_relaxed);
+    Color C = H.loadColor(Ref, std::memory_order_relaxed);
+    if (C == Color::Blue)
+      continue;
+    ++Cycle.DirtyCardsAtStart; // entries play the role of dirty cards
+    Cycle.CardScanAreaBytes += H.storageBytesOf(Ref);
+    if (C == Color::Black) {
+      ++Cycle.OldObjectsScanned;
+      H.storeColor(Ref, Color::Gray);
+      Regrayed.push_back(Ref);
+    }
+  }
+  State.Grays.pushMany(Regrayed);
+}
+
+void GenerationalCollector::clearCardsAging(CycleStats &Cycle) {
+  CardTable &Cards = H.cards();
+  PageTouchTracker &Pages = H.pages();
+  Pages.touchRange(Region::CardTable, 0, Cards.numCards());
+
+  uint8_t OldestAge = Config.OldestAge;
+  ObjectRef LastCounted = NullRef;
+  Cards.forEachDirtyIndex([&](size_t CardIdx) {
+    ++Cycle.DirtyCardsAtStart;
+    // Section 7.2, step 1: clear the mark FIRST.  A mutator that writes an
+    // inter-generational pointer concurrently either re-marks after our
+    // clear (mark survives) or marked before it — in which case its store
+    // is visible to the scan below and we re-mark ourselves.
+    Cards.clearCard(CardIdx);
+
+    bool Remark = false;
+    H.forEachObjectOverlappingCard(CardIdx, [&](ObjectRef Ref) {
+      Pages.touch(Region::ColorTable, Ref >> GranuleShift);
+      Color C = H.loadColor(Ref);
+      if (C != Color::Black || H.ages().ageOf(Ref) != OldestAge)
+        return;
+      Pages.touch(Region::AgeTable, Ref >> GranuleShift);
+      if (Ref != LastCounted) {
+        LastCounted = Ref;
+        ++Cycle.OldObjectsScanned;
+        Cycle.CardScanAreaBytes += H.storageBytesOf(Ref);
+      }
+      // Figure 6: shade the sons of old objects directly and decide
+      // whether the card still holds an inter-generational pointer.
+      uint32_t RefSlots = objectRefSlots(H, Ref);
+      Pages.touchRange(Region::Arena, Ref,
+                       ObjectHeaderBytes + uint64_t(RefSlots) * RefSlotBytes);
+      for (uint32_t I = 0; I < RefSlots; ++I) {
+        ObjectRef Son = loadRefSlot(H, Ref, I);
+        if (Son == NullRef)
+          continue;
+        markGrayClearOnly(H, State, Son, CollectorGrays);
+        if (H.ages().ageOf(Son) < OldestAge)
+          Remark = true;
+      }
+    });
+    if (Remark) {
+      // Step 3: the card still guards an old->young pointer.
+      Cards.markCardIndex(CardIdx);
+      ++Cycle.CardsRemarked;
+    }
+  });
+}
+
+CycleStats GenerationalCollector::runCycle(CycleRequest Kind) {
+  bool Full = Kind == CycleRequest::Full;
+  CycleStats Cycle;
+  Cycle.Kind = Full ? CycleKind::Full : CycleKind::Partial;
+  Cycle.AllocatedCards = H.countAllocatedCards();
+
+  // clear stage (Figure 2 / Figure 5).
+  uint64_t T0 = nowNanos();
+  State.Phase.store(GcPhase::Clear, std::memory_order_release);
+  if (Full) {
+    Cycle.DirtyCardsAtStart = H.cards().countDirty();
+    if (Config.Aging)
+      initFullCollectionAging();
+    else
+      initFullCollectionSimple();
+  }
+  Handshakes.handshake(HandshakeStatus::Sync1);
+  uint64_t T1 = nowNanos();
+  Cycle.ClearNanos = T1 - T0;
+
+  // mark stage.  Order matters and differs between the variants:
+  //   simple: ClearCards, then toggle (Figure 2) — a yellow object can only
+  //           appear after its parent's card was already scanned;
+  //   aging:  toggle, then ClearCards (Figure 5) — ClearCards must see
+  //           post-toggle colors to shade young sons correctly.
+  State.Phase.store(GcPhase::Mark, std::memory_order_release);
+  Handshakes.post(HandshakeStatus::Sync2);
+  if (Config.Aging) {
+    State.switchAllocationClearColors();
+    if (!Full)
+      clearCardsAging(Cycle);
+  } else {
+    if (!Full) {
+      if (Config.RememberedSets)
+        drainRememberedSet(Cycle);
+      else
+        clearCardsSimple(Cycle);
+    }
+    State.switchAllocationClearColors();
+  }
+  Handshakes.wait();
+
+  Handshakes.post(HandshakeStatus::Async);
+  Roots.markAll(CollectorGrays);
+  Handshakes.wait();
+  uint64_t T2 = nowNanos();
+  Cycle.MarkNanos = T2 - T1;
+
+  // trace: black marks promoted/old objects in both variants.
+  State.Phase.store(GcPhase::Trace, std::memory_order_release);
+  Tracer::Result TraceResult =
+      TraceEngine.trace(Color::Black, CollectorGrays);
+  Cycle.ObjectsTraced = TraceResult.ObjectsTraced;
+  Cycle.BytesTraced = TraceResult.BytesTraced;
+
+  uint64_t T3 = nowNanos();
+  Cycle.TraceNanos = T3 - T2;
+
+  // sweep.
+  State.Phase.store(GcPhase::Sweep, std::memory_order_release);
+  Sweeper::Result SweepResult = SweepEngine.sweep(
+      Config.Aging ? SweepMode::GenerationalAging
+                   : SweepMode::GenerationalSimple,
+      Config.OldestAge);
+  Cycle.ObjectsFreed = SweepResult.ObjectsFreed;
+  Cycle.BytesFreed = SweepResult.BytesFreed;
+  Cycle.LiveObjectsAfter = SweepResult.LiveObjectsAfter;
+  Cycle.LiveBytesAfter = SweepResult.LiveBytesAfter;
+  Cycle.LiveEstimateBytes =
+      SweepResult.LiveBytesAfter - SweepResult.AllocColoredBytes;
+
+  Cycle.SweepNanos = nowNanos() - T3;
+  State.Phase.store(GcPhase::Idle, std::memory_order_release);
+  return Cycle;
+}

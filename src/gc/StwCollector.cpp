@@ -1,0 +1,91 @@
+//===- gc/StwCollector.cpp - Stop-the-world comparator ----------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/StwCollector.h"
+
+#include <thread>
+
+#include "support/Timer.h"
+
+using namespace gengc;
+
+StwCollector::StwCollector(Heap &H, CollectorState &S,
+                           MutatorRegistry &Registry, GlobalRoots &Roots,
+                           const CollectorConfig &Config)
+    : Collector(H, S, Registry, Roots, Config) {
+  GENGC_ASSERT(!Config.Aging, "the STW comparator has no aging mechanism");
+  GENGC_ASSERT(!Config.Trigger.Generational,
+               "the STW comparator collects the whole heap");
+  // No concurrent marking ever happens, so mutators run the cheapest
+  // barrier (which is inert while the world is stopped anyway).
+  State.Barrier.store(BarrierKind::NonGenerational,
+                      std::memory_order_release);
+}
+
+void StwCollector::waitWorldStopped() {
+  // A mutator counts as stopped when it parked itself (shading its own
+  // roots on the way in) or when it is blocked (we shade for it).  The
+  // registry can change while we wait: re-snapshot every pass.
+  for (unsigned Spin = 0;; ++Spin) {
+    size_t Accounted = size_t(
+        State.ParkedMutators.load(std::memory_order_acquire));
+    size_t Total = 0;
+    Registry.forEach([&](Mutator &M) {
+      ++Total;
+      if (M.markRootsIfBlockedForStw())
+        ++Accounted;
+    });
+    if (Accounted >= Total)
+      return;
+    if (Spin < 64)
+      std::this_thread::yield();
+    else
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+  }
+}
+
+CycleStats StwCollector::runCycle(CycleRequest Kind) {
+  (void)Kind; // Always the whole heap.
+  CycleStats Cycle;
+  Cycle.Kind = CycleKind::NonGenerational;
+
+  uint64_t T0 = nowNanos();
+  State.Phase.store(GcPhase::Clear, std::memory_order_release);
+  State.switchAllocationClearColors();
+
+  // Stop the world.
+  State.StopWorld.store(true, std::memory_order_seq_cst);
+  waitWorldStopped();
+  uint64_t T1 = nowNanos();
+  Cycle.ClearNanos = T1 - T0;
+
+  Roots.markAll(CollectorGrays);
+  uint64_t T2 = nowNanos();
+  Cycle.MarkNanos = T2 - T1;
+
+  State.Phase.store(GcPhase::Trace, std::memory_order_release);
+  Tracer::Result TraceResult =
+      TraceEngine.trace(State.allocationColor(), CollectorGrays);
+  Cycle.ObjectsTraced = TraceResult.ObjectsTraced;
+  Cycle.BytesTraced = TraceResult.BytesTraced;
+  Cycle.LiveEstimateBytes = TraceResult.BytesTraced;
+  uint64_t T3 = nowNanos();
+  Cycle.TraceNanos = T3 - T2;
+
+  State.Phase.store(GcPhase::Sweep, std::memory_order_release);
+  Sweeper::Result SweepResult =
+      SweepEngine.sweep(SweepMode::NonGenerational, 0);
+  Cycle.ObjectsFreed = SweepResult.ObjectsFreed;
+  Cycle.BytesFreed = SweepResult.BytesFreed;
+  Cycle.LiveObjectsAfter = SweepResult.LiveObjectsAfter;
+  Cycle.LiveBytesAfter = SweepResult.LiveBytesAfter;
+  Cycle.SweepNanos = nowNanos() - T3;
+
+  // Resume the world.
+  State.Phase.store(GcPhase::Idle, std::memory_order_release);
+  State.StopWorld.store(false, std::memory_order_seq_cst);
+  return Cycle;
+}

@@ -1,0 +1,102 @@
+//===- gc/Sweeper.cpp - Concurrent sweep ------------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Sweeper.h"
+
+using namespace gengc;
+
+void Sweeper::processSurvivor(ObjectRef Ref, Color C, uint32_t StorageBytes,
+                              SweepMode Mode, uint8_t OldestAge,
+                              Color AllocColor, Result &R) {
+  ++R.LiveObjectsAfter;
+  R.LiveBytesAfter += StorageBytes;
+  if (C == AllocColor)
+    R.AllocColoredBytes += StorageBytes;
+  if (Mode != SweepMode::GenerationalAging)
+    return;
+  // Figure 5: young survivors rejoin the young generation with the
+  // allocation color and one more collection on their age; objects at the
+  // threshold stay black (tenured).
+  AgeTable &Ages = H.ages();
+  uint8_t Age = Ages.ageOf(Ref);
+  H.pages().touch(Region::AgeTable, Ref >> GranuleShift);
+  if (Age >= OldestAge)
+    return;
+  H.storeColor(Ref, AllocColor);
+  Ages.setAge(Ref, uint8_t(Age + 1));
+}
+
+Sweeper::Result Sweeper::sweep(SweepMode Mode, uint8_t OldestAge) {
+  Result R;
+  PageTouchTracker &Pages = H.pages();
+  Color Clear = State.clearColor();
+  Color Alloc = State.allocationColor();
+
+  // Freed cells accumulate into per-class chains and return to the central
+  // lists in bulk.
+  Heap::CellChain Chains[NumSizeClasses];
+
+  for (size_t BlockIdx = 0, E = H.numBlocks(); BlockIdx != E; ++BlockIdx) {
+    const BlockDescriptor &Desc = H.block(BlockIdx);
+    uint64_t Base = uint64_t(BlockIdx) << Heap::BlockShift;
+
+    if (Desc.State == BlockState::LargeStart) {
+      ObjectRef Ref = ObjectRef(Base);
+      Pages.touch(Region::ColorTable, Ref >> GranuleShift);
+      Color C = H.loadColor(Ref);
+      if (C == Clear && H.casColor(Ref, C, Color::Blue)) {
+        uint32_t RunBytes = H.storageBytesOf(Ref);
+        H.freeLargeRun(uint32_t(BlockIdx));
+        ++R.ObjectsFreed;
+        R.BytesFreed += RunBytes;
+      } else if (C != Color::Blue) {
+        processSurvivor(Ref, C, H.storageBytesOf(Ref), Mode, OldestAge,
+                        Alloc, R);
+      }
+      continue;
+    }
+
+    if (Desc.State != BlockState::SizeClass)
+      continue;
+
+    unsigned ClassIdx = Desc.SizeClassIdx;
+    Pages.touchRange(Region::ColorTable, Base >> GranuleShift,
+                     Heap::BlockBytes >> GranuleShift);
+    for (uint32_t Cell = 0; Cell < Desc.NumCells; ++Cell) {
+      ObjectRef Ref = ObjectRef(Base + uint64_t(Cell) * Desc.CellBytes);
+      Color C = H.loadColor(Ref, std::memory_order_acquire);
+      if (C == Color::Blue)
+        continue;
+      if (C == Clear) {
+        if (H.casColor(Ref, C, Color::Blue)) {
+          // Thread the cell into the class's pending chain.  Writing the
+          // link touches the cell's arena page, like the paper's sweep.
+          Pages.touch(Region::Arena, Ref);
+          if (Mode == SweepMode::GenerationalAging)
+            H.ages().setAge(Ref, 0);
+          H.setChainNext(Ref, Chains[ClassIdx].Head);
+          Chains[ClassIdx].Head = Ref;
+          ++R.ObjectsFreed;
+          R.BytesFreed += Desc.CellBytes;
+          if (++Chains[ClassIdx].Count == H.config().ChainCells) {
+            H.pushFreeChain(ClassIdx, Chains[ClassIdx]);
+            Chains[ClassIdx] = Heap::CellChain();
+          }
+          continue;
+        }
+        // Lost the race to a late shade: the object floats into the next
+        // cycle as a live survivor.
+        C = H.loadColor(Ref);
+      }
+      processSurvivor(Ref, C, Desc.CellBytes, Mode, OldestAge, Alloc, R);
+    }
+  }
+
+  for (unsigned ClassIdx = 0; ClassIdx < NumSizeClasses; ++ClassIdx)
+    if (Chains[ClassIdx].Count != 0)
+      H.pushFreeChain(ClassIdx, Chains[ClassIdx]);
+  return R;
+}

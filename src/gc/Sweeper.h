@@ -1,0 +1,74 @@
+//===- gc/Sweeper.h - Concurrent sweep --------------------------*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The sweep stage (Figures 2 and 5).  Sweep reclaims every object with the
+/// clear color; what happens to survivors depends on the mode:
+///
+///  - NonGenerational: survivors keep the allocation color (the black/white
+///    toggle of Remark 5.1 means no recoloring at all).
+///  - GenerationalSimple: black survivors stay black — that *is* the
+///    promotion to the old generation (Section 3); allocation-colored
+///    (yellow) objects stay young, untouched thanks to the toggle.
+///  - GenerationalAging: Figure 5 — reachable objects younger than the
+///    tenuring threshold are recolored to the allocation color and their
+///    age is incremented; objects at the threshold stay black (old).
+///
+/// Freeing races with late mutator shading (a mutator that still perceives
+/// the trace stage may shade a clear-colored object); both transitions go
+/// through a CAS on the color byte, so exactly one side wins: either the
+/// object is freed, or it floats gray into the next cycle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_GC_SWEEPER_H
+#define GENGC_GC_SWEEPER_H
+
+#include "heap/Heap.h"
+#include "runtime/CollectorState.h"
+
+namespace gengc {
+
+/// Which collector variant's sweep semantics to apply.
+enum class SweepMode : uint8_t {
+  NonGenerational,
+  GenerationalSimple,
+  GenerationalAging,
+};
+
+/// The sweep engine; owned by a collector, reused across cycles.
+class Sweeper {
+public:
+  struct Result {
+    uint64_t ObjectsFreed = 0;
+    uint64_t BytesFreed = 0;
+    uint64_t LiveObjectsAfter = 0;
+    uint64_t LiveBytesAfter = 0;
+    /// Bytes of survivors carrying the allocation color — objects created
+    /// during this cycle.  The generational collectors subtract this from
+    /// LiveBytesAfter to estimate the true live set for triggering.
+    uint64_t AllocColoredBytes = 0;
+  };
+
+  Sweeper(Heap &H, CollectorState &S) : H(H), State(S) {}
+
+  /// Sweeps the whole heap.  \p OldestAge is the tenuring threshold (aging
+  /// mode only).
+  Result sweep(SweepMode Mode, uint8_t OldestAge);
+
+private:
+  /// Handles one live (non-clear, non-blue) object of color \p C.
+  void processSurvivor(ObjectRef Ref, Color C, uint32_t StorageBytes,
+                       SweepMode Mode, uint8_t OldestAge, Color AllocColor,
+                       Result &R);
+
+  Heap &H;
+  CollectorState &State;
+};
+
+} // namespace gengc
+
+#endif // GENGC_GC_SWEEPER_H

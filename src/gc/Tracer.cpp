@@ -1,0 +1,110 @@
+//===- gc/Tracer.cpp - Concurrent tri-color trace --------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/Tracer.h"
+
+#include <thread>
+
+#include "runtime/ObjectModel.h"
+
+using namespace gengc;
+
+void Tracer::markBlack(ObjectRef Ref, Color BlackColor, GrayCounters &Counters,
+                       Result &R) {
+  // A buffered entry may have been processed already via another path
+  // (duplicates are possible when a mutator shades during root marking);
+  // only gray objects are traced.
+  if (H.loadColor(Ref, std::memory_order_acquire) != Color::Gray)
+    return;
+  PageTouchTracker &Pages = H.pages();
+  uint32_t RefSlots = objectRefSlots(H, Ref);
+  Pages.touchRange(Region::Arena, Ref,
+                   ObjectHeaderBytes + uint64_t(RefSlots) * RefSlotBytes);
+  Color Clear = State.clearColor();
+  // Aging: this object tenures at the coming sweep; its pointers to
+  // objects that will stay young must rest on dirty cards (see
+  // setAgingThreshold).
+  bool WillTenure =
+      AgingOldestAge != 0 && H.ages().ageOf(Ref) == AgingOldestAge;
+  for (uint32_t I = 0; I < RefSlots; ++I) {
+    ObjectRef Son = loadRefSlot(H, Ref, I);
+    if (Son == NullRef)
+      continue;
+    Pages.touch(Region::ColorTable, Son >> GranuleShift);
+    if (WillTenure && H.ages().ageOf(Son) < AgingOldestAge)
+      H.cards().markCard(refSlotOffset(Ref, I));
+    if (tryMarkGray(H, Son, Clear)) {
+      Counters.FromClear.fetch_add(1, std::memory_order_relaxed);
+      Counters.FromClearBytes.fetch_add(H.storageBytesOf(Son),
+                                        std::memory_order_relaxed);
+      Stack.push_back(Son);
+    }
+  }
+  H.storeColor(Ref, BlackColor);
+  ++R.ObjectsTraced;
+  R.BytesTraced += H.storageBytesOf(Ref);
+}
+
+void Tracer::drain(Color BlackColor, GrayCounters &Counters, Result &R) {
+  do {
+    while (!Stack.empty()) {
+      ObjectRef Ref = Stack.back();
+      Stack.pop_back();
+      markBlack(Ref, BlackColor, Counters, R);
+    }
+    // Pick up objects shaded concurrently by mutator write barriers.
+  } while (State.Grays.drainTo(Stack));
+}
+
+Tracer::Result Tracer::trace(Color BlackColor, GrayCounters &Counters) {
+  Result R;
+  PageTouchTracker &Pages = H.pages();
+
+  // Main trace: everything shaded so far (roots, dirty-card scans) and
+  // everything mutators shade while we run arrives through the gray
+  // buffer.  This is O(objects traced), independent of the heap size —
+  // the property that makes partial collections cheap.
+  State.Grays.drainTo(Stack);
+  drain(BlackColor, Counters, R);
+
+  const AtomicByteTable &Colors = H.colors();
+  for (;;) {
+    // Termination, step 1: wait out shades whose buffer enqueue is still
+    // in flight, then re-drain anything they published.
+    while (State.InFlightShades.load(std::memory_order_acquire) != 0)
+      std::this_thread::yield();
+    if (State.Grays.drainTo(Stack)) {
+      drain(BlackColor, Counters, R);
+      continue;
+    }
+
+    // Termination, step 2: one verification scan of the color side-table
+    // — "while there is a gray object" made literal.  Normally finds
+    // nothing; word hints skip clean regions eight granules at a time.
+    ++R.Passes;
+    bool FoundGray = false;
+    Pages.touchRange(Region::ColorTable, 0, Colors.size());
+    for (size_t W = 0, E = Colors.numWords(); W != E; ++W) {
+      if (!AtomicByteTable::wordContainsByte(Colors.racyWord(W),
+                                             uint8_t(Color::Gray)))
+        continue;
+      size_t Begin = W * AtomicByteTable::WordEntries;
+      for (size_t I = Begin; I != Begin + AtomicByteTable::WordEntries;
+           ++I) {
+        if (Color(Colors.entry(I).load(std::memory_order_acquire)) !=
+            Color::Gray)
+          continue;
+        FoundGray = true;
+        // Only object-start granules ever receive a color, so the granule
+        // index converts directly to a reference.
+        markBlack(ObjectRef(I << GranuleShift), BlackColor, Counters, R);
+        drain(BlackColor, Counters, R);
+      }
+    }
+    if (!FoundGray)
+      return R;
+  }
+}

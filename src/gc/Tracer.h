@@ -1,0 +1,84 @@
+//===- gc/Tracer.h - Concurrent tri-color trace -----------------*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The trace stage: "While there is a gray object: pick a gray object x;
+/// MarkBlack(x)" (Figure 2).  The paper leaves the mechanism for finding
+/// gray objects unspecified ("we do not present details of the mechanism
+/// for keeping track of the objects remaining to be traced"); ours combines
+/// a collector-private mark stack for objects the collector shades itself
+/// with fixpoint rescans of the color side-table to pick up objects shaded
+/// concurrently by mutator write barriers.  Because every shade writes the
+/// gray color *before* anything else, a full scan of the color table that
+/// finds no gray object (with an empty stack) proves the trace is complete.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_GC_TRACER_H
+#define GENGC_GC_TRACER_H
+
+#include <vector>
+
+#include "heap/Heap.h"
+#include "runtime/CollectorState.h"
+#include "runtime/WriteBarrier.h"
+
+namespace gengc {
+
+/// The trace engine; owned by a collector, reused across cycles.
+class Tracer {
+public:
+  struct Result {
+    /// Number of MarkBlack executions ("objects scanned" of Figure 11).
+    uint64_t ObjectsTraced = 0;
+    /// Their storage footprint.
+    uint64_t BytesTraced = 0;
+    /// Number of color-table passes until the clean pass.
+    uint64_t Passes = 0;
+  };
+
+  Tracer(Heap &H, CollectorState &S) : H(H), State(S) {}
+
+  /// Enables aging-mode card maintenance during the trace: when MarkBlack
+  /// blackens an object whose age equals \p OldestAge (it will be tenured
+  /// by the coming sweep), the cards of its still-young sons are marked.
+  ///
+  /// This closes a hole in the paper's Figure 6: ClearCards clears the
+  /// dirty mark of a card whose objects are young — correct at that
+  /// moment — but the same cycle can then tenure the parent while the
+  /// sweep demotes its son back to the young generation, leaving an
+  /// old->young pointer on a clean card; the following partial collection
+  /// would reclaim the live son.  Section 6's requirement that
+  /// "inter-generational pointers are recorded correctly during the
+  /// collection cycle" demands exactly this maintenance.  Pass 0 to
+  /// disable (simple promotion and the DLG baseline).
+  void setAgingThreshold(uint8_t OldestAge) { AgingOldestAge = OldestAge; }
+
+  /// Traces to completion.  \p BlackColor is the color that marks a fully
+  /// traced object: Color::Black for the generational collectors, the
+  /// current allocation color for the non-generational baseline (black and
+  /// white toggle, Remark 5.1).  Shades of the sons from the clear color
+  /// are recorded in \p Counters.
+  Result trace(Color BlackColor, GrayCounters &Counters);
+
+private:
+  /// MarkBlack (Figure 3): shades all sons of \p Ref gray, then colors
+  /// \p Ref with \p BlackColor.
+  void markBlack(ObjectRef Ref, Color BlackColor, GrayCounters &Counters,
+                 Result &R);
+
+  /// Drains the mark stack, blackening everything on it.
+  void drain(Color BlackColor, GrayCounters &Counters, Result &R);
+
+  Heap &H;
+  CollectorState &State;
+  std::vector<ObjectRef> Stack;
+  uint8_t AgingOldestAge = 0;
+};
+
+} // namespace gengc
+
+#endif // GENGC_GC_TRACER_H

@@ -1,0 +1,11 @@
+//===- heap/AgeTable.cpp - Per-object ages in a side table ----------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/AgeTable.h"
+
+using namespace gengc;
+
+AgeTable::AgeTable(uint64_t HeapBytes) : Table(HeapBytes, GranuleShift) {}

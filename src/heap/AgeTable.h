@@ -1,0 +1,61 @@
+//===- heap/AgeTable.h - Per-object ages in a side table --------*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The aging mechanism of Section 6 keeps, for every object, the number of
+/// collections it has survived.  The paper deliberately stores ages in a
+/// separate table — one byte per object — rather than in object headers:
+/// sweep walks *all* ages to increment them, and touching a dense table is
+/// far cheaper than touching every object in the heap.  We follow suit with
+/// one byte per 16-byte granule, indexed by the object's start offset.
+///
+/// Convention (Section 8.5.2): objects are allocated with age 1; sweep
+/// increments the age of young survivors and stops once an object reaches
+/// the tenuring threshold ("oldest age").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_HEAP_AGETABLE_H
+#define GENGC_HEAP_AGETABLE_H
+
+#include "heap/AtomicByteTable.h"
+#include "heap/Ref.h"
+
+namespace gengc {
+
+/// Byte-per-granule age table.
+class AgeTable {
+public:
+  /// Creates an age table covering \p HeapBytes of arena.
+  explicit AgeTable(uint64_t HeapBytes);
+
+  /// Age of the object whose header is at \p Ref.
+  uint8_t ageOf(ObjectRef Ref) const {
+    return Table.entryFor(Ref).load(std::memory_order_relaxed);
+  }
+
+  /// Sets the age of the object at \p Ref (mutator at creation, collector
+  /// at sweep).
+  void setAge(ObjectRef Ref, uint8_t Age) {
+    Table.entryFor(Ref).store(Age, std::memory_order_relaxed);
+  }
+
+  /// Resets all ages to zero (tests and full-heap reinitialization).
+  void clearAll() { Table.clearAll(); }
+
+  /// Base address of the backing array, for page-touch registration.
+  const void *data() const { return Table.data(); }
+
+  /// Number of entries (one per granule).
+  size_t size() const { return Table.size(); }
+
+private:
+  AtomicByteTable Table;
+};
+
+} // namespace gengc
+
+#endif // GENGC_HEAP_AGETABLE_H

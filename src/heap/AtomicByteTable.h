@@ -1,0 +1,124 @@
+//===- heap/AtomicByteTable.h - Byte-per-granule side tables ----*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A zero-initialized array of atomic bytes indexed by heap granule (16
+/// bytes).  The color table and the age table are instances; the card table
+/// builds on the same idea with a configurable granule (the card size).
+/// Section 6 of the paper explains why these tables are *byte* tables with
+/// no sharing: packing colors, ages and card marks into shared bytes would
+/// force compare-and-swap on every write barrier, which the authors measured
+/// to be too costly.  A dedicated byte per entry needs plain atomic stores.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_HEAP_ATOMICBYTETABLE_H
+#define GENGC_HEAP_ATOMICBYTETABLE_H
+
+#include <atomic>
+#include <cstddef>
+#include <cstring>
+#include <memory>
+
+#include "support/Assert.h"
+
+namespace gengc {
+
+/// Fixed-size array of atomic bytes, indexed by (byte offset >> Shift).
+class AtomicByteTable {
+public:
+  /// Creates a table covering \p CoveredBytes of address space with one
+  /// entry per 2^\p Shift bytes.  All entries start at zero.
+  AtomicByteTable(uint64_t CoveredBytes, unsigned Shift)
+      : Shift(Shift), NumEntries(CoveredBytes >> Shift),
+        Entries(new std::atomic<uint8_t>[NumEntries]) {
+    GENGC_ASSERT((CoveredBytes & ((1ull << Shift) - 1)) == 0,
+                 "covered size must be a multiple of the granule");
+    clearAll();
+  }
+
+  /// Number of entries in the table.
+  size_t size() const { return NumEntries; }
+
+  /// Entry index for the byte at \p Offset.
+  size_t indexFor(uint64_t Offset) const {
+    size_t Index = Offset >> Shift;
+    GENGC_ASSERT(Index < NumEntries, "side-table offset out of range");
+    return Index;
+  }
+
+  /// Direct entry access by index.
+  std::atomic<uint8_t> &entry(size_t Index) {
+    GENGC_ASSERT(Index < NumEntries, "side-table index out of range");
+    return Entries[Index];
+  }
+  const std::atomic<uint8_t> &entry(size_t Index) const {
+    GENGC_ASSERT(Index < NumEntries, "side-table index out of range");
+    return Entries[Index];
+  }
+
+  /// Entry access by covered byte offset.
+  std::atomic<uint8_t> &entryFor(uint64_t Offset) {
+    return Entries[indexFor(Offset)];
+  }
+  const std::atomic<uint8_t> &entryFor(uint64_t Offset) const {
+    return Entries[indexFor(Offset)];
+  }
+
+  /// Resets every entry to zero.  Not atomic with respect to concurrent
+  /// writers; callers serialize externally (only used at cycle boundaries
+  /// and in tests).
+  void clearAll() {
+    for (size_t I = 0; I < NumEntries; ++I)
+      Entries[I].store(0, std::memory_order_relaxed);
+  }
+
+  /// Number of entries covered by one racyWord hint.
+  static constexpr size_t WordEntries = 8;
+
+  /// Number of whole hint words in the table.
+  size_t numWords() const { return NumEntries / WordEntries; }
+
+  /// Racy 8-entry snapshot used to skip uninteresting table regions
+  /// quickly (dirty-card scans, gray-verification scans).  The read is a
+  /// deliberate benign race: callers use it only as a HINT whose misses
+  /// are conservative — a concurrently-set byte the hint does not show is
+  /// simply handled as if the scan had passed it already, which every
+  /// caller tolerates (cards stay dirty; shades are caught by the
+  /// termination protocol).  Interesting words are re-examined with
+  /// proper atomic loads.
+  uint64_t racyWord(size_t WordIndex) const {
+    GENGC_ASSERT(WordIndex < numWords(), "hint word out of range");
+    uint64_t Word;
+    std::memcpy(&Word,
+                reinterpret_cast<const unsigned char *>(Entries.get()) +
+                    WordIndex * WordEntries,
+                sizeof(Word));
+    return Word;
+  }
+
+  /// True if any byte of \p Word equals \p Value (SWAR zero-byte test).
+  static bool wordContainsByte(uint64_t Word, uint8_t Value) {
+    uint64_t Spread = 0x0101010101010101ull * Value;
+    uint64_t X = Word ^ Spread;
+    return ((X - 0x0101010101010101ull) & ~X & 0x8080808080808080ull) != 0;
+  }
+
+  /// Base address of the entry array (for page-touch accounting).
+  const void *data() const { return Entries.get(); }
+
+  /// log2 of the number of covered bytes per entry.
+  unsigned granuleShift() const { return Shift; }
+
+private:
+  unsigned Shift;
+  size_t NumEntries;
+  std::unique_ptr<std::atomic<uint8_t>[]> Entries;
+};
+
+} // namespace gengc
+
+#endif // GENGC_HEAP_ATOMICBYTETABLE_H

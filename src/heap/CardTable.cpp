@@ -1,0 +1,27 @@
+//===- heap/CardTable.cpp - Inter-generational pointer tracking -----------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/CardTable.h"
+
+#include "support/Assert.h"
+#include "support/MathExtras.h"
+
+using namespace gengc;
+
+CardTable::CardTable(uint64_t HeapBytes, uint32_t CardBytes)
+    : Shift(log2Floor(CardBytes)), Table(HeapBytes, Shift) {
+  GENGC_ASSERT(isPowerOf2(CardBytes), "card size must be a power of two");
+  GENGC_ASSERT(CardBytes >= MinCardBytes && CardBytes <= MaxCardBytes,
+               "card size outside the paper's 16..4096 range");
+}
+
+size_t CardTable::countDirty() const {
+  size_t Dirty = 0;
+  for (size_t I = 0, E = Table.size(); I != E; ++I)
+    if (Table.entry(I).load(std::memory_order_relaxed) != 0)
+      ++Dirty;
+  return Dirty;
+}

@@ -1,0 +1,131 @@
+//===- heap/CardTable.h - Inter-generational pointer tracking ---*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Card marking (Sections 3.1 and 8.5.3).  The heap is partitioned into
+/// cards of a configurable power-of-two size between 16 bytes ("object
+/// marking") and 4096 bytes ("block marking").  Mutators dirty the card of
+/// every heap slot they store a pointer into; the collector scans objects on
+/// dirty cards for pointers into the young generation and treats them as
+/// roots of a partial collection.
+///
+/// The invariant maintained is the paper's: an inter-generational pointer
+/// may exist only on a dirty card.  The delicate set/clear race of Section
+/// 7.2 is resolved in the collectors (three-step clear against the
+/// mutator's store-then-mark order); this class only provides the atomic
+/// byte-per-card storage and scanning statistics.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_HEAP_CARDTABLE_H
+#define GENGC_HEAP_CARDTABLE_H
+
+#include <cstdint>
+
+#include "heap/AtomicByteTable.h"
+#include "heap/Ref.h"
+
+namespace gengc {
+
+/// Byte-per-card dirty table over the heap arena.
+class CardTable {
+public:
+  /// Minimum card size: one granule, the paper's "object marking".
+  static constexpr uint32_t MinCardBytes = 16;
+  /// Maximum card size: the paper's "block marking".
+  static constexpr uint32_t MaxCardBytes = 4096;
+
+  /// Creates a card table over \p HeapBytes of arena with cards of
+  /// \p CardBytes (a power of two in [MinCardBytes, MaxCardBytes]).
+  CardTable(uint64_t HeapBytes, uint32_t CardBytes);
+
+  /// Card size in bytes.
+  uint32_t cardBytes() const { return 1u << Shift; }
+
+  /// Number of cards covering the heap.
+  size_t numCards() const { return Table.size(); }
+
+  /// Card index of the card containing arena byte \p Offset.
+  size_t cardIndexFor(uint64_t Offset) const { return Offset >> Shift; }
+
+  /// Arena byte offset of the first byte of card \p Index.
+  uint64_t cardStart(size_t Index) const { return uint64_t(Index) << Shift; }
+
+  /// Mutator write barrier: dirties the card containing \p SlotOffset.
+  /// A plain atomic store — no synchronization, per DLG's fine-grained
+  /// atomicity requirement.
+  void markCard(uint64_t SlotOffset) {
+    Table.entryFor(SlotOffset).store(1, std::memory_order_relaxed);
+  }
+
+  /// Dirties card \p Index directly (collector side of the Section 7.2
+  /// three-step protocol).
+  void markCardIndex(size_t Index) {
+    Table.entry(Index).store(1, std::memory_order_relaxed);
+  }
+
+  /// Returns whether card \p Index is dirty.
+  bool isDirty(size_t Index) const {
+    return Table.entry(Index).load(std::memory_order_relaxed) != 0;
+  }
+
+  /// Clears the dirty mark of card \p Index against concurrent mutator
+  /// marking (the aging collector's Section 7.2 three-step protocol).  An
+  /// acquiring exchange: if it consumes a mark, the pointer store that
+  /// preceded the mark (mutator order: store, then mark) is visible to the
+  /// collector's subsequent scan of the card, so the scan either finds the
+  /// inter-generational pointer and re-marks, or the mutator's mark landed
+  /// after the clear and the card simply stays dirty.
+  void clearCard(size_t Index) {
+    Table.entry(Index).exchange(0, std::memory_order_acq_rel);
+  }
+
+  /// Clears the dirty mark of card \p Index when no mutator can be marking
+  /// concurrently.  The simple collector's ClearCards runs between the
+  /// first and second handshakes, where the Figure 1 barrier does not mark
+  /// cards at all (Section 7.1), so a relaxed store suffices — and it is
+  /// worth it: this runs once per dirty card on every partial collection.
+  void clearCardUncontended(size_t Index) {
+    Table.entry(Index).store(0, std::memory_order_relaxed);
+  }
+
+  /// Clears every card (used when initiating a full collection).
+  void clearAll() { Table.clearAll(); }
+
+  /// Invokes \p Callback(CardIndex) for every dirty card, using racy word
+  /// hints to skip clean regions quickly.  A card set concurrently with
+  /// the scan may be skipped — equivalent to the scan having passed it
+  /// already; it simply stays dirty for the next collection.
+  template <typename Fn> void forEachDirtyIndex(Fn Callback) const {
+    size_t Words = Table.numWords();
+    for (size_t W = 0; W != Words; ++W) {
+      if (Table.racyWord(W) == 0)
+        continue;
+      size_t Begin = W * AtomicByteTable::WordEntries;
+      for (size_t I = Begin; I != Begin + AtomicByteTable::WordEntries; ++I)
+        if (isDirty(I))
+          Callback(I);
+    }
+    for (size_t I = Words * AtomicByteTable::WordEntries; I != Table.size();
+         ++I)
+      if (isDirty(I))
+        Callback(I);
+  }
+
+  /// Counts currently dirty cards (statistics for Figure 22).
+  size_t countDirty() const;
+
+  /// Base address of the backing byte array, for page-touch registration.
+  const void *data() const { return Table.data(); }
+
+private:
+  unsigned Shift;
+  AtomicByteTable Table;
+};
+
+} // namespace gengc
+
+#endif // GENGC_HEAP_CARDTABLE_H

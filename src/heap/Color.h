@@ -1,0 +1,73 @@
+//===- heap/Color.h - Tri-color marking colors ------------------*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The five colors of the paper's collectors (Sections 2, 4 and 5):
+///
+///  - Blue: the cell is free (on a free list or never allocated).
+///  - Gray: traced, but its sons have not been examined yet.
+///  - Black: traced together with its sons.  Under the simple generational
+///    promotion policy black doubles as "member of the old generation".
+///  - White and Yellow: the two *toggling* colors.  One of them is the
+///    current "clear color" (collected by sweep) and the other the current
+///    "allocation color" (assigned to new objects); their roles swap at the
+///    beginning of every collection cycle (Section 5), which removes the
+///    create/sweep race of the original DLG collector.
+///
+/// Colors live in a side table (heap/AtomicByteTable.h) rather than in
+/// object headers, mirroring the paper's locality argument for its side age
+/// table and keeping sweep's page footprint small (Figure 15).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_HEAP_COLOR_H
+#define GENGC_HEAP_COLOR_H
+
+#include <cstdint>
+
+namespace gengc {
+
+/// Marking colors.  Blue must be zero: side tables are zero-initialized and
+/// every cell starts out free.
+enum class Color : uint8_t {
+  Blue = 0,
+  White = 1,
+  Yellow = 2,
+  Gray = 3,
+  Black = 4,
+};
+
+/// Returns a human-readable color name for diagnostics and tests.
+inline const char *colorName(Color C) {
+  switch (C) {
+  case Color::Blue:
+    return "blue";
+  case Color::White:
+    return "white";
+  case Color::Yellow:
+    return "yellow";
+  case Color::Gray:
+    return "gray";
+  case Color::Black:
+    return "black";
+  }
+  return "invalid";
+}
+
+/// Returns true for the two colors that participate in the allocation/clear
+/// toggle of Section 5.
+inline bool isToggleColor(Color C) {
+  return C == Color::White || C == Color::Yellow;
+}
+
+/// Given one toggle color, returns the other.
+inline Color otherToggleColor(Color C) {
+  return C == Color::White ? Color::Yellow : Color::White;
+}
+
+} // namespace gengc
+
+#endif // GENGC_HEAP_COLOR_H

@@ -1,0 +1,192 @@
+//===- heap/Heap.cpp - Non-moving segmented heap ---------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/Heap.h"
+
+#include "support/MathExtras.h"
+
+using namespace gengc;
+
+Heap::Heap(const HeapConfig &Config)
+    : Config(Config), Arena(new std::atomic<uint32_t>[Config.HeapBytes >> 2]),
+      Colors(Config.HeapBytes, GranuleShift),
+      Remembered(Config.HeapBytes, GranuleShift),
+      Cards(Config.HeapBytes, Config.CardBytes), Ages(Config.HeapBytes),
+      Blocks(Config.HeapBytes >> BlockShift) {
+  GENGC_ASSERT(Config.HeapBytes >= 2 * BlockBytes,
+               "heap needs at least two blocks (one is reserved)");
+  GENGC_ASSERT((Config.HeapBytes & (BlockBytes - 1)) == 0,
+               "heap size must be a multiple of the block size");
+
+  // The arena contents start undefined but the chain links are read with
+  // plain loads, so scrub word 0 of every granule defensively in debug
+  // builds only?  No: free-list links are always written before being read
+  // (carveBlockLocked below), so no arena initialization is required.
+
+  // Block 0 is reserved so that arena offset 0 can act as the null
+  // reference.
+  Blocks[0].State = BlockState::Reserved;
+  for (uint32_t I = 1; I < Blocks.size(); ++I)
+    FreeBlocks.push_back(I);
+  // Pop from the back; keep low addresses used first for determinism.
+  for (size_t I = 0, J = FreeBlocks.size(); I + 1 < J; ++I, --J)
+    std::swap(FreeBlocks[I], FreeBlocks[J - 1]);
+  FreeBlockCount.store(FreeBlocks.size(), std::memory_order_relaxed);
+
+  Pages.registerRegion(Region::Arena, Config.HeapBytes);
+  Pages.registerRegion(Region::ColorTable, Colors.size());
+  Pages.registerRegion(Region::CardTable, Cards.numCards());
+  Pages.registerRegion(Region::AgeTable, Ages.size());
+  Pages.setEnabled(Config.TrackPages);
+}
+
+Heap::~Heap() = default;
+
+bool Heap::carveBlockLocked(unsigned ClassIdx) {
+  if (FreeBlocks.empty())
+    return false;
+  uint32_t BlockIdx = FreeBlocks.back();
+  FreeBlocks.pop_back();
+  FreeBlockCount.fetch_sub(1, std::memory_order_relaxed);
+
+  BlockDescriptor &Desc = Blocks[BlockIdx];
+  Desc.State = BlockState::SizeClass;
+  Desc.SizeClassIdx = uint8_t(ClassIdx);
+  Desc.CellBytes = sizeClassBytes(ClassIdx);
+  Desc.CellRecip = uint32_t(divideCeil(1ull << 32, Desc.CellBytes));
+  Desc.NumCells = uint32_t(BlockBytes / Desc.CellBytes);
+
+  // Thread all cells into chains of at most ChainCells and queue them.
+  uint64_t Base = uint64_t(BlockIdx) << BlockShift;
+  CentralList &List = Lists[ClassIdx];
+  CellChain Chain;
+  for (uint32_t Cell = Desc.NumCells; Cell-- > 0;) {
+    ObjectRef Ref = ObjectRef(Base + uint64_t(Cell) * Desc.CellBytes);
+    setChainNext(Ref, Chain.Head);
+    Chain.Head = Ref;
+    if (++Chain.Count == Config.ChainCells) {
+      List.Chains.push_back(Chain);
+      Chain = CellChain();
+    }
+  }
+  if (Chain.Count != 0)
+    List.Chains.push_back(Chain);
+  return true;
+}
+
+Heap::CellChain Heap::popFreeChain(unsigned ClassIdx) {
+  GENGC_ASSERT(ClassIdx < NumSizeClasses, "size class out of range");
+  CentralList &List = Lists[ClassIdx];
+  CellChain Chain;
+  {
+    std::scoped_lock Locked(List.Mutex);
+    if (List.Chains.empty()) {
+      std::scoped_lock BlocksLocked(BlockMutex);
+      if (!carveBlockLocked(ClassIdx))
+        return CellChain();
+    }
+    Chain = List.Chains.back();
+    List.Chains.pop_back();
+  }
+  uint64_t Bytes = uint64_t(Chain.Count) * sizeClassBytes(ClassIdx);
+  UsedBytes.fetch_add(Bytes, std::memory_order_relaxed);
+  AllocSinceGc.fetch_add(Bytes, std::memory_order_relaxed);
+  return Chain;
+}
+
+void Heap::pushFreeChain(unsigned ClassIdx, CellChain Chain) {
+  GENGC_ASSERT(ClassIdx < NumSizeClasses, "size class out of range");
+  if (Chain.Count == 0)
+    return;
+  uint64_t Bytes = uint64_t(Chain.Count) * sizeClassBytes(ClassIdx);
+  {
+    CentralList &List = Lists[ClassIdx];
+    std::scoped_lock Locked(List.Mutex);
+    List.Chains.push_back(Chain);
+  }
+  // UsedBytes can transiently underflow-race with popFreeChain only in the
+  // sense of ordinary relaxed-counter imprecision; totals stay consistent.
+  UsedBytes.fetch_sub(Bytes, std::memory_order_relaxed);
+}
+
+ObjectRef Heap::allocateLarge(uint32_t Bytes) {
+  GENGC_ASSERT(Bytes > MaxSmallObjectBytes, "large alloc below threshold");
+  uint32_t Needed = uint32_t(divideCeil(Bytes, BlockBytes));
+  std::scoped_lock Locked(BlockMutex);
+
+  // First-fit scan for a contiguous run of free blocks.  Linear in the
+  // number of blocks, but large allocations are rare in all workloads.
+  uint32_t RunStart = 0, RunLen = 0;
+  for (uint32_t I = 1; I < Blocks.size(); ++I) {
+    if (Blocks[I].State != BlockState::Free) {
+      RunLen = 0;
+      continue;
+    }
+    if (RunLen == 0)
+      RunStart = I;
+    if (++RunLen == Needed)
+      break;
+  }
+  if (RunLen < Needed)
+    return NullRef;
+
+  for (uint32_t I = RunStart; I < RunStart + Needed; ++I) {
+    BlockDescriptor &Desc = Blocks[I];
+    Desc.State = I == RunStart ? BlockState::LargeStart : BlockState::LargeCont;
+    Desc.LargeBytes = I == RunStart ? Bytes : 0;
+    Desc.RunBlocks = I == RunStart ? Needed : 0;
+    Desc.RunStart = RunStart;
+  }
+
+  // Remove the run's blocks from the free list.
+  std::erase_if(FreeBlocks, [&](uint32_t B) {
+    return B >= RunStart && B < RunStart + Needed;
+  });
+  FreeBlockCount.store(FreeBlocks.size(), std::memory_order_relaxed);
+
+  uint64_t RunBytes = uint64_t(Needed) * BlockBytes;
+  UsedBytes.fetch_add(RunBytes, std::memory_order_relaxed);
+  AllocSinceGc.fetch_add(RunBytes, std::memory_order_relaxed);
+  return ObjectRef(uint64_t(RunStart) << BlockShift);
+}
+
+void Heap::freeLargeRun(uint32_t BlockIdx) {
+  std::scoped_lock Locked(BlockMutex);
+  BlockDescriptor &Start = Blocks[BlockIdx];
+  GENGC_ASSERT(Start.State == BlockState::LargeStart,
+               "freeLargeRun on a non-run block");
+  uint32_t Run = Start.RunBlocks;
+  for (uint32_t I = BlockIdx; I < BlockIdx + Run; ++I) {
+    Blocks[I] = BlockDescriptor();
+    FreeBlocks.push_back(I);
+  }
+  FreeBlockCount.store(FreeBlocks.size(), std::memory_order_relaxed);
+  UsedBytes.fetch_sub(uint64_t(Run) * BlockBytes, std::memory_order_relaxed);
+}
+
+uint32_t Heap::storageBytesOf(ObjectRef Ref) const {
+  const BlockDescriptor &Desc = Blocks[blockIndexOf(Ref)];
+  switch (Desc.State) {
+  case BlockState::SizeClass:
+    return Desc.CellBytes;
+  case BlockState::LargeStart:
+    return uint32_t(uint64_t(Desc.RunBlocks) * BlockBytes);
+  case BlockState::LargeCont:
+  case BlockState::Free:
+  case BlockState::Reserved:
+    break;
+  }
+  GENGC_UNREACHABLE("storageBytesOf on a ref outside any object block");
+}
+
+size_t Heap::countAllocatedCards() const {
+  size_t CardsPerBlock = size_t(BlockBytes / Cards.cardBytes());
+  size_t Allocated = 0;
+  for (const BlockDescriptor &Desc : Blocks)
+    if (Desc.State != BlockState::Free && Desc.State != BlockState::Reserved)
+      Allocated += CardsPerBlock;
+  return Allocated;
+}

@@ -1,0 +1,30 @@
+//===- heap/PageTouch.cpp - Collector page-residency accounting -----------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/PageTouch.h"
+
+#include <bit>
+
+#include "support/Assert.h"
+#include "support/MathExtras.h"
+
+using namespace gengc;
+
+void PageTouchTracker::registerRegion(Region R, uint64_t Bytes) {
+  GENGC_ASSERT(size_t(R) < size_t(Region::NumRegions), "bad region");
+  RegionBase[size_t(R)] = TotalPages;
+  TotalPages += size_t(divideCeil(Bytes, PageBytes));
+  Bits.assign(divideCeil(TotalPages, 64), 0);
+}
+
+uint64_t PageTouchTracker::countTouched() const {
+  uint64_t Count = 0;
+  for (uint64_t Word : Bits)
+    Count += std::popcount(Word);
+  return Count;
+}
+
+void PageTouchTracker::reset() { Bits.assign(Bits.size(), 0); }

@@ -1,0 +1,40 @@
+//===- heap/Ref.h - Object references ---------------------------*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// ObjectRef is the universal object handle: a byte offset into the heap
+/// arena.  Offsets (rather than raw pointers) keep references 4 bytes wide,
+/// which matches the 32-bit JVM the paper measured and halves the pointer
+/// footprint of the synthetic workloads.  Offset 0 is reserved as the null
+/// reference; the heap never hands out the first cell of the arena.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_HEAP_REF_H
+#define GENGC_HEAP_REF_H
+
+#include <cstdint>
+
+namespace gengc {
+
+/// A reference to a heap object: the byte offset of the object's header
+/// within the arena.  Always a multiple of the 16-byte minimum alignment.
+using ObjectRef = uint32_t;
+
+/// The null reference.  Arena offset 0 is never allocated.
+inline constexpr ObjectRef NullRef = 0;
+
+/// Objects are aligned to (and sized in multiples of) this many bytes.  The
+/// paper's smallest card size, 16 bytes, is exactly one granule, which is why
+/// it calls that configuration "object marking".
+inline constexpr uint32_t GranuleBytes = 16;
+
+/// log2(GranuleBytes), used for side-table indexing.
+inline constexpr unsigned GranuleShift = 4;
+
+} // namespace gengc
+
+#endif // GENGC_HEAP_REF_H

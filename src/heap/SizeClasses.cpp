@@ -1,0 +1,35 @@
+//===- heap/SizeClasses.cpp - Segregated-fit size classes -----------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "heap/SizeClasses.h"
+
+#include "heap/Ref.h"
+#include "support/Assert.h"
+
+using namespace gengc;
+
+// Power-of-two classes interleaved with 1.5x midpoints keep worst-case
+// internal fragmentation at 33% while every class stays a multiple of the
+// 16-byte granule (so cell starts are granule-aligned, as the side tables
+// require).
+static const uint32_t ClassBytes[NumSizeClasses] = {
+    16,  32,  48,   64,   96,   128,  192,  256,
+    384, 512, 1024, 2048, 3072, 4096, 6144, 8192,
+};
+
+uint32_t gengc::sizeClassBytes(unsigned Index) {
+  GENGC_ASSERT(Index < NumSizeClasses, "size class out of range");
+  return ClassBytes[Index];
+}
+
+unsigned gengc::sizeClassFor(uint32_t Bytes) {
+  if (Bytes > MaxSmallObjectBytes)
+    return NumSizeClasses;
+  for (unsigned I = 0; I < NumSizeClasses; ++I)
+    if (ClassBytes[I] >= Bytes)
+      return I;
+  GENGC_UNREACHABLE("size class table does not cover MaxSmallObjectBytes");
+}

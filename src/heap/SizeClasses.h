@@ -1,0 +1,38 @@
+//===- heap/SizeClasses.h - Segregated-fit size classes ---------*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The heap is a big-bag-of-pages (BiBoP) design: each 64 KiB block holds
+/// cells of exactly one size class.  This gives the two properties the
+/// paper's collectors rely on: objects never move, and the sweep can walk
+/// the heap cell-by-cell without per-object size headers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_HEAP_SIZECLASSES_H
+#define GENGC_HEAP_SIZECLASSES_H
+
+#include <cstdint>
+
+namespace gengc {
+
+/// Number of small-object size classes.  Objects larger than the last class
+/// go to the large-object space (whole block runs).
+inline constexpr unsigned NumSizeClasses = 16;
+
+/// Largest cell size served from size-class blocks, in bytes.
+inline constexpr uint32_t MaxSmallObjectBytes = 8192;
+
+/// Returns the cell size in bytes of size class \p Index (0-based).
+uint32_t sizeClassBytes(unsigned Index);
+
+/// Returns the smallest size class whose cells hold \p Bytes, or
+/// NumSizeClasses if \p Bytes exceeds MaxSmallObjectBytes (large object).
+unsigned sizeClassFor(uint32_t Bytes);
+
+} // namespace gengc
+
+#endif // GENGC_HEAP_SIZECLASSES_H

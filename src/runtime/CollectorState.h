@@ -1,0 +1,136 @@
+//===- runtime/CollectorState.h - State shared with mutators ----*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The handful of atomic variables through which the collector and the
+/// mutators coordinate without ever stopping the world:
+///
+///  - the collector status (async / sync1 / sync2) driving the handshake
+///    protocol (Section 2);
+///  - the allocation and clear colors of the color toggle (Section 5);
+///  - the coarse collector phase, which the write barrier consults for its
+///    "Collector is tracing" test (Figure 1);
+///  - the barrier variant (none / simple / aging) selecting between the
+///    Figure 1 and Figure 4 mutator routines.
+///
+/// Each mutator additionally keeps its own status (its perception of the
+/// current handshake); see runtime/Mutator.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_RUNTIME_COLLECTORSTATE_H
+#define GENGC_RUNTIME_COLLECTORSTATE_H
+
+#include <atomic>
+
+#include "heap/Color.h"
+#include "runtime/GrayBuffer.h"
+
+namespace gengc {
+
+/// Handshake statuses.  A cycle advances async -> sync1 -> sync2 -> async.
+enum class HandshakeStatus : uint8_t {
+  Async = 0,
+  Sync1 = 1,
+  Sync2 = 2,
+};
+
+/// Coarse collector phase, read (racily, by design) by the write barrier.
+enum class GcPhase : uint8_t {
+  Idle = 0,
+  Clear,
+  Mark,
+  Trace,
+  Sweep,
+};
+
+/// Which mutator-side barrier code is in effect.
+enum class BarrierKind : uint8_t {
+  /// Non-generational DLG: no card marking at all.
+  NonGenerational,
+  /// Figure 1: card marking during async only; MarkGray also shades
+  /// allocation-colored (yellow) objects during sync1/sync2.
+  Simple,
+  /// Figure 4: card marking in every state, after the store; MarkGray
+  /// shades clear-colored objects only.
+  Aging,
+};
+
+/// Shared collector/mutator coordination state.
+struct CollectorState {
+  std::atomic<HandshakeStatus> StatusC{HandshakeStatus::Async};
+  std::atomic<Color> AllocationColor{Color::White};
+  std::atomic<Color> ClearColor{Color::Yellow};
+  std::atomic<GcPhase> Phase{GcPhase::Idle};
+  std::atomic<BarrierKind> Barrier{BarrierKind::Simple};
+
+  /// Objects shaded gray and not yet traced; drained by the tracer.
+  GrayBuffer Grays;
+
+  /// Remembered-set mode (the Section 3.1 alternative to card marking the
+  /// paper rejected for Java's update rates): the async write barrier
+  /// records the *updated object* here, deduplicated through a side flag
+  /// table, instead of dirtying a card.  Simple promotion policy only.
+  std::atomic<bool> UseRememberedSets{false};
+
+  /// Objects recorded by the remembered-set barrier, awaiting the next
+  /// partial collection.
+  GrayBuffer Remembered;
+
+  /// Number of threads currently between winning a gray CAS and finishing
+  /// the buffer push.  The tracer's termination protocol waits for zero, so
+  /// a shade whose enqueue is still in flight can never be missed.
+  std::atomic<int64_t> InFlightShades{0};
+
+  /// Stop-the-world support (the StwCollector comparator, not used by the
+  /// paper's on-the-fly collectors): when set, every mutator parks at its
+  /// next cooperate() after shading its own roots, and stays parked until
+  /// cleared.
+  std::atomic<bool> StopWorld{false};
+
+  /// Number of mutators currently parked for a stop-the-world pause.
+  std::atomic<int64_t> ParkedMutators{0};
+
+  /// Allocation budget (bytes since the last collection) past which
+  /// mutators stall while a cycle is in progress.  Concurrent collectors
+  /// need this back-pressure: a mutator fleet that outruns the collector
+  /// otherwise drives occupancy into permanent full-collection mode.  Set
+  /// once by the collector (the same value for both collectors, so
+  /// comparisons stay fair); UINT64_MAX disables throttling.
+  std::atomic<uint64_t> ThrottleBytes{~0ull};
+
+  /// Swaps the allocation and clear colors (Section 5's toggle).  Only the
+  /// collector calls this, at most once per cycle, so plain exchanged
+  /// stores on the two atomics suffice.
+  void switchAllocationClearColors() {
+    Color Alloc = AllocationColor.load(std::memory_order_relaxed);
+    Color Clear = ClearColor.load(std::memory_order_relaxed);
+    ClearColor.store(Alloc, std::memory_order_seq_cst);
+    AllocationColor.store(Clear, std::memory_order_seq_cst);
+  }
+
+  Color allocationColor() const {
+    return AllocationColor.load(std::memory_order_seq_cst);
+  }
+  Color clearColor() const {
+    return ClearColor.load(std::memory_order_seq_cst);
+  }
+
+  /// True while the collector is between the start of trace and the end of
+  /// trace — the write barrier's "Collector is tracing" test.
+  bool isTracing() const {
+    return Phase.load(std::memory_order_relaxed) == GcPhase::Trace;
+  }
+
+  /// True while a collection cycle is in progress at all.
+  bool isCollecting() const {
+    return Phase.load(std::memory_order_relaxed) != GcPhase::Idle;
+  }
+};
+
+} // namespace gengc
+
+#endif // GENGC_RUNTIME_COLLECTORSTATE_H

@@ -1,0 +1,30 @@
+//===- runtime/Handshake.cpp - The soft handshake protocol -----------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Handshake.h"
+
+#include <thread>
+
+using namespace gengc;
+
+void HandshakeDriver::post(HandshakeStatus Status) {
+  State.StatusC.store(Status, std::memory_order_seq_cst);
+}
+
+void HandshakeDriver::wait() {
+  HandshakeStatus Status = State.StatusC.load(std::memory_order_relaxed);
+  // Mutators respond at their own pace; poll, helping blocked threads.
+  // The paper's collector behaves the same way ("the collector considers a
+  // handshake complete after all mutators have responded").
+  for (unsigned Spin = 0;; ++Spin) {
+    if (Registry.countLaggingAndHelp(Status) == 0)
+      return;
+    if (Spin < 64)
+      std::this_thread::yield();
+    else
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}

@@ -1,0 +1,51 @@
+//===- runtime/Handshake.h - The soft handshake protocol --------*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The collector side of the DLG handshake: postHandshake publishes a new
+/// collector status, waitHandshake spins until every registered mutator has
+/// adopted it (responding on behalf of blocked threads).  Like the paper we
+/// split the handshake into the two halves so the collector can do work —
+/// clearing cards, toggling colors — between posting and waiting
+/// (Section 7: "we separate the handshake into two parts, postHandshake and
+/// waitHandshake, instead of using a second collector thread").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_RUNTIME_HANDSHAKE_H
+#define GENGC_RUNTIME_HANDSHAKE_H
+
+#include "runtime/CollectorState.h"
+#include "runtime/MutatorRegistry.h"
+
+namespace gengc {
+
+/// Collector-side handshake driver.
+class HandshakeDriver {
+public:
+  HandshakeDriver(CollectorState &S, MutatorRegistry &Registry)
+      : State(S), Registry(Registry) {}
+
+  /// Publishes \p Status as the collector status (postHandshake).
+  void post(HandshakeStatus Status);
+
+  /// Spins until every mutator matches the posted status (waitHandshake).
+  void wait();
+
+  /// post + wait.
+  void handshake(HandshakeStatus Status) {
+    post(Status);
+    wait();
+  }
+
+private:
+  CollectorState &State;
+  MutatorRegistry &Registry;
+};
+
+} // namespace gengc
+
+#endif // GENGC_RUNTIME_HANDSHAKE_H

@@ -1,0 +1,221 @@
+//===- runtime/Mutator.cpp - Program threads -------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Mutator.h"
+
+#include <thread>
+
+#include "runtime/MutatorRegistry.h"
+#include "support/Timer.h"
+
+using namespace gengc;
+
+MemoryWaiter::~MemoryWaiter() = default;
+
+Mutator::Mutator(Heap &H, CollectorState &S, MutatorRegistry &Registry)
+    : H(H), State(S), Registry(Registry) {
+  Registry.add(*this);
+}
+
+Mutator::~Mutator() {
+  GENGC_ASSERT(Stack.empty(), "mutator exits with live local roots");
+  // Return cached cells so the memory is not stranded.  The cells are Blue
+  // and the transfer synchronizes through the central-list mutex.
+  for (unsigned Class = 0; Class < NumSizeClasses; ++Class) {
+    if (Cache[Class].Count != 0)
+      H.pushFreeChain(Class, Cache[Class]);
+    Cache[Class] = Heap::CellChain();
+  }
+  Registry.remove(*this);
+}
+
+//===----------------------------------------------------------------------===//
+// Allocation.
+//===----------------------------------------------------------------------===//
+
+void Mutator::recordPause(uint64_t Nanos, bool StopTheWorld) {
+  PauseCount.fetch_add(1, std::memory_order_relaxed);
+  PauseTotalNanos.fetch_add(Nanos, std::memory_order_relaxed);
+  uint64_t Max = PauseMaxNanos.load(std::memory_order_relaxed);
+  while (Nanos > Max &&
+         !PauseMaxNanos.compare_exchange_weak(Max, Nanos,
+                                              std::memory_order_relaxed))
+    ;
+  if (!StopTheWorld)
+    return;
+  StwPauseCount.fetch_add(1, std::memory_order_relaxed);
+  Max = StwPauseMaxNanos.load(std::memory_order_relaxed);
+  while (Nanos > Max &&
+         !StwPauseMaxNanos.compare_exchange_weak(Max, Nanos,
+                                                 std::memory_order_relaxed))
+    ;
+}
+
+void Mutator::maybeThrottleAllocation() {
+  // Allocation stall: while a cycle is in progress and this mutator fleet
+  // has already consumed its during-cycle budget, wait for the collector
+  // (cooperating, so handshakes keep making progress).  Checked on the
+  // cache-refill slow path only — every few hundred allocations.
+  uint64_t Limit = State.ThrottleBytes.load(std::memory_order_relaxed);
+  if (!State.isCollecting() || H.allocatedSinceGcBytes() < Limit)
+    return;
+  uint64_t Start = nowNanos();
+  while (State.isCollecting() &&
+         H.allocatedSinceGcBytes() >= Limit) {
+    cooperate();
+    std::this_thread::sleep_for(std::chrono::microseconds(20));
+  }
+  recordPause(nowNanos() - Start);
+}
+
+void Mutator::refillCache(unsigned ClassIdx) {
+  maybeThrottleAllocation();
+  for (unsigned Attempt = 0; Attempt < 1000; ++Attempt) {
+    Heap::CellChain Chain = H.popFreeChain(ClassIdx);
+    if (Chain.Count != 0) {
+      Cache[ClassIdx] = Chain;
+      return;
+    }
+    if (!Waiter)
+      fatalError("heap exhausted and no memory waiter installed", __FILE__,
+                 __LINE__);
+    Waiter->waitForMemory(*this);
+  }
+  fatalError("heap exhausted: collections reclaimed no memory", __FILE__,
+             __LINE__);
+}
+
+ObjectRef Mutator::allocateLarge(uint32_t Bytes) {
+  maybeThrottleAllocation();
+  for (unsigned Attempt = 0; Attempt < 1000; ++Attempt) {
+    ObjectRef Ref = H.allocateLarge(Bytes);
+    if (Ref != NullRef)
+      return Ref;
+    if (!Waiter)
+      fatalError("heap exhausted (large) and no memory waiter installed",
+                 __FILE__, __LINE__);
+    Waiter->waitForMemory(*this);
+  }
+  fatalError("heap exhausted: no block run for a large object", __FILE__,
+             __LINE__);
+}
+
+ObjectRef Mutator::allocate(uint32_t RefSlots, uint32_t DataBytes,
+                            uint16_t Tag) {
+  uint32_t Bytes = objectBytesFor(RefSlots, DataBytes);
+  unsigned ClassIdx = sizeClassFor(Bytes);
+
+  ObjectRef Ref;
+  if (ClassIdx == NumSizeClasses) {
+    Ref = allocateLarge(Bytes);
+  } else {
+    Heap::CellChain &Chain = Cache[ClassIdx];
+    if (Chain.Head == NullRef)
+      refillCache(ClassIdx);
+    Ref = Cache[ClassIdx].Head;
+    Cache[ClassIdx].Head = H.chainNext(Ref);
+    --Cache[ClassIdx].Count;
+  }
+
+  initObject(H, Ref, RefSlots, Tag, Bytes);
+  if (State.Barrier.load(std::memory_order_relaxed) == BarrierKind::Aging)
+    H.ages().setAge(Ref, 1); // Section 8.5.2: allocated with age 1.
+
+  // Publishing store: the object becomes visible to sweep and trace with
+  // the current allocation color (the "create" routine of Figure 1; the
+  // color toggle removed all dependence on the sweep pointer's position).
+  H.storeColor(Ref, State.allocationColor(), std::memory_order_release);
+
+  AllocObjects.fetch_add(1, std::memory_order_relaxed);
+  AllocBytes.fetch_add(Bytes, std::memory_order_relaxed);
+  return Ref;
+}
+
+//===----------------------------------------------------------------------===//
+// Handshake cooperation.
+//===----------------------------------------------------------------------===//
+
+void Mutator::markOwnRoots() {
+  // Responding to the third handshake: shade every local root (Figure 1's
+  // Cooperate).  The barrier-kind dispatch mirrors writeRef.
+  bool Simple =
+      State.Barrier.load(std::memory_order_relaxed) == BarrierKind::Simple;
+  for (ObjectRef Root : Stack) {
+    if (Simple)
+      markGraySimple(H, State, StatusM.load(std::memory_order_relaxed), Root,
+                     Grays);
+    else
+      markGrayClearOnly(H, State, Root, Grays);
+  }
+}
+
+void Mutator::cooperateLocked() {
+  HandshakeStatus SC = State.StatusC.load(std::memory_order_acquire);
+  HandshakeStatus SM = StatusM.load(std::memory_order_relaxed);
+  if (SM == SC)
+    return;
+  if (SM == HandshakeStatus::Sync2)
+    markOwnRoots();
+  StatusM.store(SC, std::memory_order_release);
+}
+
+void Mutator::cooperate() {
+  if (State.StopWorld.load(std::memory_order_acquire))
+    parkForStopTheWorld();
+  if (StatusM.load(std::memory_order_relaxed) ==
+      State.StatusC.load(std::memory_order_acquire))
+    return;
+  std::scoped_lock Locked(CoopMutex);
+  cooperateLocked();
+}
+
+void Mutator::parkForStopTheWorld() {
+  // Shade our roots first: the stop-the-world trace starts once every
+  // thread is parked, and parked threads cannot respond to anything.
+  {
+    std::scoped_lock Locked(CoopMutex);
+    markOwnRoots();
+  }
+  State.ParkedMutators.fetch_add(1, std::memory_order_acq_rel);
+  uint64_t Start = nowNanos();
+  while (State.StopWorld.load(std::memory_order_acquire))
+    std::this_thread::sleep_for(std::chrono::microseconds(10));
+  recordPause(nowNanos() - Start, /*StopTheWorld=*/true);
+  State.ParkedMutators.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+bool Mutator::markRootsIfBlockedForStw() {
+  std::scoped_lock Locked(CoopMutex);
+  if (!Blocked)
+    return false;
+  markOwnRoots();
+  return true;
+}
+
+void Mutator::enterBlocked() {
+  std::scoped_lock Locked(CoopMutex);
+  cooperateLocked();
+  Blocked = true;
+}
+
+void Mutator::exitBlocked() {
+  {
+    std::scoped_lock Locked(CoopMutex);
+    Blocked = false;
+    cooperateLocked();
+  }
+  // A stop-the-world pause may be in progress: this thread must not
+  // resume mutating until it ends (its roots were already shaded by the
+  // collector while it was blocked).
+  if (State.StopWorld.load(std::memory_order_acquire))
+    parkForStopTheWorld();
+}
+
+void Mutator::helpIfBlocked() {
+  std::scoped_lock Locked(CoopMutex);
+  if (Blocked)
+    cooperateLocked();
+}

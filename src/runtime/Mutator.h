@@ -1,0 +1,242 @@
+//===- runtime/Mutator.h - Program threads ----------------------*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A Mutator is one program thread as seen by the collector: it allocates
+/// objects through a thread-local cache (no synchronization on the fast
+/// path), performs pointer updates through the write barrier (Figures 1/4),
+/// keeps a shadow stack of local roots, and cooperates with handshakes at
+/// the points where the embedding program calls cooperate() — the analogue
+/// of the paper's "backward branches and invocations".
+///
+/// Mutators never respond to a handshake in the middle of an update or an
+/// allocation, because cooperation only happens inside cooperate().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_RUNTIME_MUTATOR_H
+#define GENGC_RUNTIME_MUTATOR_H
+
+#include <atomic>
+#include <mutex>
+#include <vector>
+
+#include "heap/Heap.h"
+#include "runtime/CollectorState.h"
+#include "runtime/ObjectModel.h"
+#include "runtime/WriteBarrier.h"
+
+namespace gengc {
+
+class Mutator;
+class MutatorRegistry;
+
+/// Back-pressure hook for allocation: when the heap has no free memory the
+/// mutator asks the waiter (implemented by core/Runtime) to get a collection
+/// done.  Implementations must call Mutator::cooperate() while waiting or
+/// the collector's handshakes would deadlock against the waiting thread.
+class MemoryWaiter {
+public:
+  virtual ~MemoryWaiter();
+  /// Blocks until a collection has plausibly freed memory.
+  virtual void waitForMemory(Mutator &M) = 0;
+};
+
+/// One registered program thread.
+class Mutator {
+public:
+  /// Registers this mutator; it adopts the collector's current status.
+  Mutator(Heap &H, CollectorState &S, MutatorRegistry &Registry);
+
+  /// Drains the allocation caches back to the heap and deregisters.
+  /// The shadow stack must be empty by then.
+  ~Mutator();
+
+  Mutator(const Mutator &) = delete;
+  Mutator &operator=(const Mutator &) = delete;
+
+  //===--------------------------------------------------------------------===
+  // Allocation (the paper's "create" routine).
+  //===--------------------------------------------------------------------===
+
+  /// Allocates an object with \p RefSlots cleared pointer fields and
+  /// \p DataBytes of uninitialized scalar payload.  The object is created
+  /// with the current allocation color (Section 5: there is no create/sweep
+  /// race to resolve).  Never returns NullRef: on heap exhaustion it waits
+  /// for collections via the MemoryWaiter and aborts the process if that
+  /// cannot help.
+  ObjectRef allocate(uint32_t RefSlots, uint32_t DataBytes, uint16_t Tag = 0);
+
+  /// Installs the back-pressure hook (done by core/Runtime).
+  void setMemoryWaiter(MemoryWaiter *Waiter) { this->Waiter = Waiter; }
+
+  //===--------------------------------------------------------------------===
+  // Heap accesses.
+  //===--------------------------------------------------------------------===
+
+  /// Pointer store heap[x, i] <- y through the write barrier (the Update
+  /// routine of Figure 1 or Figure 4, selected by the barrier kind).
+  void writeRef(ObjectRef X, uint32_t SlotIdx, ObjectRef Y);
+
+  /// Pointer load heap[x, i].  Reads need no barrier in DLG.
+  ObjectRef readRef(ObjectRef X, uint32_t SlotIdx) const {
+    return loadRefSlot(H, X, SlotIdx);
+  }
+
+  //===--------------------------------------------------------------------===
+  // Shadow stack (local roots).  Stack writes need no barrier (Section 2).
+  //===--------------------------------------------------------------------===
+
+  /// Pushes a local root; returns its index.
+  size_t pushRoot(ObjectRef Ref) {
+    Stack.push_back(Ref);
+    return Stack.size() - 1;
+  }
+
+  /// Pops the top \p Count roots.
+  void popRoots(size_t Count = 1) {
+    GENGC_ASSERT(Count <= Stack.size(), "root stack underflow");
+    Stack.resize(Stack.size() - Count);
+  }
+
+  ObjectRef root(size_t Index) const {
+    GENGC_ASSERT(Index < Stack.size(), "root index out of range");
+    return Stack[Index];
+  }
+  void setRoot(size_t Index, ObjectRef Ref) {
+    GENGC_ASSERT(Index < Stack.size(), "root index out of range");
+    Stack[Index] = Ref;
+  }
+  size_t numRoots() const { return Stack.size(); }
+
+  //===--------------------------------------------------------------------===
+  // Handshake cooperation.
+  //===--------------------------------------------------------------------===
+
+  /// Checks for a pending handshake and responds (the paper's "cooperate").
+  /// Embedding programs call this regularly between operations.
+  void cooperate();
+
+  /// Marks this mutator blocked: while blocked it promises not to touch the
+  /// heap or its shadow stack, and the collector responds to handshakes on
+  /// its behalf.  Used around long waits (locks, barriers, sleeps).
+  void enterBlocked();
+
+  /// Leaves the blocked state and catches up on any missed handshake.
+  void exitBlocked();
+
+  /// This mutator's perception of the handshake status.
+  HandshakeStatus status() const {
+    return StatusM.load(std::memory_order_acquire);
+  }
+
+  /// Collector side: if this mutator is blocked, cooperates on its behalf.
+  /// Called with the registry lock held while waiting out a handshake.
+  void helpIfBlocked();
+
+  //===--------------------------------------------------------------------===
+  // Statistics.
+  //===--------------------------------------------------------------------===
+
+  GrayCounters &grayCounters() { return Grays; }
+  uint64_t allocatedObjects() const {
+    return AllocObjects.load(std::memory_order_relaxed);
+  }
+  uint64_t allocatedBytes() const {
+    return AllocBytes.load(std::memory_order_relaxed);
+  }
+
+  /// Every interval this thread spent NOT running because of the collector,
+  /// split into true stop-the-world parks (always zero under the on-the-fly
+  /// collectors — the paper's headline property) and voluntary stalls
+  /// (allocation throttling, out-of-memory waits).
+  struct PauseStats {
+    uint64_t Count = 0;
+    uint64_t TotalNanos = 0;
+    uint64_t MaxNanos = 0;
+    uint64_t StwCount = 0;
+    uint64_t StwMaxNanos = 0;
+  };
+  PauseStats pauseStats() const {
+    return {PauseCount.load(std::memory_order_relaxed),
+            PauseTotalNanos.load(std::memory_order_relaxed),
+            PauseMaxNanos.load(std::memory_order_relaxed),
+            StwPauseCount.load(std::memory_order_relaxed),
+            StwPauseMaxNanos.load(std::memory_order_relaxed)};
+  }
+
+  /// Records a collector-induced stall of \p Nanos; \p StopTheWorld marks
+  /// a true world-stop park rather than a voluntary stall.
+  void recordPause(uint64_t Nanos, bool StopTheWorld = false);
+
+  /// Shades this mutator's roots and parks until StopWorld clears
+  /// (StwCollector).  Called from cooperate(); public so tests can drive
+  /// the protocol directly.
+  void parkForStopTheWorld();
+
+  /// Collector side: if this mutator is blocked, shade its roots on its
+  /// behalf for a stop-the-world cycle.  \returns true if it was blocked.
+  bool markRootsIfBlockedForStw();
+
+private:
+  /// Responds to the pending handshake.  CoopMutex must be held.
+  void cooperateLocked();
+
+  /// Marks every shadow-stack entry gray (response to the 3rd handshake).
+  void markOwnRoots();
+
+  /// Stalls while a collection is in progress and the during-cycle
+  /// allocation budget is exhausted (see CollectorState::ThrottleBytes).
+  void maybeThrottleAllocation();
+
+  /// Refills the cache of \p ClassIdx, waiting for collections if needed.
+  void refillCache(unsigned ClassIdx);
+
+  /// Allocation slow path for objects above MaxSmallObjectBytes.
+  ObjectRef allocateLarge(uint32_t Bytes);
+
+  Heap &H;
+  CollectorState &State;
+  MutatorRegistry &Registry;
+  MemoryWaiter *Waiter = nullptr;
+
+  std::atomic<HandshakeStatus> StatusM{HandshakeStatus::Async};
+
+  /// Serializes handshake responses between the mutator and a helping
+  /// collector (when blocked).
+  std::mutex CoopMutex;
+  bool Blocked = false;
+
+  std::vector<ObjectRef> Stack;
+  Heap::CellChain Cache[NumSizeClasses];
+
+  GrayCounters Grays;
+  std::atomic<uint64_t> AllocObjects{0};
+  std::atomic<uint64_t> AllocBytes{0};
+  std::atomic<uint64_t> PauseCount{0};
+  std::atomic<uint64_t> PauseTotalNanos{0};
+  std::atomic<uint64_t> PauseMaxNanos{0};
+  std::atomic<uint64_t> StwPauseCount{0};
+  std::atomic<uint64_t> StwPauseMaxNanos{0};
+
+  friend class MutatorRegistry;
+};
+
+/// RAII wrapper for Mutator::enterBlocked / exitBlocked.
+class BlockedScope {
+public:
+  explicit BlockedScope(Mutator &M) : M(M) { M.enterBlocked(); }
+  ~BlockedScope() { M.exitBlocked(); }
+  BlockedScope(const BlockedScope &) = delete;
+  BlockedScope &operator=(const BlockedScope &) = delete;
+
+private:
+  Mutator &M;
+};
+
+} // namespace gengc
+
+#endif // GENGC_RUNTIME_MUTATOR_H

@@ -1,0 +1,29 @@
+//===- runtime/ObjectModel.cpp - Object headers and slots ------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/ObjectModel.h"
+
+#include "support/Assert.h"
+
+using namespace gengc;
+
+void gengc::initObject(Heap &H, ObjectRef Ref, uint32_t RefSlots, uint16_t Tag,
+                       uint32_t AllocBytes) {
+  GENGC_ASSERT(RefSlots <= MaxRefSlots, "too many reference slots");
+  GENGC_ASSERT(objectBytesFor(RefSlots, 0) <= AllocBytes,
+               "object size does not cover its reference slots");
+  GENGC_ASSERT(AllocBytes <= H.storageBytesOf(Ref),
+               "object does not fit its cell");
+  H.wordAt(Ref).store(RefSlots | (uint32_t(Tag) << 16),
+                      std::memory_order_relaxed);
+  H.wordAt(Ref + 4).store(AllocBytes, std::memory_order_relaxed);
+  // Clear the reference slots: the cell may be reused and the tracer must
+  // never chase a stale pointer from the object's previous life.  The color
+  // store that publishes the object is a release store, ordering these
+  // writes before any collector access.
+  for (uint32_t I = 0; I < RefSlots; ++I)
+    H.wordAt(refSlotOffset(Ref, I)).store(NullRef, std::memory_order_relaxed);
+}

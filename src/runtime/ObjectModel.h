@@ -1,0 +1,115 @@
+//===- runtime/ObjectModel.h - Object headers and slots ---------*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The toy runtime's object layout.  An object is:
+///
+///     +0   uint32   NumRefSlots (low 16 bits) | TypeTag (high 16 bits)
+///     +4   uint32   AllocBytes — the requested size including the header
+///     +8   ObjectRef RefSlot[NumRefSlots]     — the pointer fields
+///     +8+4*N        raw data words             — scalar payload
+///
+/// Reference slots come first so the tracer can scan them without a type
+/// map; the paper's JVM walks per-class reference maps, which visits the
+/// same set of slots.  All accesses go through the heap's atomic words so
+/// concurrent mutator stores and collector loads are well-defined.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_RUNTIME_OBJECTMODEL_H
+#define GENGC_RUNTIME_OBJECTMODEL_H
+
+#include "heap/Heap.h"
+#include "heap/Ref.h"
+
+namespace gengc {
+
+/// Size of the fixed object header in bytes.
+inline constexpr uint32_t ObjectHeaderBytes = 8;
+
+/// Size of one reference slot in bytes.
+inline constexpr uint32_t RefSlotBytes = 4;
+
+/// Maximum number of reference slots in one object.
+inline constexpr uint32_t MaxRefSlots = 0xFFFF;
+
+/// Bytes needed for an object with \p RefSlots pointers and \p DataBytes of
+/// scalar payload (before size-class rounding).
+inline uint32_t objectBytesFor(uint32_t RefSlots, uint32_t DataBytes) {
+  return ObjectHeaderBytes + RefSlots * RefSlotBytes + DataBytes;
+}
+
+/// Initializes the header and clears all reference slots of a freshly
+/// popped cell.  Must run before the object's color is published.
+void initObject(Heap &H, ObjectRef Ref, uint32_t RefSlots, uint16_t Tag,
+                uint32_t AllocBytes);
+
+/// Number of reference slots of the object at \p Ref.
+inline uint32_t objectRefSlots(const Heap &H, ObjectRef Ref) {
+  return H.wordAt(Ref).load(std::memory_order_acquire) & 0xFFFF;
+}
+
+/// Type tag of the object at \p Ref (free for the embedder's use).
+inline uint16_t objectTag(const Heap &H, ObjectRef Ref) {
+  return uint16_t(H.wordAt(Ref).load(std::memory_order_acquire) >> 16);
+}
+
+/// Requested allocation size (including header) of the object at \p Ref.
+inline uint32_t objectAllocBytes(const Heap &H, ObjectRef Ref) {
+  return H.wordAt(Ref + 4).load(std::memory_order_acquire);
+}
+
+/// Arena byte offset of reference slot \p Index of the object at \p Ref.
+inline uint64_t refSlotOffset(ObjectRef Ref, uint32_t Index) {
+  return uint64_t(Ref) + ObjectHeaderBytes + uint64_t(Index) * RefSlotBytes;
+}
+
+/// Loads reference slot \p Index (collector and mutator reads).
+inline ObjectRef loadRefSlot(const Heap &H, ObjectRef Ref, uint32_t Index) {
+  return H.wordAt(refSlotOffset(Ref, Index))
+      .load(std::memory_order_acquire);
+}
+
+/// Stores reference slot \p Index *without* a write barrier.  Only legal
+/// before the object is published (during initialization) or from tests
+/// that stop the collector.  Live code goes through Mutator::writeRef.
+inline void storeRefSlotRaw(Heap &H, ObjectRef Ref, uint32_t Index,
+                            ObjectRef Value) {
+  H.wordAt(refSlotOffset(Ref, Index))
+      .store(Value, std::memory_order_release);
+}
+
+/// Number of whole scalar data words that fit after the reference slots,
+/// given the object's *requested* size.
+inline uint32_t objectDataWords(const Heap &H, ObjectRef Ref) {
+  uint32_t Bytes = objectAllocBytes(H, Ref);
+  uint32_t Used = ObjectHeaderBytes + objectRefSlots(H, Ref) * RefSlotBytes;
+  return (Bytes - Used) / 4;
+}
+
+/// Arena offset of scalar data word \p Index.
+inline uint64_t dataWordOffset(const Heap &H, ObjectRef Ref, uint32_t Index) {
+  return refSlotOffset(Ref, objectRefSlots(H, Ref)) +
+         uint64_t(Index) * 4;
+}
+
+/// Loads scalar data word \p Index of the object at \p Ref.
+inline uint32_t loadDataWord(const Heap &H, ObjectRef Ref, uint32_t Index) {
+  return H.wordAt(dataWordOffset(H, Ref, Index))
+      .load(std::memory_order_relaxed);
+}
+
+/// Stores scalar data word \p Index of the object at \p Ref.  Data words
+/// carry no references, so no barrier is involved.
+inline void storeDataWord(Heap &H, ObjectRef Ref, uint32_t Index,
+                          uint32_t Value) {
+  H.wordAt(dataWordOffset(H, Ref, Index))
+      .store(Value, std::memory_order_relaxed);
+}
+
+} // namespace gengc
+
+#endif // GENGC_RUNTIME_OBJECTMODEL_H

@@ -1,0 +1,67 @@
+//===- runtime/Roots.h - Global roots ---------------------------*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Global roots — the analogue of the JVM's static fields.  The collector
+/// marks them once per cycle ("mark global roots", Figure 2) after all
+/// mutators reached the third handshake.
+///
+/// Stores into global roots during the clear/mark/trace stages additionally
+/// shade the stored value.  A pure snapshot of globals would be unsound in
+/// our runtime: a mutator that has not yet responded to the third handshake
+/// can park the only reference to a clear-colored object in a global slot
+/// *after* the collector scanned globals and then drop it from its stack
+/// before marking its own roots.  Shading on the store closes that window
+/// at the cost of at most one cycle of floating garbage.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_RUNTIME_ROOTS_H
+#define GENGC_RUNTIME_ROOTS_H
+
+#include <deque>
+#include <mutex>
+
+#include "heap/Heap.h"
+#include "runtime/CollectorState.h"
+#include "runtime/WriteBarrier.h"
+
+namespace gengc {
+
+/// A growable set of atomic global root slots.
+class GlobalRoots {
+public:
+  GlobalRoots(Heap &H, CollectorState &S) : H(H), State(S) {}
+
+  /// Adds a root slot holding \p Initial; returns its index.  Thread-safe.
+  size_t addRoot(ObjectRef Initial = NullRef);
+
+  /// Number of root slots.
+  size_t size() const;
+
+  /// Reads root \p Index.
+  ObjectRef get(size_t Index) const;
+
+  /// Writes root \p Index, shading \p Value while a collection's mark/trace
+  /// stages are in progress (see the file comment).
+  void set(size_t Index, ObjectRef Value);
+
+  /// Collector: shades every root (the "mark global roots" step).  The
+  /// shading counters feed the caller's statistics.
+  void markAll(GrayCounters &Counters);
+
+private:
+  Heap &H;
+  CollectorState &State;
+  mutable std::mutex Mutex;
+  /// deque: push_back never relocates existing atomics.
+  std::deque<std::atomic<ObjectRef>> Slots;
+  GrayCounters StoreShadeCounters;
+};
+
+} // namespace gengc
+
+#endif // GENGC_RUNTIME_ROOTS_H

@@ -1,0 +1,55 @@
+//===- support/Assert.h - Assertions and unreachable markers ---*- C++ -*-===//
+//
+// Part of the gengc project: a reproduction of "A Generational On-the-fly
+// Garbage Collector for Java" (Domani, Kolodner, Petrank; PLDI 2000).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assertion helpers shared by every gengc library.  The collector code
+/// asserts liberally (the algorithms are full of subtle invariants), so the
+/// macros here stay enabled in all build types unless GENGC_NO_ASSERTS is
+/// defined explicitly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_SUPPORT_ASSERT_H
+#define GENGC_SUPPORT_ASSERT_H
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace gengc {
+
+/// Prints \p Msg with source location context and aborts.  Used by the
+/// assertion macros below; also callable directly for fatal runtime errors
+/// that are not programmer errors (e.g. out-of-memory on a fixed arena).
+[[noreturn]] inline void fatalError(const char *Msg, const char *File,
+                                    int Line) {
+  std::fprintf(stderr, "gengc fatal: %s (%s:%d)\n", Msg, File, Line);
+  std::abort();
+}
+
+} // namespace gengc
+
+/// Always-on assertion.  The collector's fine-grained concurrency invariants
+/// are cheap to check and catastrophic to violate, so we do not compile these
+/// out in release builds.
+#ifndef GENGC_NO_ASSERTS
+#define GENGC_ASSERT(Cond, Msg)                                                \
+  do {                                                                         \
+    if (!(Cond))                                                               \
+      ::gengc::fatalError("assertion failed: " #Cond " — " Msg, __FILE__,      \
+                          __LINE__);                                           \
+  } while (false)
+#else
+#define GENGC_ASSERT(Cond, Msg)                                                \
+  do {                                                                         \
+  } while (false)
+#endif
+
+/// Marks a point in the code that must never execute.
+#define GENGC_UNREACHABLE(Msg)                                                 \
+  ::gengc::fatalError("unreachable: " Msg, __FILE__, __LINE__)
+
+#endif // GENGC_SUPPORT_ASSERT_H

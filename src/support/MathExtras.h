@@ -1,0 +1,53 @@
+//===- support/MathExtras.h - Small integer math helpers -------*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Alignment and power-of-two helpers used throughout the heap manager.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_SUPPORT_MATHEXTRAS_H
+#define GENGC_SUPPORT_MATHEXTRAS_H
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+
+#include "support/Assert.h"
+
+namespace gengc {
+
+/// Returns true if \p Value is a power of two (zero is not).
+constexpr bool isPowerOf2(uint64_t Value) {
+  return Value != 0 && (Value & (Value - 1)) == 0;
+}
+
+/// Rounds \p Value up to the next multiple of \p Align.
+/// \p Align must be a power of two.
+constexpr uint64_t alignTo(uint64_t Value, uint64_t Align) {
+  return (Value + Align - 1) & ~(Align - 1);
+}
+
+/// Returns floor(log2(Value)); \p Value must be non-zero.
+inline unsigned log2Floor(uint64_t Value) {
+  GENGC_ASSERT(Value != 0, "log2 of zero");
+  return 63 - std::countl_zero(Value);
+}
+
+/// Returns ceil(log2(Value)); \p Value must be non-zero.
+inline unsigned log2Ceil(uint64_t Value) {
+  GENGC_ASSERT(Value != 0, "log2 of zero");
+  return Value == 1 ? 0 : 64 - std::countl_zero(Value - 1);
+}
+
+/// Integer division rounding up.
+constexpr uint64_t divideCeil(uint64_t Numerator, uint64_t Denominator) {
+  return (Numerator + Denominator - 1) / Denominator;
+}
+
+} // namespace gengc
+
+#endif // GENGC_SUPPORT_MATHEXTRAS_H

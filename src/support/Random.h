@@ -1,0 +1,62 @@
+//===- support/Random.h - Deterministic pseudo-random numbers --*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small, fast, deterministic PRNG (xoshiro256**) used by the synthetic
+/// workloads and the property-based tests.  We do not use <random> engines on
+/// hot paths: workload threads draw a random number per simulated operation,
+/// and Mersenne Twister state is needlessly large for that.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_SUPPORT_RANDOM_H
+#define GENGC_SUPPORT_RANDOM_H
+
+#include <cstdint>
+
+namespace gengc {
+
+/// xoshiro256** seeded via SplitMix64.  Deterministic across platforms for a
+/// fixed seed, which keeps workload allocation traces reproducible.
+class Rng {
+public:
+  explicit Rng(uint64_t Seed = 0x9E3779B97F4A7C15ull) { reseed(Seed); }
+
+  /// Re-initializes the state from \p Seed using SplitMix64 so that nearby
+  /// seeds give independent streams.
+  void reseed(uint64_t Seed);
+
+  /// Returns the next 64 uniformly distributed bits.
+  uint64_t next();
+
+  /// Returns a uniformly distributed value in [0, Bound); Bound must be > 0.
+  /// Uses Lemire's multiply-shift rejection-free reduction (the slight bias
+  /// is irrelevant for workload generation).
+  uint64_t nextBelow(uint64_t Bound) {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(next()) * Bound) >> 64);
+  }
+
+  /// Returns a uniformly distributed value in [Lo, Hi] inclusive.
+  uint64_t nextInRange(uint64_t Lo, uint64_t Hi) {
+    return Lo + nextBelow(Hi - Lo + 1);
+  }
+
+  /// Returns a double uniformly distributed in [0, 1).
+  double nextDouble() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Returns true with probability \p P (clamped to [0, 1]).
+  bool nextBool(double P) { return nextDouble() < P; }
+
+private:
+  uint64_t State[4];
+};
+
+} // namespace gengc
+
+#endif // GENGC_SUPPORT_RANDOM_H

@@ -1,0 +1,80 @@
+//===- support/Table.cpp - Fixed-width table formatting -------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Table.h"
+
+#include <cinttypes>
+
+#include "support/Assert.h"
+
+using namespace gengc;
+
+Table::Table(std::vector<std::string> Header) : Columns(Header.size()) {
+  GENGC_ASSERT(Columns > 0, "table needs at least one column");
+  Rows.push_back(std::move(Header));
+}
+
+void Table::addRow(std::vector<std::string> Cells) {
+  if (Cells.size() > Columns)
+    Columns = Cells.size();
+  Rows.push_back(std::move(Cells));
+}
+
+void Table::addSeparator() {
+  // An empty row is rendered as a dashed line across all columns.
+  Rows.push_back({});
+}
+
+void Table::print(std::FILE *Out) const {
+  std::vector<size_t> Widths(Columns, 0);
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I < Row.size(); ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 3;
+
+  for (size_t RowIdx = 0; RowIdx < Rows.size(); ++RowIdx) {
+    const auto &Row = Rows[RowIdx];
+    if (Row.empty()) {
+      for (size_t I = 0; I < Total; ++I)
+        std::fputc('-', Out);
+      std::fputc('\n', Out);
+      continue;
+    }
+    for (size_t I = 0; I < Columns; ++I) {
+      const std::string Cell = I < Row.size() ? Row[I] : std::string();
+      std::fprintf(Out, "%-*s", int(Widths[I] + 3), Cell.c_str());
+    }
+    std::fputc('\n', Out);
+    // Underline the header row.
+    if (RowIdx == 0) {
+      for (size_t I = 0; I < Total; ++I)
+        std::fputc('=', Out);
+      std::fputc('\n', Out);
+    }
+  }
+}
+
+std::string Table::number(double Value, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, Value);
+  return Buf;
+}
+
+std::string Table::percent(double Value, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%+.*f", Decimals, Value);
+  return Buf;
+}
+
+std::string Table::count(uint64_t Value) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%" PRIu64, Value);
+  return Buf;
+}

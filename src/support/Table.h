@@ -1,0 +1,62 @@
+//===- support/Table.h - Fixed-width table formatting ----------*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny text-table builder used by every bench binary to print the paper's
+/// tables next to our measured values.  Writes with std::fprintf; library
+/// code never includes <iostream>.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_SUPPORT_TABLE_H
+#define GENGC_SUPPORT_TABLE_H
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace gengc {
+
+/// Accumulates rows of string cells and prints them with aligned columns.
+///
+/// Typical usage:
+/// \code
+///   Table T({"Benchmark", "paper %", "measured %"});
+///   T.addRow({"_213_javac", "17.2", Table::percent(Measured)});
+///   T.print(stdout);
+/// \endcode
+class Table {
+public:
+  /// Creates a table whose first row is \p Header.
+  explicit Table(std::vector<std::string> Header);
+
+  /// Appends one data row; its arity may differ from the header's (short
+  /// rows are padded with empty cells).
+  void addRow(std::vector<std::string> Cells);
+
+  /// Appends a horizontal separator line.
+  void addSeparator();
+
+  /// Renders all rows with each column padded to its widest cell.
+  void print(std::FILE *Out) const;
+
+  /// Formats \p Value with \p Decimals digits after the point.
+  static std::string number(double Value, int Decimals = 1);
+
+  /// Formats \p Value as a signed percentage, e.g. "-3.7".
+  static std::string percent(double Value, int Decimals = 1);
+
+  /// Formats an integer count with no grouping.
+  static std::string count(uint64_t Value);
+
+private:
+  std::vector<std::vector<std::string>> Rows;
+  size_t Columns;
+};
+
+} // namespace gengc
+
+#endif // GENGC_SUPPORT_TABLE_H

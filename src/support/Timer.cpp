@@ -1,0 +1,34 @@
+//===- support/Timer.cpp - Wall-clock timing helpers ----------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/Timer.h"
+
+#include <chrono>
+
+#include "support/Assert.h"
+
+using namespace gengc;
+
+uint64_t gengc::nowNanos() {
+  using Clock = std::chrono::steady_clock;
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+void StopWatch::start() {
+  GENGC_ASSERT(!Running, "StopWatch started twice");
+  Running = true;
+  StartedAt = nowNanos();
+}
+
+uint64_t StopWatch::stop() {
+  GENGC_ASSERT(Running, "StopWatch stopped while not running");
+  Running = false;
+  uint64_t Interval = nowNanos() - StartedAt;
+  Accumulated += Interval;
+  return Interval;
+}

@@ -1,0 +1,53 @@
+//===- support/Timer.h - Wall-clock timing helpers -------------*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Monotonic timing for the collector's per-cycle accounting and for the
+/// benchmark harness.  The paper reports elapsed (wall-clock) times on a
+/// dedicated machine; we do the same with std::chrono::steady_clock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_SUPPORT_TIMER_H
+#define GENGC_SUPPORT_TIMER_H
+
+#include <cstdint>
+
+namespace gengc {
+
+/// Returns nanoseconds from an arbitrary fixed origin (monotonic).
+uint64_t nowNanos();
+
+/// A stopwatch accumulating elapsed time across start/stop pairs.  Used for
+/// "percent of time GC is active" (paper Figure 10) where the collector
+/// starts the watch when a cycle begins and stops it when sweep finishes.
+class StopWatch {
+public:
+  /// Begins a timing interval; must not already be running.
+  void start();
+
+  /// Ends the current interval, adding it to the accumulated total.
+  /// \returns the length of the interval that just ended, in nanoseconds.
+  uint64_t stop();
+
+  /// Total accumulated nanoseconds over all completed intervals.
+  uint64_t totalNanos() const { return Accumulated; }
+
+  /// Total accumulated time in milliseconds as a double.
+  double totalMillis() const { return double(Accumulated) * 1e-6; }
+
+  /// Discards all accumulated time.
+  void reset() { Accumulated = 0; }
+
+private:
+  uint64_t Accumulated = 0;
+  uint64_t StartedAt = 0;
+  bool Running = false;
+};
+
+} // namespace gengc
+
+#endif // GENGC_SUPPORT_TIMER_H

@@ -1,0 +1,223 @@
+//===- workload/Profile.cpp - Synthetic benchmark profiles -----------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// Each preset is calibrated against the paper's own characterization of the
+// benchmark (Figures 10-12):
+//
+//  - LongLivedSlots sets the old-generation live set; with anchors plus
+//    payloads it is tuned to the "objects scanned w/o generations" column
+//    of Figure 11 (the whole-heap trace size);
+//  - YoungWindow sets the young survivors, tuned to the "objects scanned
+//    in partial collections" column;
+//  - PromoteEvery and OldMutationRate set the dirty-anchor traffic, tuned
+//    to the "old objects scanned for inter-gen pointers" column;
+//  - eviction speed (PromoteEvery vs table size) reproduces whether
+//    tenured objects die soon (jess/jack) or persist (db/compress);
+//  - ComputePerAlloc tunes the share of runtime spent collecting
+//    (Figure 10's "% time GC active").
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Profile.h"
+
+#include "support/Assert.h"
+
+using namespace gengc;
+using namespace gengc::workload;
+
+/// Anagram: "collection-intensive, creating and freeing many strings".
+/// Paper: 62.8% GC time; 152 partial + 8 full cycles; ~1 old object
+/// scanned per partial (strings are character data — almost no reference
+/// stores); partials trace 863 objects while whole-heap traces cover 273K
+/// (a dictionary and result set built once and kept).
+static Profile anagramProfile() {
+  Profile P;
+  P.Name = "anagram";
+  P.AllocBytesPerThread = 192ull << 20;
+  P.Threads = 1;
+  P.MinDataBytes = 8;
+  P.MaxDataBytes = 40;    // short permutation strings
+  P.RefSlots = 1;
+  P.YoungLinkRate = 0.02; // char data, few reference stores
+  P.YoungWindow = 512;
+  P.PromoteEvery = 50000; // results accumulate rarely
+  P.LongLivedSlots = 131072;
+  P.PopulateAtStart = true; // the dictionary + result set
+  P.OldMutationRate = 0.0;
+  P.ComputePerAlloc = 10; // permutation work is cheap per string
+  return P;
+}
+
+/// _227_mtrt: two render threads; everything dies young (99.5% of young
+/// objects freed, zero full collections), whole-heap traces cover 238K
+/// objects (the scene), 280 old objects dirty per partial.
+static Profile mtrtProfile() {
+  Profile P;
+  P.Name = "mtrt";
+  P.AllocBytesPerThread = 64ull << 20;
+  P.Threads = 2;
+  P.MinDataBytes = 16;
+  P.MaxDataBytes = 72; // intersection records, vectors
+  P.RefSlots = 2;
+  P.YoungLinkRate = 0.30;
+  P.YoungWindow = 256; // per thread; partials trace ~1000 objects
+  P.PromoteEvery = 400;
+  P.LongLivedSlots = 40960; // the scene: ~83K live objects with payloads
+  P.PopulateAtStart = true;
+  P.OldMutationRate = 0.0;
+  P.ComputePerAlloc = 150; // ray math dominates
+  return P;
+}
+
+/// Multithreaded Ray Tracer: the paper's modified _227_mtrt with a bigger
+/// matrix and a configurable render-thread count (Section 8.2).  Total
+/// work is fixed; benches divide AllocBytesPerThread by the thread count.
+static Profile raytracerProfile() {
+  Profile P = mtrtProfile();
+  P.Name = "raytracer";
+  P.AllocBytesPerThread = 32ull << 20;
+  P.Threads = 4;
+  return P;
+}
+
+/// _201_compress: barely collects (1.7% GC time); works on few, large,
+/// long-lived buffers — partials trace only 168 objects yet free just 40%
+/// of them, and full collections free 2.6% (112 objects averaging tens of
+/// KB each).
+static Profile compressProfile() {
+  Profile P;
+  P.Name = "compress";
+  P.AllocBytesPerThread = 80ull << 20;
+  P.Threads = 1;
+  P.MinDataBytes = 4096;
+  P.MaxDataBytes = 8192;
+  P.RefSlots = 1;
+  P.YoungLinkRate = 0.10;
+  P.LargeObjectChance = 0.10; // compression buffers dominate the bytes
+  P.MinLargeBytes = 16u << 10;
+  P.MaxLargeBytes = 64u << 10;
+  P.YoungWindow = 80; // most of the few young objects stay reachable
+  P.PromoteEvery = 200;
+  P.LongLivedSlots = 2560;
+  P.PopulateAtStart = true;
+  P.OldMutationRate = 0.0;
+  P.ComputePerAlloc = 30000; // compression math dominates utterly
+  return P;
+}
+
+/// _209_db: a big stable in-memory database built up-front (~282K live
+/// objects; full collections free only 22%) with query churn on top
+/// (99.8% of young objects die; 7 old objects dirty per partial).
+static Profile dbProfile() {
+  Profile P;
+  P.Name = "db";
+  P.AllocBytesPerThread = 64ull << 20;
+  P.Threads = 1;
+  P.MinDataBytes = 16;
+  P.MaxDataBytes = 64;
+  P.RefSlots = 2;
+  P.YoungLinkRate = 0.35;
+  P.YoungWindow = 256; // partials trace ~400 objects
+  P.PromoteEvery = 10000; // the database barely changes
+  P.LongLivedSlots = 141312;
+  P.PopulateAtStart = true;
+  P.OldMutationRate = 0.0;
+  P.ComputePerAlloc = 220; // sorting/searching dominates
+  return P;
+}
+
+/// _202_jess: the anti-generational benchmark.  36.2% of partial-collection
+/// scanning is dirty old objects (1373 of 3797), and tenured working-memory
+/// facts are retracted soon after promotion, so full collections free 87%
+/// — as much as partials.  Both effects cost more than generations save.
+static Profile jessProfile() {
+  Profile P;
+  P.Name = "jess";
+  P.AllocBytesPerThread = 128ull << 20;
+  P.Threads = 1;
+  P.MinDataBytes = 16;
+  P.MaxDataBytes = 56;
+  P.RefSlots = 3; // rule-network nodes
+  P.YoungLinkRate = 0.90;
+  P.YoungWindow = 512;
+  P.PromoteEvery = 80;      // heavy tenuring of working-memory facts...
+  P.LongLivedSlots = 10240; // ...that are retracted (die) soon after
+  P.PopulateAtStart = false;
+  P.OldMutationRate = 0.0045; // rule network rewiring dirties old cards
+  P.ComputePerAlloc = 30;
+  return P;
+}
+
+/// _213_javac: the generational success story (15-17% improvement) despite
+/// the heaviest inter-generational load (16184 dirty old objects per
+/// partial): a large, growing live set that still lets partials free 68%.
+static Profile javacProfile() {
+  Profile P;
+  P.Name = "javac";
+  P.AllocBytesPerThread = 128ull << 20;
+  P.Threads = 1;
+  P.MinDataBytes = 24;
+  P.MaxDataBytes = 96; // AST nodes, symbols
+  P.RefSlots = 3;
+  P.YoungLinkRate = 0.80;
+  P.YoungWindow = 6144;
+  P.PromoteEvery = 8;       // ASTs and symbol tables are retained in bulk
+  P.LongLivedSlots = 81920; // released per compiled class; the set grows
+  P.PopulateAtStart = false;
+  P.OldMutationRate = 0.18; // symbol tables are rewritten constantly
+  P.ComputePerAlloc = 45;
+  return P;
+}
+
+/// _228_jack: like jess, tenured objects die quickly (full collections
+/// free 90.8%), but with far less old-generation mutation (151 dirty old
+/// objects); generations give a small net loss.
+static Profile jackProfile() {
+  Profile P;
+  P.Name = "jack";
+  P.AllocBytesPerThread = 96ull << 20;
+  P.Threads = 1;
+  P.MinDataBytes = 12;
+  P.MaxDataBytes = 48; // tokens, parser states
+  P.RefSlots = 2;
+  P.YoungLinkRate = 0.60;
+  P.YoungWindow = 4096;
+  P.PromoteEvery = 500;
+  P.LongLivedSlots = 4096;
+  P.PopulateAtStart = false;
+  P.OldMutationRate = 0.0;
+  P.ComputePerAlloc = 45;
+  return P;
+}
+
+Profile gengc::workload::profileByName(const std::string &Name) {
+  if (Name == "anagram")
+    return anagramProfile();
+  if (Name == "mtrt")
+    return mtrtProfile();
+  if (Name == "raytracer")
+    return raytracerProfile();
+  if (Name == "compress")
+    return compressProfile();
+  if (Name == "db")
+    return dbProfile();
+  if (Name == "jess")
+    return jessProfile();
+  if (Name == "javac")
+    return javacProfile();
+  if (Name == "jack")
+    return jackProfile();
+  fatalError("unknown workload profile name", __FILE__, __LINE__);
+}
+
+std::vector<std::string> gengc::workload::specJvmProfileNames() {
+  return {"mtrt", "compress", "db", "jess", "javac", "jack"};
+}
+
+std::vector<std::string> gengc::workload::allProfileNames() {
+  return {"mtrt", "compress", "db",     "jess",
+          "javac", "jack",    "anagram"};
+}

@@ -1,0 +1,107 @@
+//===- workload/Profile.h - Synthetic benchmark profiles --------*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parameterized synthetic workloads standing in for the paper's benchmark
+/// suite (SPECjvm98, Anagram, multithreaded Ray Tracer), which we cannot
+/// run without a JVM.  Each profile is tuned to the *generational behavior*
+/// the paper itself measured for the benchmark (Figures 10-12): allocation
+/// volume, how young objects die, how much gets tenured and how fast
+/// tenured objects die, and how heavily old-generation pointers are
+/// mutated.  The absolute numbers differ from the paper's 1999 hardware;
+/// the shapes — who wins with generations and why — are what we reproduce.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_WORKLOAD_PROFILE_H
+#define GENGC_WORKLOAD_PROFILE_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gengc::workload {
+
+/// Knobs of one synthetic mutator program.
+struct Profile {
+  std::string Name = "custom";
+
+  //===-- Volume ----------------------------------------------------------===
+  /// Total bytes each thread allocates (before Runner scaling).
+  uint64_t AllocBytesPerThread = 64ull << 20;
+  /// Number of mutator threads.
+  unsigned Threads = 1;
+
+  //===-- Object shape ----------------------------------------------------===
+  /// Scalar payload size range, uniform (bytes).
+  uint32_t MinDataBytes = 8;
+  uint32_t MaxDataBytes = 56;
+  /// Reference slots per object.
+  uint32_t RefSlots = 2;
+  /// Probability that an allocation is a large object instead.
+  double LargeObjectChance = 0.0;
+  /// Large object payload range (bytes).
+  uint32_t MinLargeBytes = 16u << 10;
+  uint32_t MaxLargeBytes = 64u << 10;
+
+  /// Probability that a new object is linked to its predecessor with a
+  /// reference store.  Only reference stores mark cards (primitive stores
+  /// do not, in the paper's JVM and here), so this controls the dirty-card
+  /// density of the young region: anagram's char-array strings barely
+  /// store references (1.1% dirty cards in Figure 22), jess's rule network
+  /// is nothing but reference stores (15-61%).
+  double YoungLinkRate = 1.0;
+
+  //===-- Lifetimes -------------------------------------------------------===
+  /// Per-thread sliding window of rooted young objects; leaving the window
+  /// is death for objects that were never promoted ("most objects die
+  /// young").
+  uint32_t YoungWindow = 2048;
+  /// Every k-th allocation is additionally stored into the global
+  /// long-lived table, evicting (usually killing) a previous entry.  Models
+  /// tenuring; small values mean heavy promotion traffic (jess/jack), large
+  /// values a quiet old generation (anagram).
+  uint32_t PromoteEvery = 64;
+  /// Entries in the global long-lived table.  Together with PromoteEvery
+  /// this sets how long tenured objects live: a small table with frequent
+  /// promotion means tenured objects die soon after promotion — the
+  /// non-generational lifetime pattern that hurt _202_jess and _228_jack.
+  uint32_t LongLivedSlots = 16384;
+  /// Fill the table up-front with objects that then live for the whole run
+  /// (models _209_db's big stable in-memory database).
+  bool PopulateAtStart = false;
+
+  //===-- Old-generation mutation ------------------------------------------===
+  /// Probability, per allocation, of shuffling pointers between long-lived
+  /// table entries.  Dirties old-generation cards without changing
+  /// liveness: the "application modifies too many pointers in the old
+  /// generation" cost of Section 1.1.
+  double OldMutationRate = 0.0;
+
+  //===-- CPU work ---------------------------------------------------------===
+  /// Iterations of scalar computation per allocation; controls the share
+  /// of runtime spent allocating vs. computing (Figure 10's "% time GC
+  /// active" column).
+  uint32_t ComputePerAlloc = 64;
+
+  /// Workload PRNG seed (per-thread streams derive from it).
+  uint64_t Seed = 0x5EED;
+};
+
+/// Returns the named preset profile.  Known names: anagram, mtrt,
+/// raytracer, compress, db, jess, javac, jack.  Aborts on unknown names.
+Profile profileByName(const std::string &Name);
+
+/// Names of the SPECjvm-derived presets, in the paper's table order
+/// (mtrt, compress, db, jess, javac, jack).
+std::vector<std::string> specJvmProfileNames();
+
+/// All preset names including anagram and raytracer.
+std::vector<std::string> allProfileNames();
+
+} // namespace gengc::workload
+
+#endif // GENGC_WORKLOAD_PROFILE_H

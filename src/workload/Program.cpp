@@ -1,0 +1,153 @@
+//===- workload/Program.cpp - The synthetic mutator program ----------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Program.h"
+
+#include "support/MathExtras.h"
+#include "support/Random.h"
+
+using namespace gengc;
+using namespace gengc::workload;
+
+/// Type tags so heap dumps are interpretable in tests.
+enum : uint16_t {
+  TagLeaf = 1,
+  TagDirectory = 2,
+  TagWorkObject = 3,
+  TagAnchor = 4,
+};
+
+LongLivedTable::LongLivedTable(Runtime &RT, Mutator &M, size_t Slots)
+    : Slots(Slots) {
+  size_t NumLeaves = size_t(divideCeil(Slots, LeafSlots));
+  GENGC_ASSERT(NumLeaves >= 1, "table needs at least one leaf");
+
+  // Build the directory first and root it, so the leaves become reachable
+  // the moment they are linked in; no window where a collection could
+  // reclaim a half-built table.
+  ObjectRef Dir = M.allocate(uint32_t(NumLeaves), 0, TagDirectory);
+  size_t DirRoot = M.pushRoot(Dir);
+  RT.globalRoots().addRoot(Dir);
+
+  Anchors.reserve(Slots);
+  for (size_t I = 0; I < NumLeaves; ++I) {
+    ObjectRef Leaf = M.allocate(LeafSlots, 0, TagLeaf);
+    M.writeRef(Dir, uint32_t(I), Leaf);
+    for (uint32_t J = 0; J < LeafSlots && Anchors.size() < Slots; ++J) {
+      ObjectRef Anchor = M.allocate(AnchorSlots, 8, TagAnchor);
+      M.writeRef(Leaf, J, Anchor);
+      Anchors.push_back(Anchor);
+    }
+  }
+  M.popRoots(M.numRoots() - DirRoot);
+}
+
+void LongLivedTable::put(Mutator &M, size_t Index, ObjectRef Value) {
+  GENGC_ASSERT(Index < Slots, "long-lived table index out of range");
+  M.writeRef(Anchors[Index], 0, Value);
+}
+
+ObjectRef LongLivedTable::get(const Mutator &M, size_t Index) const {
+  GENGC_ASSERT(Index < Slots, "long-lived table index out of range");
+  return M.readRef(Anchors[Index], 0);
+}
+
+/// A few rounds of integer mixing standing in for application compute.
+static uint64_t computeWork(uint64_t Seed, uint32_t Iterations) {
+  uint64_t X = Seed | 1;
+  for (uint32_t I = 0; I < Iterations; ++I) {
+    X ^= X << 13;
+    X ^= X >> 7;
+    X ^= X << 17;
+  }
+  return X;
+}
+
+ThreadResult gengc::workload::runMutatorProgram(Runtime &RT, const Profile &P,
+                                                LongLivedTable &Table,
+                                                unsigned ThreadIdx,
+                                                double Scale) {
+  ThreadResult Result;
+  Rng Rand(P.Seed + 0x9E37 * (ThreadIdx + 1));
+  std::unique_ptr<Mutator> M = RT.attachMutator();
+
+  // The young window lives in the shadow stack: stack slot writes are
+  // barrier-free, exactly like Java locals in the paper's JVM.
+  uint32_t Window = P.YoungWindow ? P.YoungWindow : 1;
+  for (uint32_t I = 0; I < Window; ++I)
+    M->pushRoot(NullRef);
+
+  uint64_t Budget = uint64_t(double(P.AllocBytesPerThread) * Scale);
+  uint64_t Allocated = 0;
+  uint64_t Count = 0;
+  uint32_t WindowCursor = 0;
+  // Young objects link to a shared *batch head* rather than chaining to
+  // their predecessor: the pointers are young-to-young (they exercise the
+  // card-marking barrier) but reachability stays bounded — a head dies
+  // once the whole batch has left the window, with no unlink writes that
+  // would dirty the cards of dying objects.
+  constexpr uint32_t BatchSize = 32;
+  ObjectRef BatchHead = NullRef;
+
+  while (Allocated < Budget) {
+    M->cooperate();
+
+    // Shape.
+    uint32_t DataBytes;
+    if (P.LargeObjectChance > 0.0 && Rand.nextBool(P.LargeObjectChance))
+      DataBytes =
+          uint32_t(Rand.nextInRange(P.MinLargeBytes, P.MaxLargeBytes));
+    else
+      DataBytes = uint32_t(Rand.nextInRange(P.MinDataBytes, P.MaxDataBytes));
+
+    ObjectRef Obj = M->allocate(P.RefSlots, DataBytes, TagWorkObject);
+    Result.AllocatedObjects += 1;
+    uint64_t Bytes = objectBytesFor(P.RefSlots, DataBytes);
+    Result.AllocatedBytes += Bytes;
+    Allocated += Bytes;
+    ++Count;
+
+    // Link young objects to the current batch head (young-to-young heap
+    // pointers).  Only a YoungLinkRate fraction of objects receive a
+    // reference store; the rest carry pure scalar payload, like anagram's
+    // strings.
+    if (P.RefSlots > 0) {
+      if (Count % BatchSize == 1 || BatchHead == NullRef)
+        BatchHead = Obj;
+      else if (P.YoungLinkRate >= 1.0 || Rand.nextBool(P.YoungLinkRate))
+        M->writeRef(Obj, 0, BatchHead);
+    }
+
+    // Enter the window; the evicted object dies unless promoted.
+    M->setRoot(WindowCursor, Obj);
+    WindowCursor = (WindowCursor + 1) % Window;
+
+    // Tenuring: store into the long-lived table, killing the evicted
+    // occupant.
+    if (P.PromoteEvery != 0 && Count % P.PromoteEvery == 0)
+      Table.put(*M, size_t(Rand.nextBelow(Table.size())), Obj);
+
+    // Old-generation pointer mutation: rewire one anchor's lateral link to
+    // another anchor (old-to-old), dirtying one small old object's card.
+    if (P.OldMutationRate > 0.0 && Rand.nextBool(P.OldMutationRate)) {
+      ObjectRef A = Table.anchor(size_t(Rand.nextBelow(Table.size())));
+      ObjectRef B = Table.anchor(size_t(Rand.nextBelow(Table.size())));
+      M->writeRef(A, 1, B);
+    }
+
+    // Application compute.
+    Result.Checksum ^= computeWork(Result.Checksum + Count, P.ComputePerAlloc);
+    if (P.RefSlots > 0) {
+      // Touch the data payload so the object is genuinely used.
+      if (DataBytes >= 4)
+        storeDataWord(RT.heap(), Obj, 0, uint32_t(Result.Checksum));
+    }
+  }
+
+  M->popRoots(M->numRoots());
+  Result.Pauses = M->pauseStats();
+  return Result;
+}

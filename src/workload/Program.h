@@ -1,0 +1,94 @@
+//===- workload/Program.h - The synthetic mutator program -------*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The mutator program every profile runs:
+///
+///  - a per-thread *young window* of rooted objects: each allocation enters
+///    the window and evicts the oldest entry, so an object that is never
+///    promoted lives for exactly YoungWindow allocations — young death;
+///  - a global *long-lived table* (GC objects referenced from a global
+///    root): every PromoteEvery-th allocation is stored into a random slot,
+///    killing the previous occupant — tenuring and old-generation death;
+///  - optional *old-generation mutation*: shuffles pointers between table
+///    slots, dirtying cards the way pointer-heavy applications do;
+///  - scalar compute between allocations.
+///
+/// All heap pointer stores go through the write barrier; the window lives
+/// in the shadow stack (barrier-free, like Java locals).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_WORKLOAD_PROGRAM_H
+#define GENGC_WORKLOAD_PROGRAM_H
+
+#include "core/Runtime.h"
+#include "workload/Profile.h"
+
+namespace gengc::workload {
+
+/// The global long-lived table: fixed-size leaf arrays (reachable from a
+/// global root) hold immortal small *anchor* objects; each anchor's first
+/// reference slot carries the current payload.  Storing a payload dirties
+/// only the anchor's card — one small old object, exactly the granularity
+/// at which the paper's applications mutate their old generations.  The
+/// leaves are written once during construction and never again, so they
+/// stop appearing on dirty cards after the first collection.
+class LongLivedTable {
+public:
+  /// Slots per leaf array.
+  static constexpr uint32_t LeafSlots = 1024;
+  /// Reference slots per anchor (payload + a lateral link for the
+  /// old-mutation traffic).
+  static constexpr uint32_t AnchorSlots = 2;
+
+  /// Allocates the structure via \p M and anchors it in a global root of
+  /// \p RT.
+  LongLivedTable(Runtime &RT, Mutator &M, size_t Slots);
+
+  size_t size() const { return Slots; }
+
+  /// Barriered store of table[Index]'s payload.
+  void put(Mutator &M, size_t Index, ObjectRef Value);
+
+  /// Reads table[Index]'s payload.
+  ObjectRef get(const Mutator &M, size_t Index) const;
+
+  /// The anchor object of \p Index (for lateral old-to-old mutation).
+  ObjectRef anchor(size_t Index) const {
+    GENGC_ASSERT(Index < Slots, "long-lived table index out of range");
+    return Anchors[Index];
+  }
+
+private:
+  size_t Slots;
+  /// Anchor refs are cached raw: they are immortal (reachable from a
+  /// global root for the runtime's lifetime) and objects never move.
+  std::vector<ObjectRef> Anchors;
+};
+
+/// Per-thread outcome of the program.
+struct ThreadResult {
+  uint64_t AllocatedObjects = 0;
+  uint64_t AllocatedBytes = 0;
+  /// Checksum of the compute work (defeats dead-code elimination; also a
+  /// determinism check across collector configurations).
+  uint64_t Checksum = 0;
+  /// Collector-induced stalls this thread experienced (stop-the-world
+  /// parks, allocation-throttle waits, out-of-memory waits).
+  Mutator::PauseStats Pauses;
+};
+
+/// Runs the mutator program for one thread until its allocation budget
+/// (\p Profile.AllocBytesPerThread scaled by \p Scale) is exhausted.
+/// Attaches and detaches its own Mutator.
+ThreadResult runMutatorProgram(Runtime &RT, const Profile &P,
+                               LongLivedTable &Table, unsigned ThreadIdx,
+                               double Scale);
+
+} // namespace gengc::workload
+
+#endif // GENGC_WORKLOAD_PROGRAM_H

@@ -1,0 +1,125 @@
+//===- workload/Runner.cpp - Benchmark orchestration ------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Runner.h"
+
+#include <cstdlib>
+#include <thread>
+
+#include "support/Random.h"
+#include "support/Timer.h"
+#include "workload/Program.h"
+
+using namespace gengc;
+using namespace gengc::workload;
+
+RunResult gengc::workload::runWorkload(const Profile &P,
+                                       const RuntimeConfig &Config,
+                                       double Scale) {
+  Runtime RT(Config);
+  RunResult Result;
+
+  // Setup phase (untimed): build and optionally populate the long-lived
+  // table, then let one collection tenure it so the timed region starts
+  // from the steady state the paper's measurements describe.
+  {
+    std::unique_ptr<Mutator> M = RT.attachMutator();
+    LongLivedTable Table(RT, *M, P.LongLivedSlots);
+    if (P.PopulateAtStart) {
+      Rng Rand(P.Seed);
+      for (size_t I = 0; I < Table.size(); ++I) {
+        uint32_t DataBytes =
+            uint32_t(Rand.nextInRange(P.MinDataBytes, P.MaxDataBytes));
+        Table.put(*M, I, M->allocate(P.RefSlots, DataBytes));
+      }
+      RT.collector().collectSyncCooperating(CycleRequest::Full, *M);
+    }
+    RT.collector().resetStats();
+
+    // Timed phase.
+    uint64_t Start = nowNanos();
+    {
+      std::vector<std::thread> Threads;
+      std::vector<ThreadResult> PerThread(P.Threads);
+      for (unsigned T = 1; T < P.Threads; ++T)
+        Threads.emplace_back([&, T] {
+          PerThread[T] = runMutatorProgram(RT, P, Table, T, Scale);
+        });
+      // Thread 0's share runs on this thread, via its own fresh Mutator —
+      // the setup mutator M must not be used concurrently.
+      {
+        BlockedScope Blocked(*M);
+        PerThread[0] = runMutatorProgram(RT, P, Table, 0, Scale);
+        for (std::thread &T : Threads)
+          T.join();
+      }
+      for (const ThreadResult &R : PerThread) {
+        Result.AllocatedObjects += R.AllocatedObjects;
+        Result.AllocatedBytes += R.AllocatedBytes;
+        Result.Checksum ^= R.Checksum;
+      }
+    }
+    Result.ElapsedSeconds = double(nowNanos() - Start) * 1e-9;
+  }
+
+  Result.Gc = RT.gcStats();
+  Result.SoftLimitBytes = RT.collector().trigger().softLimitBytes();
+  return Result;
+}
+
+RunResult gengc::workload::runWorkloadCopies(const Profile &P,
+                                             const RuntimeConfig &Config,
+                                             unsigned Copies, double Scale) {
+  GENGC_ASSERT(Copies >= 1, "need at least one copy");
+  if (Copies == 1)
+    return runWorkload(P, Config, Scale);
+
+  std::vector<RunResult> Results(Copies);
+  uint64_t Start = nowNanos();
+  {
+    std::vector<std::thread> Threads;
+    for (unsigned C = 1; C < Copies; ++C)
+      Threads.emplace_back([&, C] {
+        Profile Shifted = P;
+        Shifted.Seed += C * 0x1234567;
+        Results[C] = runWorkload(Shifted, Config, Scale);
+      });
+    Results[0] = runWorkload(P, Config, Scale);
+    for (std::thread &T : Threads)
+      T.join();
+  }
+  RunResult Combined = Results[0];
+  // The paper reports the elapsed time of the saturated machine.
+  Combined.ElapsedSeconds = double(nowNanos() - Start) * 1e-9;
+  return Combined;
+}
+
+RuntimeConfig gengc::workload::makeConfig(CollectorChoice Choice,
+                                          uint64_t YoungBytes,
+                                          uint32_t CardBytes) {
+  RuntimeConfig Config;
+  Config.Heap.HeapBytes = 32ull << 20; // the paper's maximum heap
+  Config.Heap.CardBytes = CardBytes;
+  Config.Collector.Trigger.YoungBytes = YoungBytes;
+  Config.Choice = Choice;
+  return Config;
+}
+
+double gengc::workload::improvementPercent(const RunResult &Base,
+                                           const RunResult &Gen) {
+  if (Base.ElapsedSeconds <= 0.0)
+    return 0.0;
+  return 100.0 * (Base.ElapsedSeconds - Gen.ElapsedSeconds) /
+         Base.ElapsedSeconds;
+}
+
+double gengc::workload::envScale(double Default) {
+  const char *Env = std::getenv("GENGC_SCALE");
+  if (!Env)
+    return Default;
+  double Value = std::atof(Env);
+  return Value > 0.0 ? Value : Default;
+}

@@ -1,0 +1,69 @@
+//===- workload/Runner.h - Benchmark orchestration --------------*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runs a complete workload: builds a Runtime, populates the long-lived
+/// table, spawns the profile's mutator threads, and collects elapsed time
+/// plus the collector's statistics.  Also provides the paper's measurement
+/// methodology helpers: running N simultaneous copies to saturate the
+/// machine (Section 8.1) and computing the percentage improvement of the
+/// generational collector over the baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_WORKLOAD_RUNNER_H
+#define GENGC_WORKLOAD_RUNNER_H
+
+#include "core/Runtime.h"
+#include "workload/Profile.h"
+
+namespace gengc::workload {
+
+/// Outcome of one workload run.
+struct RunResult {
+  double ElapsedSeconds = 0.0;
+  GcRunStats Gc;
+  uint64_t AllocatedObjects = 0;
+  uint64_t AllocatedBytes = 0;
+  uint64_t Checksum = 0;
+  /// Final soft heap limit (how far the heap grew).
+  uint64_t SoftLimitBytes = 0;
+
+  /// Percent of elapsed time a collection cycle was active (Figure 10).
+  double percentGcActive() const {
+    return Gc.percentActive(uint64_t(ElapsedSeconds * 1e9));
+  }
+};
+
+/// Runs \p P once under \p Config.  \p Scale multiplies the allocation
+/// budget (benchmarks use it to trade accuracy for wall-clock time).
+RunResult runWorkload(const Profile &P, const RuntimeConfig &Config,
+                      double Scale = 1.0);
+
+/// Runs \p Copies simultaneous, independent copies of the workload — the
+/// paper's way of making sure "all the processors [are] busy all the time,
+/// and the more efficient garbage collector [wins]".  Returns the total
+/// elapsed wall time plus copy 0's detailed result.
+RunResult runWorkloadCopies(const Profile &P, const RuntimeConfig &Config,
+                            unsigned Copies, double Scale = 1.0);
+
+/// Baseline runtime configuration used across the benchmark suite:
+/// 32 MB max heap (the paper's setting), collector per \p Choice.
+RuntimeConfig makeConfig(CollectorChoice Choice,
+                         uint64_t YoungBytes = 4ull << 20,
+                         uint32_t CardBytes = 16);
+
+/// Percentage improvement of \p Gen over \p Base in elapsed time
+/// (positive = generational is faster), the paper's headline metric.
+double improvementPercent(const RunResult &Base, const RunResult &Gen);
+
+/// Reads the GENGC_SCALE environment variable (default \p Default); the
+/// bench binaries use it so a full suite can be dialed up or down.
+double envScale(double Default = 1.0);
+
+} // namespace gengc::workload
+
+#endif // GENGC_WORKLOAD_RUNNER_H

@@ -1,0 +1,200 @@
+//===- tests/gc/AgingTest.cpp ----------------------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// The Section 6 aging mechanism end to end: allocation age, per-cycle
+// increments, tenuring at the threshold, card-mark persistence across
+// collections, and full-collection behavior (Figures 4-6).
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "core/Runtime.h"
+
+using namespace gengc;
+
+namespace {
+
+RuntimeConfig agingConfig(uint8_t OldestAge) {
+  RuntimeConfig Config;
+  Config.Heap.HeapBytes = 8 << 20;
+  Config.Heap.CardBytes = 16;
+  Config.Choice = CollectorChoice::Generational;
+  Config.Collector.Aging = true;
+  Config.Collector.OldestAge = OldestAge;
+  Config.Collector.Trigger.YoungBytes = 1ull << 40;
+  Config.Collector.Trigger.InitialSoftBytes = 8 << 20;
+  Config.Collector.Trigger.FullFraction = 1.1;
+  return Config;
+}
+
+TEST(Aging, UsesAgingBarrier) {
+  Runtime RT(agingConfig(4));
+  EXPECT_EQ(RT.state().Barrier.load(), BarrierKind::Aging);
+}
+
+TEST(Aging, ObjectsAllocatedWithAgeOne) {
+  Runtime RT(agingConfig(4));
+  auto M = RT.attachMutator();
+  ObjectRef Obj = M->allocate(1, 8);
+  EXPECT_EQ(RT.heap().ages().ageOf(Obj), 1);
+}
+
+TEST(Aging, SurvivorStaysYoungUntilThreshold) {
+  Runtime RT(agingConfig(4));
+  auto M = RT.attachMutator();
+  ObjectRef Obj = M->allocate(1, 8);
+  M->pushRoot(Obj);
+  // Each survived collection increments the age and recolors the object to
+  // the allocation color (Figure 5) — it stays young while age < 4.
+  for (uint8_t Age = 2; Age <= 4; ++Age) {
+    RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+    EXPECT_EQ(RT.heap().ages().ageOf(Obj), Age);
+    if (Age < 4) {
+      EXPECT_TRUE(isToggleColor(RT.heap().loadColor(Obj)))
+          << "age " << unsigned(Age) << " is still young";
+    }
+  }
+  // At the threshold, the next trace blackens it and sweep leaves it black:
+  // tenured.
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  EXPECT_EQ(RT.heap().ages().ageOf(Obj), 4);
+  EXPECT_EQ(RT.heap().loadColor(Obj), Color::Black);
+  M->popRoots(1);
+}
+
+TEST(Aging, YoungGarbageDiesAtAnyAge) {
+  Runtime RT(agingConfig(6));
+  auto M = RT.attachMutator();
+  ObjectRef Obj = M->allocate(1, 8);
+  M->pushRoot(Obj);
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  ASSERT_EQ(RT.heap().ages().ageOf(Obj), 3);
+  M->popRoots(1); // dies at age 3, still young
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  EXPECT_EQ(RT.heap().loadColor(Obj), Color::Blue)
+      << "young garbage is reclaimed by partial collections";
+}
+
+TEST(Aging, TenuredGarbageNeedsFullCollection) {
+  Runtime RT(agingConfig(2));
+  auto M = RT.attachMutator();
+  ObjectRef Obj = M->allocate(1, 8);
+  M->pushRoot(Obj);
+  // Threshold 2: age reaches 2 after the first survived collection, and
+  // the second collection's sweep leaves the traced object black.
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  ASSERT_EQ(RT.heap().loadColor(Obj), Color::Black) << "tenured at 2";
+  M->popRoots(1);
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  EXPECT_EQ(RT.heap().loadColor(Obj), Color::Black)
+      << "partials do not reclaim tenured garbage";
+  RT.collector().collectSyncCooperating(CycleRequest::Full, *M);
+  EXPECT_EQ(RT.heap().loadColor(Obj), Color::Blue);
+}
+
+TEST(Aging, InterGenPointerCardStaysDirtyWhileSonIsYoung) {
+  Runtime RT(agingConfig(4));
+  auto M = RT.attachMutator();
+  // Tenure a parent.
+  ObjectRef Old = M->allocate(1, 8);
+  M->pushRoot(Old);
+  for (int I = 0; I < 4; ++I)
+    RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  ASSERT_EQ(RT.heap().loadColor(Old), Color::Black);
+
+  // Point it at a young object; across several partials the young son
+  // stays protected even though it is not tenured yet.
+  ObjectRef Young = M->allocate(0, 8);
+  M->writeRef(Old, 0, Young);
+  for (int I = 0; I < 2; ++I) {
+    RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+    EXPECT_NE(RT.heap().loadColor(Young), Color::Blue) << "cycle " << I;
+    EXPECT_LT(RT.heap().ages().ageOf(Young), 4);
+  }
+  // The Section 7.2 protocol re-marked the card each time.
+  GcRunStats S = RT.gcStats();
+  EXPECT_GE(S.Cycles.back().CardsRemarked, 1u);
+  M->popRoots(M->numRoots());
+}
+
+TEST(Aging, CardClearedOnceSonTenures) {
+  Runtime RT(agingConfig(2));
+  auto M = RT.attachMutator();
+  ObjectRef Old = M->allocate(1, 8);
+  M->pushRoot(Old);
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  ASSERT_EQ(RT.heap().loadColor(Old), Color::Black);
+
+  ObjectRef Young = M->allocate(0, 8);
+  M->writeRef(Old, 0, Young);
+  // Son tenures at threshold 2 after two collections (age 2, then kept
+  // black by the following sweep)...
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  ASSERT_EQ(RT.heap().loadColor(Young), Color::Black);
+  // ...so the following partial finds no young referent and clears the
+  // card for good.
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  EXPECT_EQ(RT.heap().cards().countDirty(), 0u);
+  M->popRoots(M->numRoots());
+}
+
+TEST(Aging, FullCollectionPreservesDirtyCards) {
+  Runtime RT(agingConfig(6));
+  auto M = RT.attachMutator();
+  // Tenure a parent (6 survived collections).
+  ObjectRef Old = M->allocate(1, 8);
+  M->pushRoot(Old);
+  for (int I = 0; I < 6; ++I)
+    RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  ASSERT_EQ(RT.heap().loadColor(Old), Color::Black);
+
+  ObjectRef Young = M->allocate(0, 8);
+  M->writeRef(Old, 0, Young);
+  ASSERT_GT(RT.heap().cards().countDirty(), 0u);
+
+  // A full collection must NOT clear the cards (Figure 6): the young son
+  // stays young and its inter-generational pointer stays relevant.
+  RT.collector().collectSyncCooperating(CycleRequest::Full, *M);
+  EXPECT_NE(RT.heap().loadColor(Young), Color::Blue);
+  EXPECT_GT(RT.heap().cards().countDirty(), 0u);
+
+  // And the following partial still protects the son through the card.
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  EXPECT_NE(RT.heap().loadColor(Young), Color::Blue);
+  M->popRoots(M->numRoots());
+}
+
+TEST(Aging, FullCollectionResetsTenureOfDeadAndKeepsLive) {
+  Runtime RT(agingConfig(2));
+  auto M = RT.attachMutator();
+  ObjectRef Live = M->allocate(1, 8);
+  M->pushRoot(Live);
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  ASSERT_EQ(RT.heap().loadColor(Live), Color::Black);
+  RT.collector().collectSyncCooperating(CycleRequest::Full, *M);
+  // Still reachable: re-tenured (black) with its threshold age intact.
+  EXPECT_EQ(RT.heap().loadColor(Live), Color::Black);
+  EXPECT_EQ(RT.heap().ages().ageOf(Live), 2);
+  M->popRoots(1);
+}
+
+TEST(AgingDeathTest, ThresholdBelowTwoRejected) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        RuntimeConfig Config = agingConfig(1);
+        Runtime RT(Config);
+      },
+      "aging threshold");
+}
+
+} // namespace

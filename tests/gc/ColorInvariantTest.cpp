@@ -1,0 +1,181 @@
+//===- tests/gc/ColorInvariantTest.cpp --------------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// Whole-heap color invariants at collector-idle safe points, per collector
+// mode.  These pin the color discipline the paper's correctness argument
+// rests on:
+//
+//   simple generational: live objects are Black (old) or carry a toggle
+//                        color (young); Gray may only float transiently.
+//   aging:               live objects are Black(age==threshold) or
+//                        toggle-colored with age in [1, threshold].
+//   DLG baseline:        live objects carry the current allocation color.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "core/Runtime.h"
+#include "support/Random.h"
+
+using namespace gengc;
+
+namespace {
+
+RuntimeConfig makeConfig(CollectorChoice Choice, bool Aging,
+                         uint8_t OldestAge) {
+  RuntimeConfig Config;
+  Config.Heap.HeapBytes = 8 << 20;
+  Config.Choice = Choice;
+  Config.Collector.Aging = Aging;
+  Config.Collector.OldestAge = OldestAge;
+  Config.Collector.Trigger.YoungBytes = 1ull << 40;
+  Config.Collector.Trigger.InitialSoftBytes = 8 << 20;
+  Config.Collector.Trigger.FullFraction = 1.1;
+  return Config;
+}
+
+/// Runs a small mutation/collection workload and returns the runtime for
+/// inspection at an idle safe point.
+void churn(Runtime &RT, Mutator &M, Rng &Rand, int Cycles) {
+  constexpr unsigned Roots = 16;
+  while (M.numRoots() < Roots)
+    M.pushRoot(NullRef);
+  for (int C = 0; C < Cycles; ++C) {
+    for (int I = 0; I < 500; ++I) {
+      ObjectRef Obj = M.allocate(uint32_t(Rand.nextInRange(0, 3)),
+                                 uint32_t(Rand.nextInRange(0, 48)));
+      if (Rand.nextBool(0.5))
+        M.setRoot(size_t(Rand.nextBelow(Roots)), Obj);
+    }
+    RT.collector().collectSyncCooperating(
+        Rand.nextBool(0.25) ? CycleRequest::Full : CycleRequest::Partial,
+        M);
+  }
+}
+
+/// Applies \p Check to the color (and ref) of every non-blue cell.
+template <typename Fn> void forEachLive(Heap &H, Fn Check) {
+  for (size_t B = 0; B < H.numBlocks(); ++B) {
+    const BlockDescriptor &Desc = H.block(B);
+    uint64_t Base = uint64_t(B) << Heap::BlockShift;
+    if (Desc.State == BlockState::LargeStart) {
+      Color C = H.loadColor(ObjectRef(Base));
+      if (C != Color::Blue)
+        Check(ObjectRef(Base), C);
+      continue;
+    }
+    if (Desc.State != BlockState::SizeClass)
+      continue;
+    for (uint32_t Cell = 0; Cell < Desc.NumCells; ++Cell) {
+      ObjectRef Ref = ObjectRef(Base + uint64_t(Cell) * Desc.CellBytes);
+      Color C = H.loadColor(Ref);
+      if (C != Color::Blue)
+        Check(Ref, C);
+    }
+  }
+}
+
+TEST(ColorInvariant, SimpleGenerationalHeapIsBlackOrToggle) {
+  Runtime RT(makeConfig(CollectorChoice::Generational, false, 2));
+  auto M = RT.attachMutator();
+  Rng Rand(11);
+  churn(RT, *M, Rand, 12);
+  unsigned Old = 0, Young = 0;
+  forEachLive(RT.heap(), [&](ObjectRef, Color C) {
+    if (C == Color::Black)
+      ++Old;
+    else if (isToggleColor(C))
+      ++Young;
+    else
+      FAIL() << "unexpected idle color " << colorName(C);
+  });
+  EXPECT_GT(Old, 0u) << "promotion must have happened";
+  M->popRoots(M->numRoots());
+}
+
+TEST(ColorInvariant, AgingHeapRespectsAgeColorCoupling) {
+  constexpr uint8_t Threshold = 3;
+  Runtime RT(makeConfig(CollectorChoice::Generational, true, Threshold));
+  auto M = RT.attachMutator();
+  Rng Rand(22);
+  churn(RT, *M, Rand, 12);
+  forEachLive(RT.heap(), [&](ObjectRef Ref, Color C) {
+    uint8_t Age = RT.heap().ages().ageOf(Ref);
+    if (C == Color::Black) {
+      EXPECT_EQ(Age, Threshold)
+          << "idle black objects are exactly the tenured ones";
+    } else if (isToggleColor(C)) {
+      EXPECT_GE(Age, 1);
+      EXPECT_LE(Age, Threshold);
+    } else {
+      ADD_FAILURE() << "unexpected idle color " << colorName(C);
+    }
+  });
+  M->popRoots(M->numRoots());
+}
+
+TEST(ColorInvariant, DlgHeapIsSingleColored) {
+  Runtime RT(makeConfig(CollectorChoice::NonGenerational, false, 2));
+  auto M = RT.attachMutator();
+  Rng Rand(33);
+  churn(RT, *M, Rand, 8);
+  // Everything alive right after a cycle carries the allocation color (no
+  // Black ever exists in the baseline; at most transient Gray floats).
+  RT.collector().collectSyncCooperating(CycleRequest::Full, *M);
+  RT.collector().collectSyncCooperating(CycleRequest::Full, *M);
+  Color Alloc = RT.state().allocationColor();
+  forEachLive(RT.heap(), [&](ObjectRef, Color C) {
+    EXPECT_TRUE(C == Alloc || C == otherToggleColor(Alloc))
+        << "unexpected baseline color " << colorName(C);
+    EXPECT_NE(C, Color::Black);
+  });
+  M->popRoots(M->numRoots());
+}
+
+TEST(ColorInvariant, ToggleRolesSwapEveryCycleForEveryCollector) {
+  for (CollectorChoice Choice : {CollectorChoice::Generational,
+                                 CollectorChoice::NonGenerational,
+                                 CollectorChoice::StopTheWorld}) {
+    Runtime RT(makeConfig(Choice, false, 2));
+    auto M = RT.attachMutator();
+    for (int I = 0; I < 6; ++I) {
+      Color Before = RT.state().allocationColor();
+      EXPECT_EQ(RT.state().clearColor(), otherToggleColor(Before));
+      RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+      EXPECT_EQ(RT.state().allocationColor(), otherToggleColor(Before));
+    }
+  }
+}
+
+TEST(ColorInvariant, NoGrayOrBlueEscapesToLiveGraphAfterManyCycles) {
+  Runtime RT(makeConfig(CollectorChoice::Generational, false, 2));
+  auto M = RT.attachMutator();
+  Rng Rand(44);
+  churn(RT, *M, Rand, 20);
+  // Walk the reachable graph: every visited object must be Black or
+  // toggle-colored (never Gray at idle, never Blue).
+  std::vector<ObjectRef> Work;
+  for (size_t I = 0; I < M->numRoots(); ++I)
+    if (M->root(I) != NullRef)
+      Work.push_back(M->root(I));
+  std::set<ObjectRef> Seen(Work.begin(), Work.end());
+  while (!Work.empty()) {
+    ObjectRef Ref = Work.back();
+    Work.pop_back();
+    Color C = RT.heap().loadColor(Ref);
+    EXPECT_TRUE(C == Color::Black || isToggleColor(C))
+        << colorName(C) << " in the live graph at idle";
+    for (uint32_t I = 0, E = objectRefSlots(RT.heap(), Ref); I < E; ++I) {
+      ObjectRef Son = loadRefSlot(RT.heap(), Ref, I);
+      if (Son != NullRef && Seen.insert(Son).second)
+        Work.push_back(Son);
+    }
+  }
+  M->popRoots(M->numRoots());
+}
+
+} // namespace

@@ -1,0 +1,129 @@
+//===- tests/gc/Figure6GapTest.cpp -----------------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// Regression test for the gap we found in the paper's Figure 6 pseudo-code
+// (see DESIGN.md §9 and Tracer::setAgingThreshold): a young parent on a
+// dirty card is cleared without re-marking; the same cycle tenures the
+// parent and demotes its son, leaving an old->young pointer on a clean
+// card, and the next partial collection reclaims the live son.
+//
+// The deterministic construction below reproduces the exact scenario that
+// property-based testing first caught (aging, threshold 2).
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "core/Runtime.h"
+
+using namespace gengc;
+
+namespace {
+
+RuntimeConfig agingConfig(uint8_t OldestAge) {
+  RuntimeConfig Config;
+  Config.Heap.HeapBytes = 8 << 20;
+  Config.Heap.CardBytes = 16;
+  Config.Choice = CollectorChoice::Generational;
+  Config.Collector.Aging = true;
+  Config.Collector.OldestAge = OldestAge;
+  Config.Collector.Trigger.YoungBytes = 1ull << 40;
+  Config.Collector.Trigger.InitialSoftBytes = 8 << 20;
+  Config.Collector.Trigger.FullFraction = 1.1;
+  return Config;
+}
+
+TEST(Figure6Gap, ParentTenuredWhileSonDemotedKeepsSonAlive) {
+  Runtime RT(agingConfig(2));
+  auto M = RT.attachMutator();
+
+  // Parent survives one collection: age 2 (== threshold) but still
+  // young-colored — it will be *tenured by the next cycle it survives*.
+  ObjectRef Parent = M->allocate(1, 8);
+  size_t ParentSlot = M->pushRoot(Parent);
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  ASSERT_EQ(RT.heap().ages().ageOf(Parent), 2);
+  ASSERT_TRUE(isToggleColor(RT.heap().loadColor(Parent)))
+      << "parent is still young-colored (the tenuring gap)";
+
+  // Fresh son (age 1), referenced ONLY from the parent; the store dirties
+  // the parent's card while the parent is young.
+  ObjectRef Son = M->allocate(0, 8);
+  M->writeRef(Parent, 0, Son);
+
+  // This cycle: ClearCards clears the parent's card (young parent, no
+  // re-mark per Figure 6); the trace blackens both; the sweep TENURES the
+  // parent (age == threshold) and DEMOTES the son (age 1 -> 2, young
+  // color).  Without the fix the old->young pointer now rests on a clean
+  // card.
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  ASSERT_EQ(RT.heap().loadColor(Parent), Color::Black) << "parent tenured";
+  ASSERT_NE(RT.heap().loadColor(Son), Color::Black) << "son stayed young";
+  ASSERT_NE(RT.heap().loadColor(Son), Color::Blue);
+
+  // The next partial must still find the son through a dirty card — this
+  // is the collection that reclaimed it before the fix.
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  EXPECT_NE(RT.heap().loadColor(Son), Color::Blue)
+      << "Figure 6 gap: live son reclaimed after its parent's promotion";
+  EXPECT_EQ(M->readRef(Parent, 0), Son);
+
+  M->popRoots(M->numRoots() - ParentSlot);
+}
+
+TEST(Figure6Gap, HoldsAcrossThresholds) {
+  for (uint8_t Threshold : {uint8_t(3), uint8_t(4)}) {
+    Runtime RT(agingConfig(Threshold));
+    auto M = RT.attachMutator();
+
+    ObjectRef Parent = M->allocate(1, 8);
+    M->pushRoot(Parent);
+    // Bring the parent to age == threshold while young-colored.
+    for (uint8_t Age = 2; Age <= Threshold; ++Age)
+      RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+    ASSERT_EQ(RT.heap().ages().ageOf(Parent), Threshold);
+    ASSERT_TRUE(isToggleColor(RT.heap().loadColor(Parent)));
+
+    ObjectRef Son = M->allocate(0, 8);
+    M->writeRef(Parent, 0, Son);
+    RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+    ASSERT_EQ(RT.heap().loadColor(Parent), Color::Black);
+
+    // Several further partials: the son must survive until it tenures on
+    // its own.
+    for (int I = 0; I < Threshold + 1; ++I) {
+      RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+      ASSERT_NE(RT.heap().loadColor(Son), Color::Blue)
+          << "threshold " << unsigned(Threshold) << " cycle " << I;
+    }
+    M->popRoots(M->numRoots());
+  }
+}
+
+TEST(Figure6Gap, ChainOfDemotedSonsSurvives) {
+  Runtime RT(agingConfig(2));
+  auto M = RT.attachMutator();
+
+  ObjectRef Parent = M->allocate(1, 8);
+  M->pushRoot(Parent);
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+
+  // A whole chain of young objects hanging off the to-be-tenured parent.
+  ObjectRef S1 = M->allocate(1, 8), S2 = M->allocate(1, 8),
+            S3 = M->allocate(0, 8);
+  M->writeRef(S2, 0, S3);
+  M->writeRef(S1, 0, S2);
+  M->writeRef(Parent, 0, S1);
+
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  EXPECT_NE(RT.heap().loadColor(S1), Color::Blue);
+  EXPECT_NE(RT.heap().loadColor(S2), Color::Blue);
+  EXPECT_NE(RT.heap().loadColor(S3), Color::Blue);
+  M->popRoots(M->numRoots());
+}
+
+} // namespace

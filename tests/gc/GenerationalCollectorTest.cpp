@@ -1,0 +1,186 @@
+//===- tests/gc/GenerationalCollectorTest.cpp -------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// The generational collector's defining behaviors beyond the end-to-end
+// cycle tests: card-driven root discovery, full-collection demotion, the
+// ClearCards/toggle ordering, and the statistics the benches consume.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "core/Runtime.h"
+
+using namespace gengc;
+
+namespace {
+
+RuntimeConfig genConfig(uint32_t CardBytes = 16) {
+  RuntimeConfig Config;
+  Config.Heap.HeapBytes = 8 << 20;
+  Config.Heap.CardBytes = CardBytes;
+  Config.Choice = CollectorChoice::Generational;
+  Config.Collector.Trigger.YoungBytes = 1ull << 40;
+  Config.Collector.Trigger.InitialSoftBytes = 8 << 20;
+  Config.Collector.Trigger.FullFraction = 1.1;
+  return Config;
+}
+
+/// Makes an old (black) object holding one ref slot.
+ObjectRef makeOld(Runtime &RT, Mutator &M) {
+  ObjectRef Obj = M.allocate(2, 8);
+  size_t Slot = M.pushRoot(Obj);
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, M);
+  EXPECT_EQ(RT.heap().loadColor(Obj), Color::Black);
+  M.popRoots(M.numRoots() - Slot);
+  return Obj;
+}
+
+TEST(GenerationalCollector, CardsAreClearedByPartialCollection) {
+  Runtime RT(genConfig());
+  auto M = RT.attachMutator();
+  ObjectRef A = M->allocate(2, 8);
+  ObjectRef B = M->allocate(0, 8);
+  M->writeRef(A, 0, B);
+  EXPECT_GT(RT.heap().cards().countDirty(), 0u);
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  EXPECT_EQ(RT.heap().cards().countDirty(), 0u);
+}
+
+TEST(GenerationalCollector, DirtyOldObjectCountsAsInterGenScan) {
+  Runtime RT(genConfig());
+  auto M = RT.attachMutator();
+  ObjectRef Old = makeOld(RT, *M);
+  ObjectRef Young = M->allocate(0, 8);
+  M->writeRef(Old, 0, Young);
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  GcRunStats S = RT.gcStats();
+  const CycleStats &Last = S.Cycles.back();
+  EXPECT_GE(Last.OldObjectsScanned, 1u);
+  EXPECT_GE(Last.DirtyCardsAtStart, 1u);
+  EXPECT_GT(Last.CardScanAreaBytes, 0u);
+}
+
+TEST(GenerationalCollector, ChainOfYoungReachableViaOldSurvives) {
+  Runtime RT(genConfig());
+  auto M = RT.attachMutator();
+  ObjectRef Old = makeOld(RT, *M);
+  // Build young chain Old -> Y1 -> Y2 -> Y3.
+  ObjectRef Y1 = M->allocate(1, 8), Y2 = M->allocate(1, 8),
+            Y3 = M->allocate(0, 8);
+  M->writeRef(Y2, 0, Y3);
+  M->writeRef(Y1, 0, Y2);
+  M->writeRef(Old, 0, Y1);
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  EXPECT_EQ(RT.heap().loadColor(Y1), Color::Black);
+  EXPECT_EQ(RT.heap().loadColor(Y2), Color::Black);
+  EXPECT_EQ(RT.heap().loadColor(Y3), Color::Black);
+}
+
+TEST(GenerationalCollector, SeveredInterGenPointerLetsYoungDie) {
+  Runtime RT(genConfig());
+  auto M = RT.attachMutator();
+  ObjectRef Old = makeOld(RT, *M);
+  ObjectRef Young = M->allocate(0, 8);
+  M->writeRef(Old, 0, Young);
+  M->writeRef(Old, 0, NullRef); // severed before any collection
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  EXPECT_EQ(RT.heap().loadColor(Young), Color::Blue);
+}
+
+TEST(GenerationalCollector, FullCollectionDemotesEverything) {
+  Runtime RT(genConfig());
+  auto M = RT.attachMutator();
+  ObjectRef Kept = M->allocate(1, 8);
+  M->pushRoot(Kept);
+  ObjectRef Dropped = M->allocate(1, 8);
+  M->pushRoot(Dropped);
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  ASSERT_EQ(RT.heap().loadColor(Dropped), Color::Black);
+  M->popRoots(1); // drop Dropped, keep Kept
+  RT.collector().collectSyncCooperating(CycleRequest::Full, *M);
+  EXPECT_EQ(RT.heap().loadColor(Dropped), Color::Blue)
+      << "full collections reclaim old garbage";
+  EXPECT_EQ(RT.heap().loadColor(Kept), Color::Black)
+      << "live old objects are re-tenured by the full trace";
+  M->popRoots(1);
+}
+
+TEST(GenerationalCollector, FullCollectionClearsCards) {
+  Runtime RT(genConfig());
+  auto M = RT.attachMutator();
+  ObjectRef A = M->allocate(2, 8);
+  ObjectRef B = M->allocate(0, 8);
+  M->pushRoot(A);
+  M->writeRef(A, 0, B);
+  RT.collector().collectSyncCooperating(CycleRequest::Full, *M);
+  EXPECT_EQ(RT.heap().cards().countDirty(), 0u);
+  M->popRoots(1);
+}
+
+TEST(GenerationalCollector, ToggleAlternates) {
+  Runtime RT(genConfig());
+  auto M = RT.attachMutator();
+  Color First = RT.state().allocationColor();
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  EXPECT_EQ(RT.state().allocationColor(), otherToggleColor(First));
+}
+
+TEST(GenerationalCollector, YoungSurvivorStatsArePlausible) {
+  Runtime RT(genConfig());
+  auto M = RT.attachMutator();
+  constexpr unsigned Kept = 50, Dead = 500;
+  for (unsigned I = 0; I < Kept; ++I)
+    M->pushRoot(M->allocate(1, 16));
+  for (unsigned I = 0; I < Dead; ++I)
+    M->allocate(1, 16);
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  GcRunStats S = RT.gcStats();
+  const CycleStats &Last = S.Cycles.back();
+  EXPECT_GE(Last.YoungSurvivors, Kept);
+  EXPECT_LE(Last.YoungSurvivors, Kept + 50) << "few spurious survivors";
+  EXPECT_GE(Last.ObjectsFreed, Dead);
+  M->popRoots(M->numRoots());
+}
+
+TEST(GenerationalCollector, WorksAcrossCardSizes) {
+  for (uint32_t CardBytes : {16u, 128u, 4096u}) {
+    Runtime RT(genConfig(CardBytes));
+    auto M = RT.attachMutator();
+    ObjectRef Old = makeOld(RT, *M);
+    ObjectRef Young = M->allocate(0, 8);
+    M->writeRef(Old, 0, Young);
+    RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+    EXPECT_NE(RT.heap().loadColor(Young), Color::Blue)
+        << "card size " << CardBytes;
+  }
+}
+
+TEST(GenerationalCollector, ObjectCreatedDuringIdleIsYoung) {
+  Runtime RT(genConfig());
+  auto M = RT.attachMutator();
+  ObjectRef Obj = M->allocate(1, 8);
+  EXPECT_EQ(RT.heap().loadColor(Obj), RT.state().allocationColor());
+  EXPECT_TRUE(isToggleColor(RT.heap().loadColor(Obj)));
+}
+
+TEST(GenerationalCollector, LargeObjectsParticipateInGenerations) {
+  Runtime RT(genConfig());
+  auto M = RT.attachMutator();
+  ObjectRef Big = M->allocate(4, 100 << 10);
+  M->pushRoot(Big);
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  EXPECT_EQ(RT.heap().loadColor(Big), Color::Black) << "promoted";
+  M->popRoots(1);
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  EXPECT_EQ(RT.heap().loadColor(Big), Color::Black)
+      << "old large objects survive partials";
+  RT.collector().collectSyncCooperating(CycleRequest::Full, *M);
+  EXPECT_EQ(RT.heap().loadColor(Big), Color::Blue)
+      << "full collection reclaims the dead large object";
+}
+
+} // namespace

@@ -1,0 +1,154 @@
+//===- tests/gc/RememberedSetTest.cpp --------------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// The remembered-set alternative to card marking (Section 3.1): identical
+// generational semantics, different inter-generational bookkeeping.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "core/Runtime.h"
+
+using namespace gengc;
+
+namespace {
+
+RuntimeConfig remsetConfig() {
+  RuntimeConfig Config;
+  Config.Heap.HeapBytes = 8 << 20;
+  Config.Choice = CollectorChoice::Generational;
+  Config.Collector.RememberedSets = true;
+  Config.Collector.Trigger.YoungBytes = 1ull << 40;
+  Config.Collector.Trigger.InitialSoftBytes = 8 << 20;
+  Config.Collector.Trigger.FullFraction = 1.1;
+  return Config;
+}
+
+ObjectRef makeOld(Runtime &RT, Mutator &M) {
+  ObjectRef Obj = M.allocate(2, 8);
+  size_t Slot = M.pushRoot(Obj);
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, M);
+  EXPECT_EQ(RT.heap().loadColor(Obj), Color::Black);
+  M.popRoots(M.numRoots() - Slot);
+  return Obj;
+}
+
+TEST(RememberedSet, ModeIsActive) {
+  Runtime RT(remsetConfig());
+  EXPECT_TRUE(RT.state().UseRememberedSets.load());
+}
+
+TEST(RememberedSet, NoCardsAreEverDirtied) {
+  Runtime RT(remsetConfig());
+  auto M = RT.attachMutator();
+  ObjectRef A = M->allocate(2, 8);
+  ObjectRef B = M->allocate(0, 8);
+  M->writeRef(A, 0, B);
+  EXPECT_EQ(RT.heap().cards().countDirty(), 0u);
+}
+
+TEST(RememberedSet, BarrierSetsFlagOncePerObject) {
+  Runtime RT(remsetConfig());
+  auto M = RT.attachMutator();
+  ObjectRef A = M->allocate(2, 8);
+  ObjectRef B = M->allocate(0, 8);
+  M->writeRef(A, 0, B);
+  EXPECT_EQ(RT.heap().rememberedFlags().entryFor(A).load(), 1);
+  M->writeRef(A, 1, B); // second store: flag already set, no new entry
+  std::vector<ObjectRef> Entries;
+  RT.state().Remembered.drainTo(Entries);
+  EXPECT_EQ(Entries, std::vector<ObjectRef>{A});
+  RT.state().Remembered.pushMany(Entries); // restore for the collector
+}
+
+TEST(RememberedSet, InterGenerationalPointerKeepsYoungAlive) {
+  Runtime RT(remsetConfig());
+  auto M = RT.attachMutator();
+  ObjectRef Old = makeOld(RT, *M);
+  ObjectRef Young = M->allocate(0, 8);
+  M->writeRef(Old, 0, Young);
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  EXPECT_NE(RT.heap().loadColor(Young), Color::Blue);
+  EXPECT_EQ(M->readRef(Old, 0), Young);
+}
+
+TEST(RememberedSet, FlagsAreClearedByPartialCollection) {
+  Runtime RT(remsetConfig());
+  auto M = RT.attachMutator();
+  ObjectRef Old = makeOld(RT, *M);
+  ObjectRef Young = M->allocate(0, 8);
+  M->writeRef(Old, 0, Young);
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  EXPECT_EQ(RT.heap().rememberedFlags().entryFor(Old).load(), 0)
+      << "the drained object can be re-recorded next cycle";
+}
+
+TEST(RememberedSet, SeveredPointerLetsYoungDie) {
+  Runtime RT(remsetConfig());
+  auto M = RT.attachMutator();
+  ObjectRef Old = makeOld(RT, *M);
+  ObjectRef Young = M->allocate(0, 8);
+  M->writeRef(Old, 0, Young);
+  M->writeRef(Old, 0, NullRef);
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  EXPECT_EQ(RT.heap().loadColor(Young), Color::Blue);
+}
+
+TEST(RememberedSet, ChainThroughOldSurvives) {
+  Runtime RT(remsetConfig());
+  auto M = RT.attachMutator();
+  ObjectRef Old = makeOld(RT, *M);
+  ObjectRef Y1 = M->allocate(1, 8), Y2 = M->allocate(0, 8);
+  M->writeRef(Y1, 0, Y2);
+  M->writeRef(Old, 0, Y1);
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  EXPECT_EQ(RT.heap().loadColor(Y1), Color::Black);
+  EXPECT_EQ(RT.heap().loadColor(Y2), Color::Black);
+}
+
+TEST(RememberedSet, FullCollectionResetsTheSet) {
+  Runtime RT(remsetConfig());
+  auto M = RT.attachMutator();
+  ObjectRef Old = makeOld(RT, *M);
+  ObjectRef Young = M->allocate(0, 8);
+  M->pushRoot(Young); // keep it reachable through the full collection
+  M->writeRef(Old, 0, Young);
+  RT.collector().collectSyncCooperating(CycleRequest::Full, *M);
+  EXPECT_EQ(RT.heap().rememberedFlags().entryFor(Old).load(), 0);
+  EXPECT_NE(RT.heap().loadColor(Young), Color::Blue);
+  M->popRoots(M->numRoots());
+}
+
+TEST(RememberedSet, SurvivesManyMixedCycles) {
+  Runtime RT(remsetConfig());
+  auto M = RT.attachMutator();
+  ObjectRef Old = makeOld(RT, *M);
+  M->pushRoot(Old); // keep the parent live through the full collections
+  for (int I = 0; I < 20; ++I) {
+    ObjectRef Young = M->allocate(0, 8);
+    M->writeRef(Old, 0, Young);
+    RT.collector().collectSyncCooperating(
+        I % 5 == 4 ? CycleRequest::Full : CycleRequest::Partial, *M);
+    ASSERT_NE(RT.heap().loadColor(Young), Color::Blue) << "cycle " << I;
+    ASSERT_EQ(M->readRef(Old, 0), Young);
+  }
+  M->popRoots(M->numRoots());
+}
+
+TEST(RememberedSetDeathTest, RejectsAgingCombination) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(
+      {
+        RuntimeConfig Config = remsetConfig();
+        Config.Collector.Aging = true;
+        Config.Collector.OldestAge = 4;
+        Runtime RT(Config);
+      },
+      "simple promotion only");
+}
+
+} // namespace

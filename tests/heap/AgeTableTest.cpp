@@ -1,0 +1,52 @@
+//===- tests/heap/AgeTableTest.cpp -----------------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "heap/AgeTable.h"
+
+using namespace gengc;
+
+namespace {
+
+TEST(AgeTable, StartsAtZero) {
+  AgeTable T(1 << 20);
+  EXPECT_EQ(T.ageOf(0), 0);
+  EXPECT_EQ(T.ageOf(4096), 0);
+}
+
+TEST(AgeTable, SetAndGetPerGranule) {
+  AgeTable T(1 << 20);
+  T.setAge(16, 1);
+  T.setAge(32, 5);
+  EXPECT_EQ(T.ageOf(16), 1);
+  EXPECT_EQ(T.ageOf(32), 5);
+  EXPECT_EQ(T.ageOf(48), 0) << "neighbors must be untouched";
+}
+
+TEST(AgeTable, GranuleIndexing) {
+  AgeTable T(1 << 20);
+  // Offsets within the same granule share the age entry.
+  T.setAge(64, 3);
+  EXPECT_EQ(T.ageOf(64 + 15), 3);
+  EXPECT_EQ(T.ageOf(64 + 16), 0);
+}
+
+TEST(AgeTable, ClearAllResets) {
+  AgeTable T(1 << 20);
+  for (uint32_t Ref = 0; Ref < (1 << 20); Ref += 1024)
+    T.setAge(Ref, 7);
+  T.clearAll();
+  for (uint32_t Ref = 0; Ref < (1 << 20); Ref += 1024)
+    EXPECT_EQ(T.ageOf(Ref), 0);
+}
+
+TEST(AgeTable, OneEntryPerGranule) {
+  AgeTable T(1 << 20);
+  EXPECT_EQ(T.size(), size_t((1 << 20) / GranuleBytes));
+}
+
+} // namespace

@@ -1,0 +1,94 @@
+//===- tests/heap/AtomicByteTableTest.cpp ----------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "heap/AtomicByteTable.h"
+
+using namespace gengc;
+
+namespace {
+
+TEST(AtomicByteTable, StartsZeroed) {
+  AtomicByteTable T(1 << 16, 4);
+  for (size_t I = 0; I < T.size(); ++I)
+    EXPECT_EQ(T.entry(I).load(), 0);
+}
+
+TEST(AtomicByteTable, SizeMatchesGranule) {
+  AtomicByteTable T(1 << 16, 4);
+  EXPECT_EQ(T.size(), size_t(1 << 12));
+  AtomicByteTable T2(1 << 16, 12);
+  EXPECT_EQ(T2.size(), size_t(16));
+}
+
+TEST(AtomicByteTable, IndexForMapsOffsets) {
+  AtomicByteTable T(1 << 16, 4);
+  EXPECT_EQ(T.indexFor(0), 0u);
+  EXPECT_EQ(T.indexFor(15), 0u);
+  EXPECT_EQ(T.indexFor(16), 1u);
+  EXPECT_EQ(T.indexFor(65535), T.size() - 1);
+}
+
+TEST(AtomicByteTable, EntryForAliasesEntry) {
+  AtomicByteTable T(1 << 16, 4);
+  T.entryFor(32).store(7);
+  EXPECT_EQ(T.entry(2).load(), 7);
+}
+
+TEST(AtomicByteTable, ClearAllResets) {
+  AtomicByteTable T(1 << 16, 4);
+  for (size_t I = 0; I < T.size(); I += 3)
+    T.entry(I).store(1);
+  T.clearAll();
+  for (size_t I = 0; I < T.size(); ++I)
+    EXPECT_EQ(T.entry(I).load(), 0);
+}
+
+TEST(AtomicByteTable, RacyWordSeesStores) {
+  AtomicByteTable T(1 << 16, 4);
+  T.entry(3).store(0xAB);
+  uint64_t Word = T.racyWord(0);
+  EXPECT_EQ((Word >> 24) & 0xFF, 0xABu);
+}
+
+TEST(AtomicByteTable, WordContainsByteDetectsAllLanes) {
+  for (unsigned Lane = 0; Lane < 8; ++Lane) {
+    uint64_t Word = uint64_t(3) << (Lane * 8);
+    EXPECT_TRUE(AtomicByteTable::wordContainsByte(Word, 3));
+    EXPECT_FALSE(AtomicByteTable::wordContainsByte(Word, 4));
+  }
+  EXPECT_FALSE(AtomicByteTable::wordContainsByte(0, 3));
+  EXPECT_TRUE(AtomicByteTable::wordContainsByte(0, 0));
+  EXPECT_TRUE(AtomicByteTable::wordContainsByte(0x0303030303030303ull, 3));
+}
+
+TEST(AtomicByteTable, WordContainsByteNoFalsePositivesOnNeighbors) {
+  // Bytes 2 and 4 must not be mistaken for 3.
+  EXPECT_FALSE(AtomicByteTable::wordContainsByte(0x0202020202020202ull, 3));
+  EXPECT_FALSE(AtomicByteTable::wordContainsByte(0x0404040404040404ull, 3));
+  // Crafted pattern straddling lanes.
+  EXPECT_FALSE(AtomicByteTable::wordContainsByte(0x0400020004000200ull, 3));
+}
+
+TEST(AtomicByteTable, ConcurrentStoresAreAllVisible) {
+  AtomicByteTable T(1 << 16, 4);
+  constexpr unsigned Threads = 4;
+  std::vector<std::thread> Workers;
+  for (unsigned W = 0; W < Threads; ++W)
+    Workers.emplace_back([&T, W] {
+      for (size_t I = W; I < T.size(); I += Threads)
+        T.entry(I).store(uint8_t(W + 1));
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  for (size_t I = 0; I < T.size(); ++I)
+    EXPECT_EQ(T.entry(I).load(), uint8_t(I % Threads + 1));
+}
+
+} // namespace

@@ -1,0 +1,45 @@
+//===- tests/heap/ColorTest.cpp --------------------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "heap/Color.h"
+
+using namespace gengc;
+
+namespace {
+
+TEST(Color, BlueIsZeroForZeroInitializedTables) {
+  EXPECT_EQ(uint8_t(Color::Blue), 0);
+}
+
+TEST(Color, NamesAreDistinctAndStable) {
+  EXPECT_STREQ(colorName(Color::Blue), "blue");
+  EXPECT_STREQ(colorName(Color::White), "white");
+  EXPECT_STREQ(colorName(Color::Yellow), "yellow");
+  EXPECT_STREQ(colorName(Color::Gray), "gray");
+  EXPECT_STREQ(colorName(Color::Black), "black");
+}
+
+TEST(Color, ToggleColorsAreWhiteAndYellow) {
+  EXPECT_TRUE(isToggleColor(Color::White));
+  EXPECT_TRUE(isToggleColor(Color::Yellow));
+  EXPECT_FALSE(isToggleColor(Color::Blue));
+  EXPECT_FALSE(isToggleColor(Color::Gray));
+  EXPECT_FALSE(isToggleColor(Color::Black));
+}
+
+TEST(Color, OtherToggleColorSwaps) {
+  EXPECT_EQ(otherToggleColor(Color::White), Color::Yellow);
+  EXPECT_EQ(otherToggleColor(Color::Yellow), Color::White);
+}
+
+TEST(Color, ToggleIsAnInvolution) {
+  for (Color C : {Color::White, Color::Yellow})
+    EXPECT_EQ(otherToggleColor(otherToggleColor(C)), C);
+}
+
+} // namespace

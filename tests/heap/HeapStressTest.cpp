@@ -1,0 +1,151 @@
+//===- tests/heap/HeapStressTest.cpp ----------------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// Heap-manager stress beyond the unit tests: chain integrity under
+// concurrent pop/push across size classes, exhaust-and-recover cycles, and
+// large-run placement under fragmentation.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "heap/Heap.h"
+#include "support/Random.h"
+
+using namespace gengc;
+
+namespace {
+
+TEST(HeapStress, ConcurrentPopPushPreservesEveryCell) {
+  HeapConfig Config;
+  Config.HeapBytes = 8 << 20;
+  Heap H(Config);
+  constexpr unsigned Threads = 4, Rounds = 300;
+
+  // Each thread pops chains, walks them (verifying alignment and class),
+  // and pushes them back — the sweep/allocate transfer pattern.
+  std::vector<std::thread> Workers;
+  std::atomic<uint64_t> CellsSeen{0};
+  for (unsigned W = 0; W < Threads; ++W)
+    Workers.emplace_back([&, W] {
+      Rng Rand(W * 7 + 1);
+      for (unsigned R = 0; R < Rounds; ++R) {
+        unsigned Class = unsigned(Rand.nextBelow(6));
+        Heap::CellChain Chain = H.popFreeChain(Class);
+        if (Chain.Count == 0)
+          continue;
+        unsigned Walked = 0;
+        for (ObjectRef Cell = Chain.Head; Cell != NullRef;
+             Cell = H.chainNext(Cell)) {
+          ASSERT_EQ(Cell % GranuleBytes, 0u);
+          ASSERT_EQ(H.block(H.blockIndexOf(Cell)).SizeClassIdx, Class);
+          ++Walked;
+        }
+        ASSERT_EQ(Walked, Chain.Count);
+        CellsSeen.fetch_add(Walked, std::memory_order_relaxed);
+        H.pushFreeChain(Class, Chain);
+      }
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  EXPECT_GT(CellsSeen.load(), 0u);
+  EXPECT_EQ(H.usedBytes(), 0u) << "every pop was matched by a push";
+}
+
+TEST(HeapStress, ExhaustAndRecoverRepeatedly) {
+  HeapConfig Config;
+  Config.HeapBytes = 4 * Heap::BlockBytes;
+  Heap H(Config);
+  unsigned Class = sizeClassFor(64);
+  for (int Round = 0; Round < 10; ++Round) {
+    // Drain the whole heap into chains.
+    std::vector<Heap::CellChain> Held;
+    for (;;) {
+      Heap::CellChain Chain = H.popFreeChain(Class);
+      if (Chain.Count == 0)
+        break;
+      Held.push_back(Chain);
+    }
+    EXPECT_GT(Held.size(), 0u);
+    EXPECT_EQ(H.popFreeChain(Class).Count, 0u) << "exhausted";
+    // Return everything; the next round must see the same capacity.
+    uint64_t Returned = 0;
+    for (const Heap::CellChain &Chain : Held) {
+      Returned += Chain.Count;
+      H.pushFreeChain(Class, Chain);
+    }
+    static uint64_t FirstRound = 0;
+    if (Round == 0)
+      FirstRound = Returned;
+    EXPECT_EQ(Returned, FirstRound) << "capacity drifted across rounds";
+  }
+}
+
+TEST(HeapStress, MixedClassesDoNotInterfere) {
+  HeapConfig Config;
+  Config.HeapBytes = 8 << 20;
+  Heap H(Config);
+  std::set<ObjectRef> All;
+  Rng Rand(99);
+  std::vector<std::pair<unsigned, Heap::CellChain>> Held;
+  for (int I = 0; I < 200; ++I) {
+    unsigned Class = unsigned(Rand.nextBelow(NumSizeClasses));
+    Heap::CellChain Chain = H.popFreeChain(Class);
+    if (Chain.Count == 0)
+      continue;
+    for (ObjectRef Cell = Chain.Head; Cell != NullRef;
+         Cell = H.chainNext(Cell)) {
+      auto [It, Fresh] = All.insert(Cell);
+      ASSERT_TRUE(Fresh) << "cell handed out twice across classes";
+      // Cell spans must not overlap the next cell of its class.
+      ASSERT_EQ(H.storageBytesOf(Cell), sizeClassBytes(Class));
+    }
+    Held.push_back({Class, Chain});
+  }
+  for (auto &[Class, Chain] : Held)
+    H.pushFreeChain(Class, Chain);
+}
+
+TEST(HeapStress, LargeRunsUnderFragmentation) {
+  HeapConfig Config;
+  Config.HeapBytes = 16 * Heap::BlockBytes;
+  Heap H(Config);
+  // Fragment: carve small-object blocks at alternating positions by
+  // allocating large runs and freeing every other one.
+  std::vector<ObjectRef> Runs;
+  for (int I = 0; I < 7; ++I) {
+    ObjectRef Run = H.allocateLarge(uint32_t(2 * Heap::BlockBytes) - 64);
+    ASSERT_NE(Run, NullRef);
+    Runs.push_back(Run);
+  }
+  for (size_t I = 0; I < Runs.size(); I += 2)
+    H.freeLargeRun(H.blockIndexOf(Runs[I]));
+  // 2-block holes exist; a 2-block run must fit, a 4-block must not
+  // (holes are separated by live runs).
+  EXPECT_NE(H.allocateLarge(uint32_t(2 * Heap::BlockBytes) - 64), NullRef);
+  EXPECT_EQ(H.allocateLarge(uint32_t(4 * Heap::BlockBytes) - 64), NullRef);
+  // Freeing the separators heals the space.
+  for (size_t I = 1; I < Runs.size(); I += 2)
+    H.freeLargeRun(H.blockIndexOf(Runs[I]));
+  EXPECT_NE(H.allocateLarge(uint32_t(4 * Heap::BlockBytes) - 64), NullRef);
+}
+
+TEST(HeapStress, ChainCellsConfigBoundsChainLength) {
+  HeapConfig Config;
+  Config.HeapBytes = 4 << 20;
+  Config.ChainCells = 32;
+  Heap H(Config);
+  for (int I = 0; I < 50; ++I) {
+    Heap::CellChain Chain = H.popFreeChain(0);
+    ASSERT_LE(Chain.Count, 32u);
+    ASSERT_GT(Chain.Count, 0u);
+  }
+}
+
+} // namespace

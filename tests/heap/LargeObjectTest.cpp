@@ -1,0 +1,105 @@
+//===- tests/heap/LargeObjectTest.cpp --------------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "heap/Heap.h"
+
+using namespace gengc;
+
+namespace {
+
+HeapConfig smallConfig() {
+  HeapConfig Config;
+  Config.HeapBytes = 4 << 20;
+  return Config;
+}
+
+TEST(LargeObject, AllocatesBlockRuns) {
+  Heap H(smallConfig());
+  ObjectRef Run = H.allocateLarge(100 << 10); // 100 KB -> 2 blocks
+  ASSERT_NE(Run, NullRef);
+  uint32_t BlockIdx = H.blockIndexOf(Run);
+  EXPECT_EQ(H.block(BlockIdx).State, BlockState::LargeStart);
+  EXPECT_EQ(H.block(BlockIdx).RunBlocks, 2u);
+  EXPECT_EQ(H.block(BlockIdx + 1).State, BlockState::LargeCont);
+  EXPECT_EQ(H.block(BlockIdx + 1).RunStart, BlockIdx);
+  EXPECT_EQ(H.storageBytesOf(Run), 2 * Heap::BlockBytes);
+}
+
+TEST(LargeObject, RunStartsAtBlockBoundary) {
+  Heap H(smallConfig());
+  ObjectRef Run = H.allocateLarge(9000);
+  ASSERT_NE(Run, NullRef);
+  EXPECT_EQ(Run % Heap::BlockBytes, 0u);
+}
+
+TEST(LargeObject, FreeLargeRunRestoresBlocks) {
+  Heap H(smallConfig());
+  uint64_t FreeBefore = H.freeBlockCount();
+  ObjectRef Run = H.allocateLarge(200 << 10);
+  ASSERT_NE(Run, NullRef);
+  EXPECT_LT(H.freeBlockCount(), FreeBefore);
+  H.freeLargeRun(H.blockIndexOf(Run));
+  EXPECT_EQ(H.freeBlockCount(), FreeBefore);
+  EXPECT_EQ(H.block(H.blockIndexOf(Run)).State, BlockState::Free);
+}
+
+TEST(LargeObject, UsedBytesCoverWholeRun) {
+  Heap H(smallConfig());
+  uint64_t Before = H.usedBytes();
+  ObjectRef Run = H.allocateLarge(65537); // 2 blocks
+  ASSERT_NE(Run, NullRef);
+  EXPECT_EQ(H.usedBytes() - Before, 2 * Heap::BlockBytes);
+  H.freeLargeRun(H.blockIndexOf(Run));
+  EXPECT_EQ(H.usedBytes(), Before);
+}
+
+TEST(LargeObject, ExhaustionReturnsNull) {
+  HeapConfig Config;
+  Config.HeapBytes = 4 * Heap::BlockBytes;
+  Heap H(Config);
+  // 3 usable blocks; a 4-block run cannot fit.
+  EXPECT_EQ(H.allocateLarge(uint32_t(4 * Heap::BlockBytes)), NullRef);
+  // A 3-block run fits exactly.
+  ObjectRef Run = H.allocateLarge(uint32_t(3 * Heap::BlockBytes) - 64);
+  EXPECT_NE(Run, NullRef);
+  // Nothing else fits now.
+  EXPECT_EQ(H.allocateLarge(70000), NullRef);
+}
+
+TEST(LargeObject, FreedRunsCanBeReused) {
+  HeapConfig Config;
+  Config.HeapBytes = 8 * Heap::BlockBytes;
+  Heap H(Config);
+  for (int I = 0; I < 20; ++I) {
+    ObjectRef Run = H.allocateLarge(uint32_t(3 * Heap::BlockBytes) - 64);
+    ASSERT_NE(Run, NullRef) << "iteration " << I;
+    H.freeLargeRun(H.blockIndexOf(Run));
+  }
+}
+
+TEST(LargeObject, RunsAndCellBlocksCoexist) {
+  Heap H(smallConfig());
+  Heap::CellChain Cells = H.popFreeChain(0);
+  ObjectRef Run = H.allocateLarge(150 << 10);
+  ASSERT_NE(Run, NullRef);
+  Heap::CellChain MoreCells = H.popFreeChain(5);
+  ASSERT_GT(MoreCells.Count, 0u);
+  // Distinct blocks.
+  EXPECT_NE(H.blockIndexOf(Cells.Head), H.blockIndexOf(Run));
+  EXPECT_NE(H.blockIndexOf(MoreCells.Head), H.blockIndexOf(Run));
+}
+
+TEST(LargeObject, ColorLivesAtRunStartGranule) {
+  Heap H(smallConfig());
+  ObjectRef Run = H.allocateLarge(100 << 10);
+  ASSERT_NE(Run, NullRef);
+  H.storeColor(Run, Color::Black);
+  EXPECT_EQ(H.loadColor(Run), Color::Black);
+}
+
+} // namespace

@@ -1,0 +1,92 @@
+//===- tests/heap/PageTouchTest.cpp ----------------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "heap/PageTouch.h"
+
+using namespace gengc;
+
+namespace {
+
+PageTouchTracker makeTracker() {
+  PageTouchTracker T;
+  T.registerRegion(Region::Arena, 1 << 20);
+  T.registerRegion(Region::ColorTable, 1 << 16);
+  T.registerRegion(Region::CardTable, 1 << 16);
+  T.registerRegion(Region::AgeTable, 1 << 16);
+  T.setEnabled(true);
+  return T;
+}
+
+TEST(PageTouch, StartsEmpty) {
+  PageTouchTracker T = makeTracker();
+  EXPECT_EQ(T.countTouched(), 0u);
+}
+
+TEST(PageTouch, SingleTouchCountsOnePage) {
+  PageTouchTracker T = makeTracker();
+  T.touch(Region::Arena, 100);
+  EXPECT_EQ(T.countTouched(), 1u);
+}
+
+TEST(PageTouch, SamePageTouchedOnceCountsOnce) {
+  PageTouchTracker T = makeTracker();
+  T.touch(Region::Arena, 0);
+  T.touch(Region::Arena, 4095);
+  EXPECT_EQ(T.countTouched(), 1u);
+  T.touch(Region::Arena, 4096);
+  EXPECT_EQ(T.countTouched(), 2u);
+}
+
+TEST(PageTouch, RegionsAreDisjoint) {
+  PageTouchTracker T = makeTracker();
+  T.touch(Region::Arena, 0);
+  T.touch(Region::ColorTable, 0);
+  T.touch(Region::CardTable, 0);
+  T.touch(Region::AgeTable, 0);
+  EXPECT_EQ(T.countTouched(), 4u);
+}
+
+TEST(PageTouch, TouchRangeSpansPages) {
+  PageTouchTracker T = makeTracker();
+  T.touchRange(Region::Arena, 4000, 200); // crosses a page boundary
+  EXPECT_EQ(T.countTouched(), 2u);
+  T.touchRange(Region::Arena, 8192, 4096 * 3); // exactly 3 pages
+  EXPECT_EQ(T.countTouched(), 5u);
+}
+
+TEST(PageTouch, TouchRangeZeroLengthIsNoop) {
+  PageTouchTracker T = makeTracker();
+  T.touchRange(Region::Arena, 123, 0);
+  EXPECT_EQ(T.countTouched(), 0u);
+}
+
+TEST(PageTouch, DisabledTrackerIgnoresTouches) {
+  PageTouchTracker T = makeTracker();
+  T.setEnabled(false);
+  T.touch(Region::Arena, 0);
+  T.touchRange(Region::ColorTable, 0, 1 << 16);
+  EXPECT_EQ(T.countTouched(), 0u);
+}
+
+TEST(PageTouch, ResetClearsBetweenCycles) {
+  PageTouchTracker T = makeTracker();
+  T.touchRange(Region::Arena, 0, 1 << 20);
+  EXPECT_EQ(T.countTouched(), 256u);
+  T.reset();
+  EXPECT_EQ(T.countTouched(), 0u);
+  T.touch(Region::Arena, 0);
+  EXPECT_EQ(T.countTouched(), 1u);
+}
+
+TEST(PageTouch, WholeRegionTouchMatchesRegionSize) {
+  PageTouchTracker T = makeTracker();
+  T.touchRange(Region::ColorTable, 0, 1 << 16);
+  EXPECT_EQ(T.countTouched(), uint64_t((1 << 16) / 4096));
+}
+
+} // namespace

@@ -1,0 +1,66 @@
+//===- tests/heap/SizeClassesTest.cpp --------------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "heap/Ref.h"
+#include "heap/SizeClasses.h"
+
+using namespace gengc;
+
+namespace {
+
+TEST(SizeClasses, ClassesAreStrictlyIncreasing) {
+  for (unsigned I = 1; I < NumSizeClasses; ++I)
+    EXPECT_GT(sizeClassBytes(I), sizeClassBytes(I - 1));
+}
+
+TEST(SizeClasses, AllClassesAreGranuleMultiples) {
+  for (unsigned I = 0; I < NumSizeClasses; ++I)
+    EXPECT_EQ(sizeClassBytes(I) % GranuleBytes, 0u)
+        << "class " << I << " breaks granule alignment";
+}
+
+TEST(SizeClasses, SmallestClassIsOneGranule) {
+  EXPECT_EQ(sizeClassBytes(0), GranuleBytes);
+}
+
+TEST(SizeClasses, LargestClassMatchesThreshold) {
+  EXPECT_EQ(sizeClassBytes(NumSizeClasses - 1), MaxSmallObjectBytes);
+}
+
+TEST(SizeClasses, LookupReturnsFittingClass) {
+  for (uint32_t Bytes = 1; Bytes <= MaxSmallObjectBytes; Bytes += 7) {
+    unsigned Class = sizeClassFor(Bytes);
+    ASSERT_LT(Class, NumSizeClasses);
+    EXPECT_GE(sizeClassBytes(Class), Bytes);
+    if (Class > 0) {
+      EXPECT_LT(sizeClassBytes(Class - 1), Bytes)
+          << "class for " << Bytes << " is not minimal";
+    }
+  }
+}
+
+TEST(SizeClasses, ExactBoundariesMapToThemselves) {
+  for (unsigned I = 0; I < NumSizeClasses; ++I)
+    EXPECT_EQ(sizeClassFor(sizeClassBytes(I)), I);
+}
+
+TEST(SizeClasses, OversizedRequestsAreLarge) {
+  EXPECT_EQ(sizeClassFor(MaxSmallObjectBytes + 1), NumSizeClasses);
+  EXPECT_EQ(sizeClassFor(1u << 20), NumSizeClasses);
+}
+
+TEST(SizeClasses, WorstCaseInternalFragmentationBounded) {
+  // The 1.5x ladder keeps waste below 50% of the allocation.
+  for (uint32_t Bytes = GranuleBytes; Bytes <= MaxSmallObjectBytes;
+       Bytes += 13) {
+    uint32_t Cell = sizeClassBytes(sizeClassFor(Bytes));
+    EXPECT_LE(Cell, Bytes * 2) << "excess fragmentation at " << Bytes;
+  }
+}
+
+} // namespace

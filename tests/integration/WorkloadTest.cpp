@@ -1,0 +1,117 @@
+//===- tests/integration/WorkloadTest.cpp - Workload engine tests ----------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// Runs scaled-down versions of the synthetic benchmark profiles under both
+// collectors and checks the structural expectations: the run completes, the
+// checksum is collector-independent (the GC never corrupts computation),
+// collections actually happen, and the per-profile generational character
+// (who tenures, who dirties cards) matches the paper's characterization.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "workload/Program.h"
+#include "workload/Runner.h"
+
+using namespace gengc;
+using namespace gengc::workload;
+
+namespace {
+
+/// Small scale so the whole suite stays fast.
+constexpr double TestScale = 0.05;
+
+class ProfileRunTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ProfileRunTest, RunsToCompletionUnderBothCollectors) {
+  Profile P = profileByName(GetParam());
+  P.AllocBytesPerThread = std::min<uint64_t>(P.AllocBytesPerThread,
+                                             64ull << 20);
+  RunResult Gen = runWorkload(P, makeConfig(CollectorChoice::Generational),
+                              TestScale);
+  RunResult Base = runWorkload(
+      P, makeConfig(CollectorChoice::NonGenerational), TestScale);
+
+  EXPECT_GT(Gen.AllocatedObjects, 0u);
+  EXPECT_EQ(Gen.AllocatedObjects, Base.AllocatedObjects)
+      << "allocation trace must not depend on the collector";
+  EXPECT_EQ(Gen.Checksum, Base.Checksum)
+      << "computation must not depend on the collector";
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProfiles, ProfileRunTest,
+                         ::testing::Values("anagram", "mtrt", "compress",
+                                           "db", "jess", "javac", "jack"),
+                         [](const auto &Info) { return Info.param; });
+
+TEST(WorkloadCharacter, AnagramTriggersManyCollections) {
+  Profile P = profileByName("anagram");
+  RunResult R = runWorkload(P, makeConfig(CollectorChoice::Generational),
+                            0.3);
+  EXPECT_GE(R.Gc.Cycles.size(), 3u)
+      << "the collection-intensive profile must actually collect";
+}
+
+TEST(WorkloadCharacter, JessScansFarMoreOldObjectsThanAnagram) {
+  double Scale = 0.4;
+  RunResult Jess = runWorkload(profileByName("jess"),
+                               makeConfig(CollectorChoice::Generational),
+                               Scale);
+  RunResult Anagram = runWorkload(profileByName("anagram"),
+                                  makeConfig(CollectorChoice::Generational),
+                                  Scale);
+  double JessScan =
+      Jess.Gc.mean(CycleKind::Partial, &CycleStats::OldObjectsScanned);
+  double AnagramScan =
+      Anagram.Gc.mean(CycleKind::Partial, &CycleStats::OldObjectsScanned);
+  EXPECT_GT(JessScan, 10 * (AnagramScan + 1))
+      << "jess's old-generation mutation must dominate anagram's";
+}
+
+TEST(WorkloadCharacter, MostYoungObjectsDieInAnagramPartials) {
+  RunResult R = runWorkload(profileByName("anagram"),
+                            makeConfig(CollectorChoice::Generational), 0.3);
+  ASSERT_GT(R.Gc.count(CycleKind::Partial), 0u);
+  EXPECT_GT(R.Gc.percentFreedPartialObjects(), 80.0);
+}
+
+TEST(WorkloadCharacter, MultiThreadedProfileRuns) {
+  Profile P = profileByName("mtrt");
+  P.Threads = 3;
+  RunResult R = runWorkload(P, makeConfig(CollectorChoice::Generational),
+                            TestScale);
+  EXPECT_GT(R.AllocatedObjects, 0u);
+}
+
+TEST(WorkloadCharacter, CopiesRunConcurrently) {
+  Profile P = profileByName("mtrt");
+  RunResult R = runWorkloadCopies(
+      P, makeConfig(CollectorChoice::Generational), 2, 0.02);
+  EXPECT_GT(R.AllocatedObjects, 0u);
+  EXPECT_GT(R.ElapsedSeconds, 0.0);
+}
+
+TEST(WorkloadCharacter, AgingConfigurationRuns) {
+  Profile P = profileByName("jess");
+  RuntimeConfig Config = makeConfig(CollectorChoice::Generational);
+  Config.Collector.Aging = true;
+  Config.Collector.OldestAge = 4;
+  RunResult R = runWorkload(P, Config, TestScale);
+  EXPECT_GT(R.AllocatedObjects, 0u);
+}
+
+TEST(WorkloadCharacter, DbKeepsALargeStableOldGeneration) {
+  RunResult R = runWorkload(profileByName("db"),
+                            makeConfig(CollectorChoice::Generational), 0.3);
+  // The populated table survives partial collections: live bytes after any
+  // partial stay well above the table's footprint floor (~4 MB).
+  ASSERT_GT(R.Gc.count(CycleKind::Partial), 0u);
+  EXPECT_GT(R.Gc.mean(CycleKind::Partial, &CycleStats::LiveBytesAfter),
+            2.0 * 1024 * 1024);
+}
+
+} // namespace

@@ -1,0 +1,178 @@
+//===- tests/integration/WorkloadUnitTest.cpp -------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// Unit-level tests of the workload machinery itself: profile presets, the
+// long-lived table, and the mutator program's bookkeeping.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "workload/Program.h"
+#include "workload/Runner.h"
+
+using namespace gengc;
+using namespace gengc::workload;
+
+namespace {
+
+TEST(Profiles, AllPresetsResolve) {
+  for (const std::string &Name : allProfileNames()) {
+    Profile P = profileByName(Name);
+    EXPECT_EQ(P.Name, Name);
+    EXPECT_GT(P.AllocBytesPerThread, 0u);
+    EXPECT_GT(P.Threads, 0u);
+    EXPECT_GE(P.MaxDataBytes, P.MinDataBytes);
+    EXPECT_GT(P.LongLivedSlots, 0u);
+  }
+  EXPECT_EQ(profileByName("raytracer").Name, "raytracer");
+}
+
+TEST(Profiles, SpecJvmListMatchesPaperOrder) {
+  std::vector<std::string> Expected{"mtrt", "compress", "db",
+                                    "jess", "javac",    "jack"};
+  EXPECT_EQ(specJvmProfileNames(), Expected);
+}
+
+TEST(ProfilesDeathTest, UnknownNameAborts) {
+  ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+  EXPECT_DEATH(profileByName("no-such-benchmark"), "unknown workload");
+}
+
+TEST(Profiles, CharacterizationKnobsMatchThePaper) {
+  // Spot checks that the calibration intent survives edits (Figures 10-12).
+  EXPECT_EQ(profileByName("anagram").OldMutationRate, 0.0)
+      << "anagram scans ~1 old object per partial";
+  EXPECT_GT(profileByName("javac").OldMutationRate, 0.05)
+      << "javac has the heaviest inter-generational load";
+  EXPECT_TRUE(profileByName("db").PopulateAtStart)
+      << "db's database is built up-front";
+  EXPECT_FALSE(profileByName("jess").PopulateAtStart)
+      << "jess tenures its working memory as it runs";
+  EXPECT_LT(profileByName("jess").PromoteEvery,
+            profileByName("anagram").PromoteEvery)
+      << "jess tenures far more heavily than anagram";
+}
+
+struct TableTest : ::testing::Test {
+  TableTest() {
+    RuntimeConfig Config;
+    Config.Heap.HeapBytes = 8 << 20;
+    Config.Collector.Trigger.YoungBytes = 1ull << 40;
+    Config.Collector.Trigger.InitialSoftBytes = 8 << 20;
+    Config.Collector.Trigger.FullFraction = 1.1;
+    RT = std::make_unique<Runtime>(Config);
+    M = RT->attachMutator();
+  }
+  ~TableTest() override {
+    M->popRoots(M->numRoots());
+    M.reset();
+    RT.reset();
+  }
+
+  std::unique_ptr<Runtime> RT;
+  std::unique_ptr<Mutator> M;
+};
+
+TEST_F(TableTest, PutGetRoundTrip) {
+  LongLivedTable Table(*RT, *M, 100);
+  EXPECT_EQ(Table.size(), 100u);
+  ObjectRef Payload = M->allocate(0, 8);
+  Table.put(*M, 42, Payload);
+  EXPECT_EQ(Table.get(*M, 42), Payload);
+  EXPECT_EQ(Table.get(*M, 41), NullRef);
+}
+
+TEST_F(TableTest, PayloadsSurviveCollectionsViaAnchors) {
+  LongLivedTable Table(*RT, *M, 512);
+  std::vector<ObjectRef> Payloads;
+  for (size_t I = 0; I < Table.size(); ++I) {
+    ObjectRef P = M->allocate(1, 16);
+    Table.put(*M, I, P);
+    Payloads.push_back(P);
+  }
+  RT->collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  RT->collector().collectSyncCooperating(CycleRequest::Full, *M);
+  for (size_t I = 0; I < Table.size(); ++I) {
+    EXPECT_EQ(Table.get(*M, I), Payloads[I]);
+    EXPECT_NE(RT->heap().loadColor(Payloads[I]), Color::Blue);
+  }
+}
+
+TEST_F(TableTest, EvictedPayloadsDie) {
+  LongLivedTable Table(*RT, *M, 64);
+  ObjectRef Old = M->allocate(0, 8);
+  Table.put(*M, 7, Old);
+  RT->collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  ObjectRef New = M->allocate(0, 8);
+  Table.put(*M, 7, New); // evicts Old
+  RT->collector().collectSyncCooperating(CycleRequest::Full, *M);
+  EXPECT_EQ(RT->heap().loadColor(Old), Color::Blue);
+  EXPECT_NE(RT->heap().loadColor(New), Color::Blue);
+}
+
+TEST_F(TableTest, SpansMultipleLeaves) {
+  LongLivedTable Table(*RT, *M, LongLivedTable::LeafSlots * 2 + 10);
+  ObjectRef First = M->allocate(0, 8);
+  ObjectRef Last = M->allocate(0, 8);
+  Table.put(*M, 0, First);
+  Table.put(*M, Table.size() - 1, Last);
+  EXPECT_EQ(Table.get(*M, 0), First);
+  EXPECT_EQ(Table.get(*M, Table.size() - 1), Last);
+}
+
+TEST_F(TableTest, AnchorsAreAccessible) {
+  LongLivedTable Table(*RT, *M, 16);
+  for (size_t I = 0; I < 16; ++I) {
+    ObjectRef A = Table.anchor(I);
+    EXPECT_NE(A, NullRef);
+    EXPECT_EQ(objectRefSlots(RT->heap(), A), LongLivedTable::AnchorSlots);
+  }
+}
+
+TEST_F(TableTest, ProgramIsDeterministicPerSeed) {
+  LongLivedTable Table(*RT, *M, 1024);
+  Profile P = profileByName("jess");
+  P.AllocBytesPerThread = 1 << 20;
+  ThreadResult A = runMutatorProgram(*RT, P, Table, 0, 1.0);
+  // Same seed, same thread index: identical allocation count & checksum
+  // regardless of collector interleavings.
+  ThreadResult B = runMutatorProgram(*RT, P, Table, 0, 1.0);
+  EXPECT_EQ(A.AllocatedObjects, B.AllocatedObjects);
+  EXPECT_EQ(A.Checksum, B.Checksum);
+  EXPECT_GT(A.AllocatedBytes, (1u << 20) - 1);
+}
+
+TEST_F(TableTest, ScaleShrinksTheRun) {
+  LongLivedTable Table(*RT, *M, 1024);
+  Profile P = profileByName("jack");
+  P.AllocBytesPerThread = 4 << 20;
+  ThreadResult Full = runMutatorProgram(*RT, P, Table, 0, 0.25);
+  EXPECT_GE(Full.AllocatedBytes, 1u << 20);
+  EXPECT_LT(Full.AllocatedBytes, (1u << 20) + (1u << 18));
+}
+
+TEST(Runner, ImprovementPercentFormula) {
+  RunResult Base, Gen;
+  Base.ElapsedSeconds = 2.0;
+  Gen.ElapsedSeconds = 1.5;
+  EXPECT_DOUBLE_EQ(improvementPercent(Base, Gen), 25.0);
+  Gen.ElapsedSeconds = 2.5;
+  EXPECT_DOUBLE_EQ(improvementPercent(Base, Gen), -25.0);
+  Base.ElapsedSeconds = 0.0;
+  EXPECT_DOUBLE_EQ(improvementPercent(Base, Gen), 0.0);
+}
+
+TEST(Runner, MakeConfigAppliesKnobs) {
+  RuntimeConfig Config =
+      makeConfig(CollectorChoice::NonGenerational, 2 << 20, 512);
+  EXPECT_EQ(Config.Choice, CollectorChoice::NonGenerational);
+  EXPECT_EQ(Config.Collector.Trigger.YoungBytes, uint64_t(2 << 20));
+  EXPECT_EQ(Config.Heap.CardBytes, 512u);
+  EXPECT_EQ(Config.Heap.HeapBytes, 32ull << 20) << "the paper's max heap";
+}
+
+} // namespace

@@ -1,0 +1,83 @@
+//===- tests/runtime/GrayBufferTest.cpp ------------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "runtime/GrayBuffer.h"
+
+using namespace gengc;
+
+namespace {
+
+TEST(GrayBuffer, StartsEmpty) {
+  GrayBuffer B;
+  std::vector<ObjectRef> Out;
+  EXPECT_FALSE(B.drainTo(Out));
+  EXPECT_TRUE(Out.empty());
+}
+
+TEST(GrayBuffer, PushDrainRoundTrip) {
+  GrayBuffer B;
+  B.push(16);
+  B.push(32);
+  std::vector<ObjectRef> Out;
+  EXPECT_TRUE(B.drainTo(Out));
+  EXPECT_EQ(Out, (std::vector<ObjectRef>{16, 32}));
+  EXPECT_FALSE(B.drainTo(Out)) << "drain empties the buffer";
+}
+
+TEST(GrayBuffer, DrainAppendsToExisting) {
+  GrayBuffer B;
+  B.push(48);
+  std::vector<ObjectRef> Out{16};
+  EXPECT_TRUE(B.drainTo(Out));
+  EXPECT_EQ(Out, (std::vector<ObjectRef>{16, 48}));
+}
+
+TEST(GrayBuffer, PushManyBatches) {
+  GrayBuffer B;
+  B.pushMany({});
+  std::vector<ObjectRef> Out;
+  EXPECT_FALSE(B.drainTo(Out)) << "empty batch adds nothing";
+  B.pushMany({16, 32, 48});
+  B.push(64);
+  EXPECT_TRUE(B.drainTo(Out));
+  EXPECT_EQ(Out, (std::vector<ObjectRef>{16, 32, 48, 64}));
+}
+
+TEST(GrayBuffer, ClearDiscards) {
+  GrayBuffer B;
+  B.push(16);
+  B.clear();
+  std::vector<ObjectRef> Out;
+  EXPECT_FALSE(B.drainTo(Out));
+}
+
+TEST(GrayBuffer, ConcurrentPushersLoseNothing) {
+  GrayBuffer B;
+  constexpr unsigned Threads = 4, PerThread = 10000;
+  std::vector<std::thread> Workers;
+  for (unsigned W = 0; W < Threads; ++W)
+    Workers.emplace_back([&B, W] {
+      for (unsigned I = 0; I < PerThread; ++I)
+        B.push(ObjectRef((W * PerThread + I + 1) * 16));
+    });
+  std::vector<ObjectRef> Out;
+  // Drain concurrently with the pushers, then once more after they join.
+  for (int I = 0; I < 100; ++I)
+    B.drainTo(Out);
+  for (std::thread &W : Workers)
+    W.join();
+  B.drainTo(Out);
+  EXPECT_EQ(Out.size(), size_t(Threads) * PerThread);
+  std::sort(Out.begin(), Out.end());
+  EXPECT_TRUE(std::adjacent_find(Out.begin(), Out.end()) == Out.end())
+      << "no entry duplicated";
+}
+
+} // namespace

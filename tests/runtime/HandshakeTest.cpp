@@ -1,0 +1,106 @@
+//===- tests/runtime/HandshakeTest.cpp -------------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "runtime/Handshake.h"
+#include "runtime/Mutator.h"
+
+using namespace gengc;
+
+namespace {
+
+struct HandshakeTest : ::testing::Test {
+  HandshakeTest()
+      : H(HeapConfig{.HeapBytes = 64 << 20}), Registry(State),
+        Driver(State, Registry) {}
+
+  Heap H;
+  CollectorState State;
+  MutatorRegistry Registry;
+  HandshakeDriver Driver;
+};
+
+TEST_F(HandshakeTest, PostPublishesStatus) {
+  Driver.post(HandshakeStatus::Sync1);
+  EXPECT_EQ(State.StatusC.load(), HandshakeStatus::Sync1);
+}
+
+TEST_F(HandshakeTest, WaitReturnsImmediatelyWithNoMutators) {
+  Driver.handshake(HandshakeStatus::Sync1);
+  Driver.handshake(HandshakeStatus::Sync2);
+  Driver.handshake(HandshakeStatus::Async);
+  SUCCEED();
+}
+
+TEST_F(HandshakeTest, WaitBlocksUntilMutatorCooperates) {
+  Mutator M(H, State, Registry);
+  std::atomic<bool> HandshakeDone{false};
+  std::thread Collector([&] {
+    Driver.handshake(HandshakeStatus::Sync1);
+    HandshakeDone.store(true, std::memory_order_release);
+  });
+  // Give the collector a moment: it must NOT complete.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(HandshakeDone.load(std::memory_order_acquire));
+  M.cooperate();
+  Collector.join();
+  EXPECT_TRUE(HandshakeDone.load(std::memory_order_acquire));
+}
+
+TEST_F(HandshakeTest, WaitCompletesForBlockedMutators) {
+  Mutator M(H, State, Registry);
+  M.enterBlocked();
+  // The driver responds on the blocked mutator's behalf.
+  Driver.handshake(HandshakeStatus::Sync1);
+  EXPECT_EQ(M.status(), HandshakeStatus::Sync1);
+  M.exitBlocked();
+}
+
+TEST_F(HandshakeTest, FullCycleOfStatusesWithManyThreads) {
+  constexpr unsigned NumThreads = 6;
+  std::atomic<bool> Stop{false};
+  std::vector<std::thread> Threads;
+  for (unsigned T = 0; T < NumThreads; ++T)
+    Threads.emplace_back([&] {
+      Mutator M(H, State, Registry);
+      uint64_t Allocs = 0;
+      while (!Stop.load(std::memory_order_acquire)) {
+        // Bounded: there is no collector in this test to reclaim memory.
+        if (Allocs++ < 200000)
+          M.allocate(1, 16);
+        M.cooperate();
+      }
+    });
+  // Run several complete handshake cycles against the churning threads.
+  for (int Cycle = 0; Cycle < 20; ++Cycle) {
+    Driver.handshake(HandshakeStatus::Sync1);
+    Driver.handshake(HandshakeStatus::Sync2);
+    Driver.handshake(HandshakeStatus::Async);
+  }
+  Stop.store(true, std::memory_order_release);
+  for (std::thread &T : Threads)
+    T.join();
+  SUCCEED();
+}
+
+TEST_F(HandshakeTest, DeregistrationUnblocksWait) {
+  auto M = std::make_unique<Mutator>(H, State, Registry);
+  std::atomic<bool> HandshakeDone{false};
+  std::thread Collector([&] {
+    Driver.handshake(HandshakeStatus::Sync1);
+    HandshakeDone.store(true, std::memory_order_release);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  EXPECT_FALSE(HandshakeDone.load(std::memory_order_acquire));
+  M.reset(); // thread "exits" without ever cooperating
+  Collector.join();
+  EXPECT_TRUE(HandshakeDone.load(std::memory_order_acquire));
+}
+
+} // namespace

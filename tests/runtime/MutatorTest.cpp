@@ -1,0 +1,180 @@
+//===- tests/runtime/MutatorTest.cpp ---------------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <thread>
+
+#include "runtime/Mutator.h"
+#include "runtime/MutatorRegistry.h"
+
+using namespace gengc;
+
+namespace {
+
+struct MutatorTest : ::testing::Test {
+  MutatorTest()
+      : H(HeapConfig{.HeapBytes = 8 << 20}), Registry(State) {}
+
+  Heap H;
+  CollectorState State;
+  MutatorRegistry Registry;
+};
+
+TEST_F(MutatorTest, RegistersAndDeregisters) {
+  EXPECT_EQ(Registry.size(), 0u);
+  {
+    Mutator M(H, State, Registry);
+    EXPECT_EQ(Registry.size(), 1u);
+    Mutator M2(H, State, Registry);
+    EXPECT_EQ(Registry.size(), 2u);
+  }
+  EXPECT_EQ(Registry.size(), 0u);
+}
+
+TEST_F(MutatorTest, AllocateInitializesObject) {
+  Mutator M(H, State, Registry);
+  ObjectRef Ref = M.allocate(2, 16, 5);
+  EXPECT_NE(Ref, NullRef);
+  EXPECT_EQ(objectRefSlots(H, Ref), 2u);
+  EXPECT_EQ(objectTag(H, Ref), 5);
+  EXPECT_EQ(M.readRef(Ref, 0), NullRef);
+  EXPECT_EQ(H.loadColor(Ref), State.allocationColor());
+}
+
+TEST_F(MutatorTest, AllocationsAreDistinct) {
+  Mutator M(H, State, Registry);
+  std::set<ObjectRef> Seen;
+  for (int I = 0; I < 10000; ++I)
+    EXPECT_TRUE(Seen.insert(M.allocate(1, 24)).second);
+}
+
+TEST_F(MutatorTest, AllocationCountersTrack) {
+  Mutator M(H, State, Registry);
+  for (int I = 0; I < 100; ++I)
+    M.allocate(1, 20);
+  EXPECT_EQ(M.allocatedObjects(), 100u);
+  EXPECT_EQ(M.allocatedBytes(), 100u * objectBytesFor(1, 20));
+}
+
+TEST_F(MutatorTest, LargeAllocationGoesToRuns) {
+  Mutator M(H, State, Registry);
+  ObjectRef Ref = M.allocate(4, 100 << 10);
+  EXPECT_EQ(H.block(H.blockIndexOf(Ref)).State, BlockState::LargeStart);
+  EXPECT_EQ(objectRefSlots(H, Ref), 4u);
+}
+
+TEST_F(MutatorTest, RootStackPushPopSetGet) {
+  Mutator M(H, State, Registry);
+  ObjectRef A = M.allocate(0, 8), B = M.allocate(0, 8);
+  size_t SlotA = M.pushRoot(A);
+  size_t SlotB = M.pushRoot(B);
+  EXPECT_EQ(M.numRoots(), 2u);
+  EXPECT_EQ(M.root(SlotA), A);
+  EXPECT_EQ(M.root(SlotB), B);
+  M.setRoot(SlotA, B);
+  EXPECT_EQ(M.root(SlotA), B);
+  M.popRoots(2);
+  EXPECT_EQ(M.numRoots(), 0u);
+}
+
+TEST_F(MutatorTest, WriteRefStoresValue) {
+  Mutator M(H, State, Registry);
+  ObjectRef A = M.allocate(2, 8), B = M.allocate(0, 8);
+  M.writeRef(A, 0, B);
+  EXPECT_EQ(M.readRef(A, 0), B);
+  M.writeRef(A, 0, NullRef);
+  EXPECT_EQ(M.readRef(A, 0), NullRef);
+}
+
+TEST_F(MutatorTest, CooperateFollowsCollectorStatus) {
+  Mutator M(H, State, Registry);
+  EXPECT_EQ(M.status(), HandshakeStatus::Async);
+  State.StatusC.store(HandshakeStatus::Sync1);
+  EXPECT_EQ(M.status(), HandshakeStatus::Async) << "no response before cooperate";
+  M.cooperate();
+  EXPECT_EQ(M.status(), HandshakeStatus::Sync1);
+  State.StatusC.store(HandshakeStatus::Sync2);
+  M.cooperate();
+  EXPECT_EQ(M.status(), HandshakeStatus::Sync2);
+  State.StatusC.store(HandshakeStatus::Async);
+  M.cooperate();
+  EXPECT_EQ(M.status(), HandshakeStatus::Async);
+}
+
+TEST_F(MutatorTest, RootsAreShadedOnThirdHandshakeResponse) {
+  Mutator M(H, State, Registry);
+  // Walk the mutator to sync2.
+  State.StatusC.store(HandshakeStatus::Sync1);
+  M.cooperate();
+  State.StatusC.store(HandshakeStatus::Sync2);
+  M.cooperate();
+
+  ObjectRef Root = M.allocate(0, 8);
+  // Make the root clear-colored, as a pre-cycle object would be after the
+  // toggle.
+  H.storeColor(Root, State.clearColor());
+  M.pushRoot(Root);
+
+  State.StatusC.store(HandshakeStatus::Async);
+  M.cooperate(); // sync2 -> async response shades roots
+  EXPECT_EQ(H.loadColor(Root), Color::Gray);
+  M.popRoots(1);
+}
+
+TEST_F(MutatorTest, NewMutatorAdoptsCurrentStatus) {
+  State.StatusC.store(HandshakeStatus::Sync2);
+  Mutator M(H, State, Registry);
+  EXPECT_EQ(M.status(), HandshakeStatus::Sync2);
+}
+
+TEST_F(MutatorTest, AgingBarrierSetsAgeOne) {
+  State.Barrier.store(BarrierKind::Aging);
+  Mutator M(H, State, Registry);
+  ObjectRef Ref = M.allocate(1, 8);
+  EXPECT_EQ(H.ages().ageOf(Ref), 1);
+}
+
+TEST_F(MutatorTest, SimpleBarrierLeavesAgeZero) {
+  State.Barrier.store(BarrierKind::Simple);
+  Mutator M(H, State, Registry);
+  ObjectRef Ref = M.allocate(1, 8);
+  EXPECT_EQ(H.ages().ageOf(Ref), 0);
+}
+
+TEST_F(MutatorTest, DestructorReturnsCachedCells) {
+  uint64_t UsedBefore = H.usedBytes();
+  uint64_t CellBytes = sizeClassBytes(sizeClassFor(objectBytesFor(1, 24)));
+  {
+    Mutator M(H, State, Registry);
+    M.allocate(1, 24); // pulls a whole chain into the cache
+    EXPECT_GT(H.usedBytes(), UsedBefore + CellBytes);
+  }
+  // The cache chain returns to the heap; only the one allocated cell stays
+  // out (it would be reclaimed by a sweep, not by the mutator exit).
+  EXPECT_EQ(H.usedBytes(), UsedBefore + CellBytes);
+}
+
+TEST_F(MutatorTest, HelpIfBlockedRespondsForParkedThread) {
+  Mutator M(H, State, Registry);
+  M.enterBlocked();
+  State.StatusC.store(HandshakeStatus::Sync1);
+  EXPECT_EQ(M.status(), HandshakeStatus::Async);
+  M.helpIfBlocked();
+  EXPECT_EQ(M.status(), HandshakeStatus::Sync1);
+  M.exitBlocked();
+}
+
+TEST_F(MutatorTest, ExitBlockedCatchesUp) {
+  Mutator M(H, State, Registry);
+  M.enterBlocked();
+  State.StatusC.store(HandshakeStatus::Sync1);
+  M.exitBlocked();
+  EXPECT_EQ(M.status(), HandshakeStatus::Sync1);
+}
+
+} // namespace

@@ -1,0 +1,97 @@
+//===- tests/runtime/ObjectModelTest.cpp -----------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "heap/Heap.h"
+#include "runtime/ObjectModel.h"
+
+using namespace gengc;
+
+namespace {
+
+struct ObjectModelTest : ::testing::Test {
+  ObjectModelTest() : H(HeapConfig{.HeapBytes = 4 << 20}) {}
+
+  ObjectRef freshCell(uint32_t Bytes) {
+    Heap::CellChain Chain = H.popFreeChain(sizeClassFor(Bytes));
+    return Chain.Head; // leaks the rest; fine for tests
+  }
+
+  Heap H;
+};
+
+TEST_F(ObjectModelTest, HeaderRoundTrip) {
+  ObjectRef Ref = freshCell(64);
+  initObject(H, Ref, 3, 42, 64);
+  EXPECT_EQ(objectRefSlots(H, Ref), 3u);
+  EXPECT_EQ(objectTag(H, Ref), 42);
+  EXPECT_EQ(objectAllocBytes(H, Ref), 64u);
+}
+
+TEST_F(ObjectModelTest, InitClearsRefSlots) {
+  ObjectRef Ref = freshCell(64);
+  // Scribble over the cell to simulate reuse.
+  for (uint64_t Offset = 0; Offset < 64; Offset += 4)
+    H.wordAt(Ref + Offset).store(0xFFFFFFFF);
+  initObject(H, Ref, 4, 0, 64);
+  for (uint32_t I = 0; I < 4; ++I)
+    EXPECT_EQ(loadRefSlot(H, Ref, I), NullRef);
+}
+
+TEST_F(ObjectModelTest, SlotStoresAreIndependent) {
+  ObjectRef Ref = freshCell(64);
+  initObject(H, Ref, 4, 0, 64);
+  storeRefSlotRaw(H, Ref, 1, 0x1230);
+  storeRefSlotRaw(H, Ref, 3, 0x4560);
+  EXPECT_EQ(loadRefSlot(H, Ref, 0), NullRef);
+  EXPECT_EQ(loadRefSlot(H, Ref, 1), 0x1230u);
+  EXPECT_EQ(loadRefSlot(H, Ref, 2), NullRef);
+  EXPECT_EQ(loadRefSlot(H, Ref, 3), 0x4560u);
+}
+
+TEST_F(ObjectModelTest, DataWordsFollowRefSlots) {
+  ObjectRef Ref = freshCell(64);
+  initObject(H, Ref, 2, 0, 40); // 8 hdr + 8 refs + 24 data
+  EXPECT_EQ(objectDataWords(H, Ref), 6u);
+  for (uint32_t I = 0; I < 6; ++I)
+    storeDataWord(H, Ref, I, I * 100);
+  for (uint32_t I = 0; I < 6; ++I)
+    EXPECT_EQ(loadDataWord(H, Ref, I), I * 100);
+  // Data stores must not clobber ref slots.
+  EXPECT_EQ(loadRefSlot(H, Ref, 0), NullRef);
+  EXPECT_EQ(loadRefSlot(H, Ref, 1), NullRef);
+}
+
+TEST_F(ObjectModelTest, ZeroRefSlotObjects) {
+  ObjectRef Ref = freshCell(32);
+  initObject(H, Ref, 0, 7, 32);
+  EXPECT_EQ(objectRefSlots(H, Ref), 0u);
+  EXPECT_EQ(objectDataWords(H, Ref), (32u - 8u) / 4u);
+}
+
+TEST_F(ObjectModelTest, ObjectBytesForFormula) {
+  EXPECT_EQ(objectBytesFor(0, 0), ObjectHeaderBytes);
+  EXPECT_EQ(objectBytesFor(2, 0), ObjectHeaderBytes + 8);
+  EXPECT_EQ(objectBytesFor(2, 24), ObjectHeaderBytes + 8 + 24);
+}
+
+TEST_F(ObjectModelTest, LargeObjectHeaders) {
+  ObjectRef Run = H.allocateLarge(100 << 10);
+  ASSERT_NE(Run, NullRef);
+  initObject(H, Run, 1000, 9, 100 << 10);
+  EXPECT_EQ(objectRefSlots(H, Run), 1000u);
+  EXPECT_EQ(objectTag(H, Run), 9);
+  storeRefSlotRaw(H, Run, 999, 0x10);
+  EXPECT_EQ(loadRefSlot(H, Run, 999), 0x10u);
+}
+
+TEST_F(ObjectModelTest, MaxRefSlotsBoundedByHeader) {
+  // 16-bit field: MaxRefSlots slots are representable.
+  EXPECT_EQ(MaxRefSlots, 0xFFFFu);
+}
+
+} // namespace

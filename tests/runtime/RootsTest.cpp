@@ -1,0 +1,119 @@
+//===- tests/runtime/RootsTest.cpp -----------------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "runtime/Roots.h"
+
+using namespace gengc;
+
+namespace {
+
+struct RootsTest : ::testing::Test {
+  RootsTest() : H(HeapConfig{.HeapBytes = 2 << 20}), Roots(H, State) {
+    Chain = H.popFreeChain(0);
+  }
+
+  ObjectRef freshCell() {
+    ObjectRef Ref = Chain.Head;
+    Chain.Head = H.chainNext(Ref);
+    --Chain.Count;
+    return Ref;
+  }
+
+  Heap H;
+  CollectorState State;
+  GlobalRoots Roots;
+  Heap::CellChain Chain;
+};
+
+TEST_F(RootsTest, AddAndGet) {
+  ObjectRef A = freshCell();
+  size_t Index = Roots.addRoot(A);
+  EXPECT_EQ(Roots.get(Index), A);
+  EXPECT_EQ(Roots.size(), 1u);
+}
+
+TEST_F(RootsTest, DefaultInitialIsNull) {
+  size_t Index = Roots.addRoot();
+  EXPECT_EQ(Roots.get(Index), NullRef);
+}
+
+TEST_F(RootsTest, SetOverwrites) {
+  size_t Index = Roots.addRoot();
+  ObjectRef A = freshCell();
+  Roots.set(Index, A);
+  EXPECT_EQ(Roots.get(Index), A);
+  Roots.set(Index, NullRef);
+  EXPECT_EQ(Roots.get(Index), NullRef);
+}
+
+TEST_F(RootsTest, MarkAllShadesClearColoredRoots) {
+  ObjectRef A = freshCell(), B = freshCell(), C = freshCell();
+  H.storeColor(A, State.clearColor());
+  H.storeColor(B, Color::Black);
+  H.storeColor(C, State.allocationColor());
+  Roots.addRoot(A);
+  Roots.addRoot(B);
+  Roots.addRoot(C);
+  Roots.addRoot(NullRef);
+  GrayCounters Counters;
+  Roots.markAll(Counters);
+  EXPECT_EQ(H.loadColor(A), Color::Gray);
+  EXPECT_EQ(H.loadColor(B), Color::Black);
+  EXPECT_EQ(H.loadColor(C), State.allocationColor());
+  EXPECT_EQ(Counters.FromClear.load(), 1u);
+}
+
+TEST_F(RootsTest, SetDuringMarkPhaseShadesValue) {
+  ObjectRef A = freshCell();
+  H.storeColor(A, State.clearColor());
+  size_t Index = Roots.addRoot();
+  State.Phase.store(GcPhase::Mark);
+  Roots.set(Index, A);
+  State.Phase.store(GcPhase::Idle);
+  EXPECT_EQ(H.loadColor(A), Color::Gray)
+      << "a root store during marking must protect the value";
+}
+
+TEST_F(RootsTest, SetDuringMarkShadesAllocationColoredToo) {
+  ObjectRef A = freshCell();
+  H.storeColor(A, State.allocationColor());
+  size_t Index = Roots.addRoot();
+  State.Phase.store(GcPhase::Clear);
+  Roots.set(Index, A);
+  State.Phase.store(GcPhase::Idle);
+  EXPECT_EQ(H.loadColor(A), Color::Gray);
+}
+
+TEST_F(RootsTest, SetDuringSweepOrIdleDoesNotShade) {
+  ObjectRef A = freshCell();
+  H.storeColor(A, State.clearColor());
+  size_t Index = Roots.addRoot();
+  Roots.set(Index, A); // idle
+  EXPECT_EQ(H.loadColor(A), State.clearColor());
+  State.Phase.store(GcPhase::Sweep);
+  Roots.set(Index, A);
+  State.Phase.store(GcPhase::Idle);
+  EXPECT_EQ(H.loadColor(A), State.clearColor());
+}
+
+TEST_F(RootsTest, ConcurrentAddsAreSafe) {
+  constexpr unsigned Threads = 4, PerThread = 500;
+  std::vector<std::thread> Workers;
+  for (unsigned W = 0; W < Threads; ++W)
+    Workers.emplace_back([&] {
+      for (unsigned I = 0; I < PerThread; ++I)
+        Roots.addRoot(NullRef);
+    });
+  for (std::thread &W : Workers)
+    W.join();
+  EXPECT_EQ(Roots.size(), Threads * PerThread);
+}
+
+} // namespace

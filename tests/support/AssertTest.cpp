@@ -1,0 +1,30 @@
+//===- tests/support/AssertTest.cpp ----------------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "support/Assert.h"
+
+namespace {
+
+TEST(Assert, PassingAssertIsSilent) {
+  GENGC_ASSERT(1 + 1 == 2, "arithmetic works");
+  SUCCEED();
+}
+
+TEST(AssertDeathTest, FailingAssertAborts) {
+  EXPECT_DEATH(GENGC_ASSERT(false, "expected failure"), "assertion failed");
+}
+
+TEST(AssertDeathTest, UnreachableAborts) {
+  EXPECT_DEATH(GENGC_UNREACHABLE("expected unreachable"), "unreachable");
+}
+
+TEST(AssertDeathTest, MessageIncludesCondition) {
+  EXPECT_DEATH(GENGC_ASSERT(2 > 3, "math broke"), "2 > 3");
+}
+
+} // namespace

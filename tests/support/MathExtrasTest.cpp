@@ -1,0 +1,78 @@
+//===- tests/support/MathExtrasTest.cpp ------------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "support/MathExtras.h"
+
+using namespace gengc;
+
+namespace {
+
+TEST(MathExtras, IsPowerOf2) {
+  EXPECT_FALSE(isPowerOf2(0));
+  EXPECT_TRUE(isPowerOf2(1));
+  EXPECT_TRUE(isPowerOf2(2));
+  EXPECT_FALSE(isPowerOf2(3));
+  EXPECT_TRUE(isPowerOf2(4096));
+  EXPECT_FALSE(isPowerOf2(4097));
+  EXPECT_TRUE(isPowerOf2(1ull << 63));
+  EXPECT_FALSE(isPowerOf2(~0ull));
+}
+
+TEST(MathExtras, AlignTo) {
+  EXPECT_EQ(alignTo(0, 16), 0u);
+  EXPECT_EQ(alignTo(1, 16), 16u);
+  EXPECT_EQ(alignTo(16, 16), 16u);
+  EXPECT_EQ(alignTo(17, 16), 32u);
+  EXPECT_EQ(alignTo(4095, 4096), 4096u);
+}
+
+TEST(MathExtras, Log2Floor) {
+  EXPECT_EQ(log2Floor(1), 0u);
+  EXPECT_EQ(log2Floor(2), 1u);
+  EXPECT_EQ(log2Floor(3), 1u);
+  EXPECT_EQ(log2Floor(4), 2u);
+  EXPECT_EQ(log2Floor(4096), 12u);
+  EXPECT_EQ(log2Floor(1ull << 63), 63u);
+}
+
+TEST(MathExtras, Log2Ceil) {
+  EXPECT_EQ(log2Ceil(1), 0u);
+  EXPECT_EQ(log2Ceil(2), 1u);
+  EXPECT_EQ(log2Ceil(3), 2u);
+  EXPECT_EQ(log2Ceil(4), 2u);
+  EXPECT_EQ(log2Ceil(5), 3u);
+}
+
+TEST(MathExtras, DivideCeil) {
+  EXPECT_EQ(divideCeil(0, 4), 0u);
+  EXPECT_EQ(divideCeil(1, 4), 1u);
+  EXPECT_EQ(divideCeil(4, 4), 1u);
+  EXPECT_EQ(divideCeil(5, 4), 2u);
+  EXPECT_EQ(divideCeil(65536, 48), 1366u);
+}
+
+/// Property: alignTo always yields a multiple of the alignment, and never
+/// moves a value by a full alignment or more.
+class AlignToProperty
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t>> {};
+
+TEST_P(AlignToProperty, AlignedAndMinimal) {
+  auto [Value, Align] = GetParam();
+  uint64_t Aligned = alignTo(Value, Align);
+  EXPECT_EQ(Aligned % Align, 0u);
+  EXPECT_GE(Aligned, Value);
+  EXPECT_LT(Aligned - Value, Align);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AlignToProperty,
+    ::testing::Combine(::testing::Values(0, 1, 7, 15, 16, 17, 100, 65535,
+                                         65536, 1000000),
+                       ::testing::Values(1, 2, 16, 64, 4096)));
+
+} // namespace

@@ -1,0 +1,101 @@
+//===- tests/support/RandomTest.cpp ----------------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "support/Random.h"
+
+using namespace gengc;
+
+namespace {
+
+TEST(Random, DeterministicForFixedSeed) {
+  Rng A(42), B(42);
+  for (int I = 0; I < 1000; ++I)
+    EXPECT_EQ(A.next(), B.next());
+}
+
+TEST(Random, DifferentSeedsDiverge) {
+  Rng A(1), B(2);
+  unsigned Same = 0;
+  for (int I = 0; I < 100; ++I)
+    if (A.next() == B.next())
+      ++Same;
+  EXPECT_EQ(Same, 0u);
+}
+
+TEST(Random, ReseedRestartsTheStream) {
+  Rng A(7);
+  std::vector<uint64_t> First;
+  for (int I = 0; I < 10; ++I)
+    First.push_back(A.next());
+  A.reseed(7);
+  for (int I = 0; I < 10; ++I)
+    EXPECT_EQ(A.next(), First[size_t(I)]);
+}
+
+TEST(Random, NextBelowStaysInRange) {
+  Rng R(123);
+  for (uint64_t Bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40})
+    for (int I = 0; I < 1000; ++I)
+      EXPECT_LT(R.nextBelow(Bound), Bound);
+}
+
+TEST(Random, NextInRangeInclusive) {
+  Rng R(5);
+  bool SawLo = false, SawHi = false;
+  for (int I = 0; I < 10000; ++I) {
+    uint64_t V = R.nextInRange(3, 7);
+    EXPECT_GE(V, 3u);
+    EXPECT_LE(V, 7u);
+    SawLo |= V == 3;
+    SawHi |= V == 7;
+  }
+  EXPECT_TRUE(SawLo);
+  EXPECT_TRUE(SawHi);
+}
+
+TEST(Random, DoubleInUnitInterval) {
+  Rng R(99);
+  for (int I = 0; I < 10000; ++I) {
+    double D = R.nextDouble();
+    EXPECT_GE(D, 0.0);
+    EXPECT_LT(D, 1.0);
+  }
+}
+
+TEST(Random, BoolProbabilityRoughlyHonored) {
+  Rng R(321);
+  int Hits = 0;
+  constexpr int N = 100000;
+  for (int I = 0; I < N; ++I)
+    if (R.nextBool(0.25))
+      ++Hits;
+  EXPECT_NEAR(double(Hits) / N, 0.25, 0.02);
+}
+
+TEST(Random, NoShortCycles) {
+  Rng R(17);
+  std::set<uint64_t> Seen;
+  for (int I = 0; I < 10000; ++I)
+    Seen.insert(R.next());
+  EXPECT_EQ(Seen.size(), 10000u);
+}
+
+TEST(Random, UniformityAcrossBuckets) {
+  Rng R(2718);
+  constexpr int Buckets = 16;
+  int Counts[Buckets] = {};
+  constexpr int N = 160000;
+  for (int I = 0; I < N; ++I)
+    ++Counts[R.nextBelow(Buckets)];
+  for (int Count : Counts)
+    EXPECT_NEAR(double(Count), N / Buckets, N / Buckets * 0.1);
+}
+
+} // namespace

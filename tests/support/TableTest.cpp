@@ -1,0 +1,87 @@
+//===- tests/support/TableTest.cpp -----------------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "support/Table.h"
+
+using namespace gengc;
+
+namespace {
+
+/// Renders a table into a string via a temporary file.
+std::string render(const Table &T) {
+  std::FILE *Tmp = std::tmpfile();
+  T.print(Tmp);
+  std::fseek(Tmp, 0, SEEK_SET);
+  std::string Out;
+  char Buf[4096];
+  size_t N;
+  while ((N = std::fread(Buf, 1, sizeof(Buf), Tmp)) > 0)
+    Out.append(Buf, N);
+  std::fclose(Tmp);
+  return Out;
+}
+
+TEST(Table, RendersHeaderAndRows) {
+  Table T({"name", "value"});
+  T.addRow({"alpha", "1"});
+  T.addRow({"beta", "2"});
+  std::string Out = render(T);
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  EXPECT_NE(Out.find("alpha"), std::string::npos);
+  EXPECT_NE(Out.find("beta"), std::string::npos);
+}
+
+TEST(Table, ColumnsAreAligned) {
+  Table T({"a", "b"});
+  T.addRow({"longcellvalue", "x"});
+  T.addRow({"s", "y"});
+  std::string Out = render(T);
+  // Both data rows must place their second column at the same offset.
+  size_t RowStart1 = Out.find("longcellvalue");
+  size_t RowStart2 = Out.find("s", Out.find('y')); // crude but stable
+  ASSERT_NE(RowStart1, std::string::npos);
+  size_t X = Out.find('x', RowStart1) - RowStart1;
+  size_t LineStart2 = Out.rfind('\n', Out.find('y')) + 1;
+  size_t Y = Out.find('y', LineStart2) - LineStart2;
+  EXPECT_EQ(X, Y);
+  (void)RowStart2;
+}
+
+TEST(Table, ShortRowsArePadded) {
+  Table T({"a", "b", "c"});
+  T.addRow({"only"});
+  EXPECT_NE(render(T).find("only"), std::string::npos);
+}
+
+TEST(Table, SeparatorRendersDashes) {
+  Table T({"h"});
+  T.addSeparator();
+  T.addRow({"v"});
+  EXPECT_NE(render(T).find("---"), std::string::npos);
+}
+
+TEST(Table, NumberFormatting) {
+  EXPECT_EQ(Table::number(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::number(3.0, 0), "3");
+  EXPECT_EQ(Table::number(-2.5, 1), "-2.5");
+}
+
+TEST(Table, PercentFormattingShowsSign) {
+  EXPECT_EQ(Table::percent(3.7), "+3.7");
+  EXPECT_EQ(Table::percent(-3.7), "-3.7");
+  EXPECT_EQ(Table::percent(0.0), "+0.0");
+}
+
+TEST(Table, CountFormatting) {
+  EXPECT_EQ(Table::count(0), "0");
+  EXPECT_EQ(Table::count(123456789), "123456789");
+}
+
+} // namespace

@@ -1,0 +1,60 @@
+//===- tests/support/TimerTest.cpp -----------------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "support/Timer.h"
+
+using namespace gengc;
+
+namespace {
+
+TEST(Timer, NowNanosIsMonotonic) {
+  uint64_t A = nowNanos();
+  uint64_t B = nowNanos();
+  EXPECT_LE(A, B);
+}
+
+TEST(Timer, StopWatchMeasuresSleep) {
+  StopWatch W;
+  W.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  uint64_t Interval = W.stop();
+  EXPECT_GE(Interval, 9'000'000u); // at least ~9ms
+  EXPECT_EQ(W.totalNanos(), Interval);
+}
+
+TEST(Timer, StopWatchAccumulatesIntervals) {
+  StopWatch W;
+  W.start();
+  W.stop();
+  uint64_t First = W.totalNanos();
+  W.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  W.stop();
+  EXPECT_GT(W.totalNanos(), First);
+}
+
+TEST(Timer, ResetClearsAccumulation) {
+  StopWatch W;
+  W.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  W.stop();
+  W.reset();
+  EXPECT_EQ(W.totalNanos(), 0u);
+}
+
+TEST(Timer, MillisMatchesNanos) {
+  StopWatch W;
+  W.start();
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  W.stop();
+  EXPECT_DOUBLE_EQ(W.totalMillis(), double(W.totalNanos()) * 1e-6);
+}
+
+} // namespace

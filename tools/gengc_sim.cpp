@@ -1,0 +1,171 @@
+//===- tools/gengc_sim.cpp - Workload/configuration explorer ---------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// A command-line driver for one-off experiments: run any benchmark profile
+// under any collector configuration and print the full per-run statistics.
+//
+//   gengc-sim [options]
+//     --profile NAME      anagram|mtrt|raytracer|compress|db|jess|javac|jack
+//     --collector KIND    gen|dlg|stw            (default gen)
+//     --young MB          young generation size  (default 4)
+//     --card BYTES        card size 16..4096     (default 16)
+//     --aging N           aging with threshold N (default off)
+//     --remset            remembered sets instead of cards
+//     --threads N         override profile thread count
+//     --scale F           allocation budget multiplier (default 1.0)
+//     --heap MB           maximum heap           (default 32)
+//     --cycles            print the per-cycle table
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "support/Table.h"
+#include "workload/Runner.h"
+
+using namespace gengc;
+using namespace gengc::workload;
+
+namespace {
+
+[[noreturn]] void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [--profile NAME] [--collector gen|dlg|stw] [--young MB]\n"
+      "          [--card BYTES] [--aging N] [--remset] [--threads N]\n"
+      "          [--scale F] [--heap MB] [--cycles]\n",
+      Argv0);
+  std::exit(2);
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  std::string ProfileName = "javac";
+  std::string CollectorName = "gen";
+  uint64_t YoungMb = 4, HeapMb = 32;
+  uint32_t CardBytes = 16;
+  unsigned AgingThreshold = 0, ThreadOverride = 0;
+  bool RemSet = false, PrintCycles = false;
+  double Scale = 1.0;
+
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc)
+        usage(Argv[0]);
+      return Argv[++I];
+    };
+    if (Arg == "--profile")
+      ProfileName = Next();
+    else if (Arg == "--collector")
+      CollectorName = Next();
+    else if (Arg == "--young")
+      YoungMb = std::strtoull(Next(), nullptr, 10);
+    else if (Arg == "--card")
+      CardBytes = uint32_t(std::strtoul(Next(), nullptr, 10));
+    else if (Arg == "--aging")
+      AgingThreshold = unsigned(std::strtoul(Next(), nullptr, 10));
+    else if (Arg == "--remset")
+      RemSet = true;
+    else if (Arg == "--threads")
+      ThreadOverride = unsigned(std::strtoul(Next(), nullptr, 10));
+    else if (Arg == "--scale")
+      Scale = std::strtod(Next(), nullptr);
+    else if (Arg == "--heap")
+      HeapMb = std::strtoull(Next(), nullptr, 10);
+    else if (Arg == "--cycles")
+      PrintCycles = true;
+    else
+      usage(Argv[0]);
+  }
+
+  Profile P = profileByName(ProfileName);
+  if (ThreadOverride)
+    P.Threads = ThreadOverride;
+
+  RuntimeConfig Config = makeConfig(CollectorChoice::Generational,
+                                    YoungMb << 20, CardBytes);
+  Config.Heap.HeapBytes = HeapMb << 20;
+  if (CollectorName == "gen")
+    Config.Choice = CollectorChoice::Generational;
+  else if (CollectorName == "dlg")
+    Config.Choice = CollectorChoice::NonGenerational;
+  else if (CollectorName == "stw")
+    Config.Choice = CollectorChoice::StopTheWorld;
+  else
+    usage(Argv[0]);
+  if (AgingThreshold) {
+    Config.Collector.Aging = true;
+    Config.Collector.OldestAge = uint8_t(AgingThreshold);
+  }
+  Config.Collector.RememberedSets = RemSet;
+
+  std::printf("profile=%s collector=%s young=%lluMB card=%uB heap=%lluMB "
+              "threads=%u scale=%.2f%s%s\n",
+              P.Name.c_str(), CollectorName.c_str(),
+              (unsigned long long)YoungMb, CardBytes,
+              (unsigned long long)HeapMb, P.Threads, Scale,
+              AgingThreshold ? " aging" : "", RemSet ? " remset" : "");
+
+  RunResult R = runWorkload(P, Config, Scale);
+
+  std::printf("\nelapsed %.3f s | allocated %llu objects (%llu MB) | "
+              "GC active %.1f%%\n",
+              R.ElapsedSeconds, (unsigned long long)R.AllocatedObjects,
+              (unsigned long long)(R.AllocatedBytes >> 20),
+              R.percentGcActive());
+  std::printf("cycles: %zu partial, %zu full, %zu whole-heap\n",
+              R.Gc.count(CycleKind::Partial), R.Gc.count(CycleKind::Full),
+              R.Gc.count(CycleKind::NonGenerational));
+  std::printf("partial collections freed %.1f%% of young objects "
+              "(%.1f%% of bytes)\n",
+              R.Gc.percentFreedPartialObjects(),
+              R.Gc.percentFreedPartialBytes());
+  std::printf("heap grew to %llu MB (soft limit)\n",
+              (unsigned long long)(R.SoftLimitBytes >> 20));
+
+  Table Summary({"cycle kind", "count", "avg ms", "avg traced",
+                 "avg inter-gen", "avg freed", "avg freed KB"});
+  for (CycleKind Kind : {CycleKind::Partial, CycleKind::Full,
+                         CycleKind::NonGenerational}) {
+    if (R.Gc.count(Kind) == 0)
+      continue;
+    Summary.addRow(
+        {cycleKindName(Kind), Table::count(R.Gc.count(Kind)),
+         Table::number(R.Gc.mean(Kind, &CycleStats::DurationNanos) * 1e-6,
+                       2),
+         Table::number(R.Gc.mean(Kind, &CycleStats::ObjectsTraced), 0),
+         Table::number(R.Gc.mean(Kind, &CycleStats::OldObjectsScanned), 0),
+         Table::number(R.Gc.mean(Kind, &CycleStats::ObjectsFreed), 0),
+         Table::number(R.Gc.mean(Kind, &CycleStats::BytesFreed) / 1024.0,
+                       0)});
+  }
+  std::printf("\n");
+  Summary.print(stdout);
+
+  if (PrintCycles) {
+    std::printf("\n");
+    Table Cycles({"#", "kind", "ms", "traced", "inter-gen", "dirty",
+                  "freed", "freed KB", "live after"});
+    for (size_t I = 0; I < R.Gc.Cycles.size(); ++I) {
+      const CycleStats &C = R.Gc.Cycles[I];
+      Cycles.addRow({Table::count(I), cycleKindName(C.Kind),
+                     Table::number(double(C.DurationNanos) * 1e-6, 2),
+                     Table::count(C.ObjectsTraced),
+                     Table::count(C.OldObjectsScanned),
+                     Table::count(C.DirtyCardsAtStart),
+                     Table::count(C.ObjectsFreed),
+                     Table::count(C.BytesFreed >> 10),
+                     Table::count(C.LiveObjectsAfter)});
+    }
+    Cycles.print(stdout);
+  }
+  return 0;
+}
