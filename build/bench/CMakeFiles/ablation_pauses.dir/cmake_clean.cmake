@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pauses.dir/ablation_pauses.cpp.o"
+  "CMakeFiles/ablation_pauses.dir/ablation_pauses.cpp.o.d"
+  "ablation_pauses"
+  "ablation_pauses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pauses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

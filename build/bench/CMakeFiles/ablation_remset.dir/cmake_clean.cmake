@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_remset.dir/ablation_remset.cpp.o"
+  "CMakeFiles/ablation_remset.dir/ablation_remset.cpp.o.d"
+  "ablation_remset"
+  "ablation_remset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_remset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_raytracer.dir/fig07_raytracer.cpp.o"
+  "CMakeFiles/fig07_raytracer.dir/fig07_raytracer.cpp.o.d"
+  "fig07_raytracer"
+  "fig07_raytracer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_raytracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

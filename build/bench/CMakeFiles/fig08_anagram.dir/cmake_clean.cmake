@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_anagram.dir/fig08_anagram.cpp.o"
+  "CMakeFiles/fig08_anagram.dir/fig08_anagram.cpp.o.d"
+  "fig08_anagram"
+  "fig08_anagram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_anagram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_specjvm.dir/fig09_specjvm.cpp.o"
+  "CMakeFiles/fig09_specjvm.dir/fig09_specjvm.cpp.o.d"
+  "fig09_specjvm"
+  "fig09_specjvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_specjvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

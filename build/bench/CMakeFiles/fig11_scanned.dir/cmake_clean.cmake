@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_scanned.dir/fig11_scanned.cpp.o"
+  "CMakeFiles/fig11_scanned.dir/fig11_scanned.cpp.o.d"
+  "fig11_scanned"
+  "fig11_scanned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_scanned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

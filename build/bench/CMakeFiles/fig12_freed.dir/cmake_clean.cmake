@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_freed.dir/fig12_freed.cpp.o"
+  "CMakeFiles/fig12_freed.dir/fig12_freed.cpp.o.d"
+  "fig12_freed"
+  "fig12_freed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_freed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_cycle_times.dir/fig13_cycle_times.cpp.o"
+  "CMakeFiles/fig13_cycle_times.dir/fig13_cycle_times.cpp.o.d"
+  "fig13_cycle_times"
+  "fig13_cycle_times.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_cycle_times.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_cycle_gain.dir/fig14_cycle_gain.cpp.o"
+  "CMakeFiles/fig14_cycle_gain.dir/fig14_cycle_gain.cpp.o.d"
+  "fig14_cycle_gain"
+  "fig14_cycle_gain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_cycle_gain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

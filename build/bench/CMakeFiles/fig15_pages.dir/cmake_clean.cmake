@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_pages.dir/fig15_pages.cpp.o"
+  "CMakeFiles/fig15_pages.dir/fig15_pages.cpp.o.d"
+  "fig15_pages"
+  "fig15_pages.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_pages.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

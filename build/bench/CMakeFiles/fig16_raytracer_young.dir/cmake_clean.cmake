@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_raytracer_young.dir/fig16_raytracer_young.cpp.o"
+  "CMakeFiles/fig16_raytracer_young.dir/fig16_raytracer_young.cpp.o.d"
+  "fig16_raytracer_young"
+  "fig16_raytracer_young.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_raytracer_young.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

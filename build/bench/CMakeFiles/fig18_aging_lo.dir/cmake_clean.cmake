@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig18_aging_lo.dir/fig18_aging_lo.cpp.o"
+  "CMakeFiles/fig18_aging_lo.dir/fig18_aging_lo.cpp.o.d"
+  "fig18_aging_lo"
+  "fig18_aging_lo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_aging_lo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

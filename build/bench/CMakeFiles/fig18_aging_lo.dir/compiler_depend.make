@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig18_aging_lo.
+# This may be replaced when dependencies are built.

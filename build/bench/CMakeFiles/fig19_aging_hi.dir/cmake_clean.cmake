@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig19_aging_hi.dir/fig19_aging_hi.cpp.o"
+  "CMakeFiles/fig19_aging_hi.dir/fig19_aging_hi.cpp.o.d"
+  "fig19_aging_hi"
+  "fig19_aging_hi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_aging_hi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

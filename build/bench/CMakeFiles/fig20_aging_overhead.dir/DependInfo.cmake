@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig20_aging_overhead.cpp" "bench/CMakeFiles/fig20_aging_overhead.dir/fig20_aging_overhead.cpp.o" "gcc" "bench/CMakeFiles/fig20_aging_overhead.dir/fig20_aging_overhead.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gengc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gengc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gengc_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gengc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gengc_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gengc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig21_card_size.dir/fig21_card_size.cpp.o"
+  "CMakeFiles/fig21_card_size.dir/fig21_card_size.cpp.o.d"
+  "fig21_card_size"
+  "fig21_card_size.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig21_card_size.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig22_dirty_cards.dir/fig22_dirty_cards.cpp.o"
+  "CMakeFiles/fig22_dirty_cards.dir/fig22_dirty_cards.cpp.o.d"
+  "fig22_dirty_cards"
+  "fig22_dirty_cards.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig22_dirty_cards.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

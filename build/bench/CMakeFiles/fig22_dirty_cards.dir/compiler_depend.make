@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig22_dirty_cards.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig23_card_scan_area.dir/fig23_card_scan_area.cpp.o"
+  "CMakeFiles/fig23_card_scan_area.dir/fig23_card_scan_area.cpp.o.d"
+  "fig23_card_scan_area"
+  "fig23_card_scan_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig23_card_scan_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_anagram.dir/anagram.cpp.o"
+  "CMakeFiles/example_anagram.dir/anagram.cpp.o.d"
+  "example_anagram"
+  "example_anagram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_anagram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

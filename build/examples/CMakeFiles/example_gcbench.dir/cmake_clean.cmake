@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_gcbench.dir/gcbench.cpp.o"
+  "CMakeFiles/example_gcbench.dir/gcbench.cpp.o.d"
+  "example_gcbench"
+  "example_gcbench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_gcbench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

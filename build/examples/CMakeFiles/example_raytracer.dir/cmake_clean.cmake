@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_raytracer.dir/raytracer.cpp.o"
+  "CMakeFiles/example_raytracer.dir/raytracer.cpp.o.d"
+  "example_raytracer"
+  "example_raytracer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_raytracer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

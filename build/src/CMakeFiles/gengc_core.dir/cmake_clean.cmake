@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gengc_core.dir/core/Runtime.cpp.o"
+  "CMakeFiles/gengc_core.dir/core/Runtime.cpp.o.d"
+  "libgengc_core.a"
+  "libgengc_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gengc_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gc/Collector.cpp" "src/CMakeFiles/gengc_gc.dir/gc/Collector.cpp.o" "gcc" "src/CMakeFiles/gengc_gc.dir/gc/Collector.cpp.o.d"
+  "/root/repo/src/gc/CycleStats.cpp" "src/CMakeFiles/gengc_gc.dir/gc/CycleStats.cpp.o" "gcc" "src/CMakeFiles/gengc_gc.dir/gc/CycleStats.cpp.o.d"
+  "/root/repo/src/gc/DlgCollector.cpp" "src/CMakeFiles/gengc_gc.dir/gc/DlgCollector.cpp.o" "gcc" "src/CMakeFiles/gengc_gc.dir/gc/DlgCollector.cpp.o.d"
+  "/root/repo/src/gc/GenerationalCollector.cpp" "src/CMakeFiles/gengc_gc.dir/gc/GenerationalCollector.cpp.o" "gcc" "src/CMakeFiles/gengc_gc.dir/gc/GenerationalCollector.cpp.o.d"
+  "/root/repo/src/gc/StwCollector.cpp" "src/CMakeFiles/gengc_gc.dir/gc/StwCollector.cpp.o" "gcc" "src/CMakeFiles/gengc_gc.dir/gc/StwCollector.cpp.o.d"
+  "/root/repo/src/gc/Sweeper.cpp" "src/CMakeFiles/gengc_gc.dir/gc/Sweeper.cpp.o" "gcc" "src/CMakeFiles/gengc_gc.dir/gc/Sweeper.cpp.o.d"
+  "/root/repo/src/gc/Tracer.cpp" "src/CMakeFiles/gengc_gc.dir/gc/Tracer.cpp.o" "gcc" "src/CMakeFiles/gengc_gc.dir/gc/Tracer.cpp.o.d"
+  "/root/repo/src/gc/Trigger.cpp" "src/CMakeFiles/gengc_gc.dir/gc/Trigger.cpp.o" "gcc" "src/CMakeFiles/gengc_gc.dir/gc/Trigger.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gengc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gengc_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gengc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gengc_gc.dir/gc/Collector.cpp.o"
+  "CMakeFiles/gengc_gc.dir/gc/Collector.cpp.o.d"
+  "CMakeFiles/gengc_gc.dir/gc/CycleStats.cpp.o"
+  "CMakeFiles/gengc_gc.dir/gc/CycleStats.cpp.o.d"
+  "CMakeFiles/gengc_gc.dir/gc/DlgCollector.cpp.o"
+  "CMakeFiles/gengc_gc.dir/gc/DlgCollector.cpp.o.d"
+  "CMakeFiles/gengc_gc.dir/gc/GenerationalCollector.cpp.o"
+  "CMakeFiles/gengc_gc.dir/gc/GenerationalCollector.cpp.o.d"
+  "CMakeFiles/gengc_gc.dir/gc/StwCollector.cpp.o"
+  "CMakeFiles/gengc_gc.dir/gc/StwCollector.cpp.o.d"
+  "CMakeFiles/gengc_gc.dir/gc/Sweeper.cpp.o"
+  "CMakeFiles/gengc_gc.dir/gc/Sweeper.cpp.o.d"
+  "CMakeFiles/gengc_gc.dir/gc/Tracer.cpp.o"
+  "CMakeFiles/gengc_gc.dir/gc/Tracer.cpp.o.d"
+  "CMakeFiles/gengc_gc.dir/gc/Trigger.cpp.o"
+  "CMakeFiles/gengc_gc.dir/gc/Trigger.cpp.o.d"
+  "libgengc_gc.a"
+  "libgengc_gc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gengc_gc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/heap/AgeTable.cpp" "src/CMakeFiles/gengc_heap.dir/heap/AgeTable.cpp.o" "gcc" "src/CMakeFiles/gengc_heap.dir/heap/AgeTable.cpp.o.d"
+  "/root/repo/src/heap/Block.cpp" "src/CMakeFiles/gengc_heap.dir/heap/Block.cpp.o" "gcc" "src/CMakeFiles/gengc_heap.dir/heap/Block.cpp.o.d"
+  "/root/repo/src/heap/CardTable.cpp" "src/CMakeFiles/gengc_heap.dir/heap/CardTable.cpp.o" "gcc" "src/CMakeFiles/gengc_heap.dir/heap/CardTable.cpp.o.d"
+  "/root/repo/src/heap/Heap.cpp" "src/CMakeFiles/gengc_heap.dir/heap/Heap.cpp.o" "gcc" "src/CMakeFiles/gengc_heap.dir/heap/Heap.cpp.o.d"
+  "/root/repo/src/heap/PageTouch.cpp" "src/CMakeFiles/gengc_heap.dir/heap/PageTouch.cpp.o" "gcc" "src/CMakeFiles/gengc_heap.dir/heap/PageTouch.cpp.o.d"
+  "/root/repo/src/heap/SizeClasses.cpp" "src/CMakeFiles/gengc_heap.dir/heap/SizeClasses.cpp.o" "gcc" "src/CMakeFiles/gengc_heap.dir/heap/SizeClasses.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gengc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gengc_heap.dir/heap/AgeTable.cpp.o"
+  "CMakeFiles/gengc_heap.dir/heap/AgeTable.cpp.o.d"
+  "CMakeFiles/gengc_heap.dir/heap/Block.cpp.o"
+  "CMakeFiles/gengc_heap.dir/heap/Block.cpp.o.d"
+  "CMakeFiles/gengc_heap.dir/heap/CardTable.cpp.o"
+  "CMakeFiles/gengc_heap.dir/heap/CardTable.cpp.o.d"
+  "CMakeFiles/gengc_heap.dir/heap/Heap.cpp.o"
+  "CMakeFiles/gengc_heap.dir/heap/Heap.cpp.o.d"
+  "CMakeFiles/gengc_heap.dir/heap/PageTouch.cpp.o"
+  "CMakeFiles/gengc_heap.dir/heap/PageTouch.cpp.o.d"
+  "CMakeFiles/gengc_heap.dir/heap/SizeClasses.cpp.o"
+  "CMakeFiles/gengc_heap.dir/heap/SizeClasses.cpp.o.d"
+  "libgengc_heap.a"
+  "libgengc_heap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gengc_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/runtime/Handshake.cpp" "src/CMakeFiles/gengc_runtime.dir/runtime/Handshake.cpp.o" "gcc" "src/CMakeFiles/gengc_runtime.dir/runtime/Handshake.cpp.o.d"
+  "/root/repo/src/runtime/Mutator.cpp" "src/CMakeFiles/gengc_runtime.dir/runtime/Mutator.cpp.o" "gcc" "src/CMakeFiles/gengc_runtime.dir/runtime/Mutator.cpp.o.d"
+  "/root/repo/src/runtime/MutatorRegistry.cpp" "src/CMakeFiles/gengc_runtime.dir/runtime/MutatorRegistry.cpp.o" "gcc" "src/CMakeFiles/gengc_runtime.dir/runtime/MutatorRegistry.cpp.o.d"
+  "/root/repo/src/runtime/ObjectModel.cpp" "src/CMakeFiles/gengc_runtime.dir/runtime/ObjectModel.cpp.o" "gcc" "src/CMakeFiles/gengc_runtime.dir/runtime/ObjectModel.cpp.o.d"
+  "/root/repo/src/runtime/Roots.cpp" "src/CMakeFiles/gengc_runtime.dir/runtime/Roots.cpp.o" "gcc" "src/CMakeFiles/gengc_runtime.dir/runtime/Roots.cpp.o.d"
+  "/root/repo/src/runtime/WriteBarrier.cpp" "src/CMakeFiles/gengc_runtime.dir/runtime/WriteBarrier.cpp.o" "gcc" "src/CMakeFiles/gengc_runtime.dir/runtime/WriteBarrier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gengc_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gengc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gengc_runtime.dir/runtime/Handshake.cpp.o"
+  "CMakeFiles/gengc_runtime.dir/runtime/Handshake.cpp.o.d"
+  "CMakeFiles/gengc_runtime.dir/runtime/Mutator.cpp.o"
+  "CMakeFiles/gengc_runtime.dir/runtime/Mutator.cpp.o.d"
+  "CMakeFiles/gengc_runtime.dir/runtime/MutatorRegistry.cpp.o"
+  "CMakeFiles/gengc_runtime.dir/runtime/MutatorRegistry.cpp.o.d"
+  "CMakeFiles/gengc_runtime.dir/runtime/ObjectModel.cpp.o"
+  "CMakeFiles/gengc_runtime.dir/runtime/ObjectModel.cpp.o.d"
+  "CMakeFiles/gengc_runtime.dir/runtime/Roots.cpp.o"
+  "CMakeFiles/gengc_runtime.dir/runtime/Roots.cpp.o.d"
+  "CMakeFiles/gengc_runtime.dir/runtime/WriteBarrier.cpp.o"
+  "CMakeFiles/gengc_runtime.dir/runtime/WriteBarrier.cpp.o.d"
+  "libgengc_runtime.a"
+  "libgengc_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gengc_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

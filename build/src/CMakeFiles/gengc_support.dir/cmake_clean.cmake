@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gengc_support.dir/support/Random.cpp.o"
+  "CMakeFiles/gengc_support.dir/support/Random.cpp.o.d"
+  "CMakeFiles/gengc_support.dir/support/Table.cpp.o"
+  "CMakeFiles/gengc_support.dir/support/Table.cpp.o.d"
+  "CMakeFiles/gengc_support.dir/support/Timer.cpp.o"
+  "CMakeFiles/gengc_support.dir/support/Timer.cpp.o.d"
+  "libgengc_support.a"
+  "libgengc_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gengc_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgengc_support.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gengc_workload.dir/workload/Profile.cpp.o"
+  "CMakeFiles/gengc_workload.dir/workload/Profile.cpp.o.d"
+  "CMakeFiles/gengc_workload.dir/workload/Program.cpp.o"
+  "CMakeFiles/gengc_workload.dir/workload/Program.cpp.o.d"
+  "CMakeFiles/gengc_workload.dir/workload/Runner.cpp.o"
+  "CMakeFiles/gengc_workload.dir/workload/Runner.cpp.o.d"
+  "libgengc_workload.a"
+  "libgengc_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gengc_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/gc/AgingTest.cpp" "tests/CMakeFiles/test_gc.dir/gc/AgingTest.cpp.o" "gcc" "tests/CMakeFiles/test_gc.dir/gc/AgingTest.cpp.o.d"
+  "/root/repo/tests/gc/CardRaceTest.cpp" "tests/CMakeFiles/test_gc.dir/gc/CardRaceTest.cpp.o" "gcc" "tests/CMakeFiles/test_gc.dir/gc/CardRaceTest.cpp.o.d"
+  "/root/repo/tests/gc/CollectorCycleTest.cpp" "tests/CMakeFiles/test_gc.dir/gc/CollectorCycleTest.cpp.o" "gcc" "tests/CMakeFiles/test_gc.dir/gc/CollectorCycleTest.cpp.o.d"
+  "/root/repo/tests/gc/CollectorTest.cpp" "tests/CMakeFiles/test_gc.dir/gc/CollectorTest.cpp.o" "gcc" "tests/CMakeFiles/test_gc.dir/gc/CollectorTest.cpp.o.d"
+  "/root/repo/tests/gc/ColorInvariantTest.cpp" "tests/CMakeFiles/test_gc.dir/gc/ColorInvariantTest.cpp.o" "gcc" "tests/CMakeFiles/test_gc.dir/gc/ColorInvariantTest.cpp.o.d"
+  "/root/repo/tests/gc/CycleStatsTest.cpp" "tests/CMakeFiles/test_gc.dir/gc/CycleStatsTest.cpp.o" "gcc" "tests/CMakeFiles/test_gc.dir/gc/CycleStatsTest.cpp.o.d"
+  "/root/repo/tests/gc/DlgCollectorTest.cpp" "tests/CMakeFiles/test_gc.dir/gc/DlgCollectorTest.cpp.o" "gcc" "tests/CMakeFiles/test_gc.dir/gc/DlgCollectorTest.cpp.o.d"
+  "/root/repo/tests/gc/Figure6GapTest.cpp" "tests/CMakeFiles/test_gc.dir/gc/Figure6GapTest.cpp.o" "gcc" "tests/CMakeFiles/test_gc.dir/gc/Figure6GapTest.cpp.o.d"
+  "/root/repo/tests/gc/GenerationalCollectorTest.cpp" "tests/CMakeFiles/test_gc.dir/gc/GenerationalCollectorTest.cpp.o" "gcc" "tests/CMakeFiles/test_gc.dir/gc/GenerationalCollectorTest.cpp.o.d"
+  "/root/repo/tests/gc/RememberedSetTest.cpp" "tests/CMakeFiles/test_gc.dir/gc/RememberedSetTest.cpp.o" "gcc" "tests/CMakeFiles/test_gc.dir/gc/RememberedSetTest.cpp.o.d"
+  "/root/repo/tests/gc/RuntimeFacadeTest.cpp" "tests/CMakeFiles/test_gc.dir/gc/RuntimeFacadeTest.cpp.o" "gcc" "tests/CMakeFiles/test_gc.dir/gc/RuntimeFacadeTest.cpp.o.d"
+  "/root/repo/tests/gc/StwCollectorTest.cpp" "tests/CMakeFiles/test_gc.dir/gc/StwCollectorTest.cpp.o" "gcc" "tests/CMakeFiles/test_gc.dir/gc/StwCollectorTest.cpp.o.d"
+  "/root/repo/tests/gc/SweeperTest.cpp" "tests/CMakeFiles/test_gc.dir/gc/SweeperTest.cpp.o" "gcc" "tests/CMakeFiles/test_gc.dir/gc/SweeperTest.cpp.o.d"
+  "/root/repo/tests/gc/TracerTest.cpp" "tests/CMakeFiles/test_gc.dir/gc/TracerTest.cpp.o" "gcc" "tests/CMakeFiles/test_gc.dir/gc/TracerTest.cpp.o.d"
+  "/root/repo/tests/gc/TriggerTest.cpp" "tests/CMakeFiles/test_gc.dir/gc/TriggerTest.cpp.o" "gcc" "tests/CMakeFiles/test_gc.dir/gc/TriggerTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gengc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gengc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gengc_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gengc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gengc_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gengc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/heap/AgeTableTest.cpp" "tests/CMakeFiles/test_heap.dir/heap/AgeTableTest.cpp.o" "gcc" "tests/CMakeFiles/test_heap.dir/heap/AgeTableTest.cpp.o.d"
+  "/root/repo/tests/heap/AtomicByteTableTest.cpp" "tests/CMakeFiles/test_heap.dir/heap/AtomicByteTableTest.cpp.o" "gcc" "tests/CMakeFiles/test_heap.dir/heap/AtomicByteTableTest.cpp.o.d"
+  "/root/repo/tests/heap/CardTableTest.cpp" "tests/CMakeFiles/test_heap.dir/heap/CardTableTest.cpp.o" "gcc" "tests/CMakeFiles/test_heap.dir/heap/CardTableTest.cpp.o.d"
+  "/root/repo/tests/heap/ColorTest.cpp" "tests/CMakeFiles/test_heap.dir/heap/ColorTest.cpp.o" "gcc" "tests/CMakeFiles/test_heap.dir/heap/ColorTest.cpp.o.d"
+  "/root/repo/tests/heap/HeapStressTest.cpp" "tests/CMakeFiles/test_heap.dir/heap/HeapStressTest.cpp.o" "gcc" "tests/CMakeFiles/test_heap.dir/heap/HeapStressTest.cpp.o.d"
+  "/root/repo/tests/heap/HeapTest.cpp" "tests/CMakeFiles/test_heap.dir/heap/HeapTest.cpp.o" "gcc" "tests/CMakeFiles/test_heap.dir/heap/HeapTest.cpp.o.d"
+  "/root/repo/tests/heap/LargeObjectTest.cpp" "tests/CMakeFiles/test_heap.dir/heap/LargeObjectTest.cpp.o" "gcc" "tests/CMakeFiles/test_heap.dir/heap/LargeObjectTest.cpp.o.d"
+  "/root/repo/tests/heap/PageTouchTest.cpp" "tests/CMakeFiles/test_heap.dir/heap/PageTouchTest.cpp.o" "gcc" "tests/CMakeFiles/test_heap.dir/heap/PageTouchTest.cpp.o.d"
+  "/root/repo/tests/heap/SizeClassesTest.cpp" "tests/CMakeFiles/test_heap.dir/heap/SizeClassesTest.cpp.o" "gcc" "tests/CMakeFiles/test_heap.dir/heap/SizeClassesTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gengc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gengc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gengc_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gengc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gengc_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gengc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_heap.dir/heap/AgeTableTest.cpp.o"
+  "CMakeFiles/test_heap.dir/heap/AgeTableTest.cpp.o.d"
+  "CMakeFiles/test_heap.dir/heap/AtomicByteTableTest.cpp.o"
+  "CMakeFiles/test_heap.dir/heap/AtomicByteTableTest.cpp.o.d"
+  "CMakeFiles/test_heap.dir/heap/CardTableTest.cpp.o"
+  "CMakeFiles/test_heap.dir/heap/CardTableTest.cpp.o.d"
+  "CMakeFiles/test_heap.dir/heap/ColorTest.cpp.o"
+  "CMakeFiles/test_heap.dir/heap/ColorTest.cpp.o.d"
+  "CMakeFiles/test_heap.dir/heap/HeapStressTest.cpp.o"
+  "CMakeFiles/test_heap.dir/heap/HeapStressTest.cpp.o.d"
+  "CMakeFiles/test_heap.dir/heap/HeapTest.cpp.o"
+  "CMakeFiles/test_heap.dir/heap/HeapTest.cpp.o.d"
+  "CMakeFiles/test_heap.dir/heap/LargeObjectTest.cpp.o"
+  "CMakeFiles/test_heap.dir/heap/LargeObjectTest.cpp.o.d"
+  "CMakeFiles/test_heap.dir/heap/PageTouchTest.cpp.o"
+  "CMakeFiles/test_heap.dir/heap/PageTouchTest.cpp.o.d"
+  "CMakeFiles/test_heap.dir/heap/SizeClassesTest.cpp.o"
+  "CMakeFiles/test_heap.dir/heap/SizeClassesTest.cpp.o.d"
+  "test_heap"
+  "test_heap.pdb"
+  "test_heap[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_heap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

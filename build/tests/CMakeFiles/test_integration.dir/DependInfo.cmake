@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/ConcurrentStressTest.cpp" "tests/CMakeFiles/test_integration.dir/integration/ConcurrentStressTest.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/ConcurrentStressTest.cpp.o.d"
+  "/root/repo/tests/integration/PropertyTest.cpp" "tests/CMakeFiles/test_integration.dir/integration/PropertyTest.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/PropertyTest.cpp.o.d"
+  "/root/repo/tests/integration/WorkloadTest.cpp" "tests/CMakeFiles/test_integration.dir/integration/WorkloadTest.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/WorkloadTest.cpp.o.d"
+  "/root/repo/tests/integration/WorkloadUnitTest.cpp" "tests/CMakeFiles/test_integration.dir/integration/WorkloadUnitTest.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/WorkloadUnitTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gengc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gengc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gengc_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gengc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gengc_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gengc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_integration.dir/integration/ConcurrentStressTest.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/ConcurrentStressTest.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/PropertyTest.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/PropertyTest.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/WorkloadTest.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/WorkloadTest.cpp.o.d"
+  "CMakeFiles/test_integration.dir/integration/WorkloadUnitTest.cpp.o"
+  "CMakeFiles/test_integration.dir/integration/WorkloadUnitTest.cpp.o.d"
+  "test_integration"
+  "test_integration.pdb"
+  "test_integration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/runtime/GrayBufferTest.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/GrayBufferTest.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/GrayBufferTest.cpp.o.d"
+  "/root/repo/tests/runtime/HandshakeTest.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/HandshakeTest.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/HandshakeTest.cpp.o.d"
+  "/root/repo/tests/runtime/MutatorTest.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/MutatorTest.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/MutatorTest.cpp.o.d"
+  "/root/repo/tests/runtime/ObjectModelTest.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/ObjectModelTest.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/ObjectModelTest.cpp.o.d"
+  "/root/repo/tests/runtime/RootsTest.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/RootsTest.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/RootsTest.cpp.o.d"
+  "/root/repo/tests/runtime/WriteBarrierTest.cpp" "tests/CMakeFiles/test_runtime.dir/runtime/WriteBarrierTest.cpp.o" "gcc" "tests/CMakeFiles/test_runtime.dir/runtime/WriteBarrierTest.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/gengc_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gengc_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gengc_gc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gengc_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gengc_heap.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/gengc_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_runtime.dir/runtime/GrayBufferTest.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/GrayBufferTest.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/HandshakeTest.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/HandshakeTest.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/MutatorTest.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/MutatorTest.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/ObjectModelTest.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/ObjectModelTest.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/RootsTest.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/RootsTest.cpp.o.d"
+  "CMakeFiles/test_runtime.dir/runtime/WriteBarrierTest.cpp.o"
+  "CMakeFiles/test_runtime.dir/runtime/WriteBarrierTest.cpp.o.d"
+  "test_runtime"
+  "test_runtime.pdb"
+  "test_runtime[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_support.dir/support/AssertTest.cpp.o"
+  "CMakeFiles/test_support.dir/support/AssertTest.cpp.o.d"
+  "CMakeFiles/test_support.dir/support/MathExtrasTest.cpp.o"
+  "CMakeFiles/test_support.dir/support/MathExtrasTest.cpp.o.d"
+  "CMakeFiles/test_support.dir/support/RandomTest.cpp.o"
+  "CMakeFiles/test_support.dir/support/RandomTest.cpp.o.d"
+  "CMakeFiles/test_support.dir/support/TableTest.cpp.o"
+  "CMakeFiles/test_support.dir/support/TableTest.cpp.o.d"
+  "CMakeFiles/test_support.dir/support/TimerTest.cpp.o"
+  "CMakeFiles/test_support.dir/support/TimerTest.cpp.o.d"
+  "test_support"
+  "test_support.pdb"
+  "test_support[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

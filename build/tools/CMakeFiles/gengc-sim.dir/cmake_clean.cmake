@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gengc-sim.dir/gengc_sim.cpp.o"
+  "CMakeFiles/gengc-sim.dir/gengc_sim.cpp.o.d"
+  "gengc-sim"
+  "gengc-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gengc-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
