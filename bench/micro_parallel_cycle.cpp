@@ -1,0 +1,89 @@
+//===- bench/micro_parallel_cycle.cpp - GC worker pool scaling --------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+// Scaling of the parallel cycle engine: each benchmark builds a fixed
+// object population, then measures full collection cycles end-to-end while
+// varying CollectorConfig::GcThreads.  Two shapes are measured:
+//
+//  - cycleTraceHeavy: a dense, deep object graph where the work-stealing
+//    trace dominates the cycle.
+//  - cycleSweepHeavy: a mostly-dead heap where the block-partitioned
+//    parallel sweep dominates.
+//
+// Compare `.../1` against `.../4` to read the speedup.  On a single-core
+// host the lanes time-slice and the ratio is ~1x (plus handoff overhead);
+// the speedup target only applies on multi-core hardware.
+//
+//===----------------------------------------------------------------------===//
+
+#include <benchmark/benchmark.h>
+
+#include "core/Runtime.h"
+
+using namespace gengc;
+
+namespace {
+
+RuntimeConfig cycleConfig(unsigned GcThreads) {
+  RuntimeConfig Config;
+  Config.Heap.HeapBytes = 256ull << 20;
+  Config.Choice = CollectorChoice::Generational;
+  Config.Collector.GcThreads = GcThreads;
+  // Cycles run only when the benchmark loop requests them.
+  Config.Collector.Trigger.YoungBytes = 1ull << 40;
+  Config.Collector.Trigger.InitialSoftBytes = 256ull << 20;
+  Config.Collector.Trigger.FullFraction = 1.1;
+  return Config;
+}
+
+/// Trace-bound cycle: a large rooted graph survives every cycle, so the
+/// collector spends its time shading and scanning live objects.
+void cycleTraceHeavy(benchmark::State &State) {
+  Runtime RT(cycleConfig(unsigned(State.range(0))));
+  auto M = RT.attachMutator();
+  constexpr unsigned Chains = 64, ChainLen = 4000;
+  for (unsigned C = 0; C < Chains; ++C) {
+    M->pushRoot(NullRef);
+    for (unsigned I = 0; I < ChainLen; ++I) {
+      ObjectRef Node = M->allocate(2, 32);
+      M->writeRef(Node, 0, M->root(C));
+      M->setRoot(C, Node);
+    }
+  }
+  for (auto _ : State)
+    RT.collector().collectSyncCooperating(CycleRequest::Full, *M);
+  GcRunStats Stats = RT.gcStats();
+  State.counters["objects_traced_per_cycle"] = double(
+      Stats.Cycles.empty() ? 0 : Stats.Cycles.back().ObjectsTraced);
+  State.SetItemsProcessed(int64_t(State.iterations()) * Chains * ChainLen);
+  M->popRoots(M->numRoots());
+}
+BENCHMARK(cycleTraceHeavy)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+/// Sweep-bound cycle: each iteration re-fills the heap with short-lived
+/// garbage and keeps only a token live set, so the cycle is dominated by
+/// walking blocks and reclaiming dead cells.
+void cycleSweepHeavy(benchmark::State &State) {
+  Runtime RT(cycleConfig(unsigned(State.range(0))));
+  auto M = RT.attachMutator();
+  M->pushRoot(NullRef);
+  constexpr unsigned Garbage = 400000;
+  for (auto _ : State) {
+    State.PauseTiming();
+    for (unsigned I = 0; I < Garbage; ++I)
+      benchmark::DoNotOptimize(M->allocate(1, 24));
+    State.ResumeTiming();
+    RT.collector().collectSyncCooperating(CycleRequest::Full, *M);
+  }
+  GcRunStats Stats = RT.gcStats();
+  State.counters["objects_freed_per_cycle"] = double(
+      Stats.Cycles.empty() ? 0 : Stats.Cycles.back().ObjectsFreed);
+  State.SetItemsProcessed(int64_t(State.iterations()) * Garbage);
+  M->popRoots(M->numRoots());
+}
+BENCHMARK(cycleSweepHeavy)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+} // namespace

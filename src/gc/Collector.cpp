@@ -13,8 +13,8 @@ using namespace gengc;
 Collector::Collector(Heap &H, CollectorState &S, MutatorRegistry &Registry,
                      GlobalRoots &Roots, const CollectorConfig &Config)
     : H(H), State(S), Registry(Registry), Roots(Roots), Config(Config),
-      Handshakes(S, Registry), TraceEngine(H, S), SweepEngine(H, S),
-      Trig(Config.Trigger, H.heapBytes()) {
+      Handshakes(S, Registry), Pool(Config.GcThreads),
+      TraceEngine(H, S, Pool), Trig(Config.Trigger, H.heapBytes()) {
   // During-cycle allocation budget: the trigger fires around YoungBytes of
   // allocation, so allowing another half generation during the cycle
   // bounds occupancy carry-over at 1.5 young generations — comfortably

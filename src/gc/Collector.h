@@ -26,9 +26,11 @@
 #include <thread>
 
 #include "gc/CycleStats.h"
+#include "gc/ParallelTrace.h"
 #include "gc/Sweeper.h"
 #include "gc/Tracer.h"
 #include "gc/Trigger.h"
+#include "gc/WorkerPool.h"
 #include "heap/Heap.h"
 #include "runtime/Handshake.h"
 #include "runtime/Mutator.h"
@@ -56,6 +58,14 @@ struct CollectorConfig {
 
   /// How often the collector thread re-evaluates the trigger.
   uint32_t PollMicros = 200;
+
+  /// Number of GC worker lanes for the parallel cycle phases (card scan,
+  /// trace, sweep).  1 (the default) spawns no pool threads and runs the
+  /// historical single-threaded algorithms bit-identically; N > 1 spawns
+  /// N - 1 persistent pool threads that assist the collector thread.
+  /// Mutator-facing machinery (handshakes, write barrier, color toggle) is
+  /// unaffected by this knob.
+  unsigned GcThreads = 1;
 };
 
 /// Base class of both collectors.
@@ -126,8 +136,10 @@ protected:
   CollectorConfig Config;
 
   HandshakeDriver Handshakes;
-  Tracer TraceEngine;
-  Sweeper SweepEngine;
+  /// Worker lanes for the parallel cycle phases; sized by Config.GcThreads.
+  /// Must be declared before the engines that capture it.
+  GcWorkerPool Pool;
+  ParallelTracer TraceEngine;
   Trigger Trig;
   GrayCounters CollectorGrays;
 

@@ -1,0 +1,62 @@
+//===- gc/CyclePhase.h - Phase-driven cycle pipeline ------------*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The collection cycle as an explicit pipeline of phases.  Every collector
+/// (DLG baseline, generational, stop-the-world comparator) expresses its
+/// runCycle as an ordered list of CyclePhase entries; the pipeline runner
+/// publishes each phase to the shared CollectorState (the write barrier's
+/// "Collector is tracing" test reads it), runs the phase body, and records
+/// its wall time into the per-cycle statistics slot the phase names.
+///
+/// The pipeline changes *how the cycle is organized*, not *what it does*:
+/// phase order, the handshake points inside the bodies, and the color
+/// toggle's position are exactly the paper's.  What the pipeline buys is a
+/// single place where phases are timed and where phase bodies can fan work
+/// out to the GcWorkerPool.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_GC_CYCLEPHASE_H
+#define GENGC_GC_CYCLEPHASE_H
+
+#include <functional>
+#include <initializer_list>
+
+#include "gc/CycleStats.h"
+#include "runtime/CollectorState.h"
+#include "support/Timer.h"
+
+namespace gengc {
+
+/// One stage of a collection cycle.
+struct CyclePhase {
+  /// Published to CollectorState::Phase before the body runs.
+  GcPhase Phase;
+  /// Where the phase's wall time lands in the cycle's statistics.
+  uint64_t CycleStats::*DurationField;
+  /// The phase body.
+  std::function<void(CycleStats &)> Run;
+};
+
+/// Executes \p Phases in order against \p Cycle: for each phase, publishes
+/// its GcPhase, runs the body, and accumulates its duration.  Publishes
+/// GcPhase::Idle after the last phase.
+inline void runCyclePhases(CollectorState &State,
+                           std::initializer_list<CyclePhase> Phases,
+                           CycleStats &Cycle) {
+  for (const CyclePhase &P : Phases) {
+    State.Phase.store(P.Phase, std::memory_order_release);
+    uint64_t Start = nowNanos();
+    P.Run(Cycle);
+    Cycle.*(P.DurationField) += nowNanos() - Start;
+  }
+  State.Phase.store(GcPhase::Idle, std::memory_order_release);
+}
+
+} // namespace gengc
+
+#endif // GENGC_GC_CYCLEPHASE_H

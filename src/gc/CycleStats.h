@@ -52,6 +52,19 @@ struct CycleStats {
   uint64_t MarkNanos = 0;
   uint64_t TraceNanos = 0;
   uint64_t SweepNanos = 0;
+  /// Portion of MarkNanos spent inside the card-scan sharding itself
+  /// (ClearCards proper, without the toggle or handshakes).
+  uint64_t CardScanNanos = 0;
+
+  // Parallel engine accounting.
+  /// Lanes the cycle's parallel phases ran on (CollectorConfig::GcThreads).
+  uint32_t GcWorkers = 1;
+  /// Chunks stolen between trace lanes (0 with one lane).
+  uint64_t TraceSteals = 0;
+  /// Wall time each lane spent inside the trace phase, indexed by lane.
+  std::vector<uint64_t> TraceWorkerNanos;
+  /// Wall time each lane spent inside the sweep phase, indexed by lane.
+  std::vector<uint64_t> SweepWorkerNanos;
 
   // Trace.
   uint64_t ObjectsTraced = 0;

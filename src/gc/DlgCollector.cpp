@@ -6,7 +6,7 @@
 
 #include "gc/DlgCollector.h"
 
-#include "support/Timer.h"
+#include "gc/CyclePhase.h"
 
 using namespace gengc;
 
@@ -28,48 +28,52 @@ CycleStats DlgCollector::runCycle(CycleRequest Kind) {
   (void)Kind; // Every DLG cycle collects the whole heap.
   CycleStats Cycle;
   Cycle.Kind = CycleKind::NonGenerational;
+  Cycle.GcWorkers = Pool.lanes();
 
-  // clear stage: first handshake — write barriers become active.
-  uint64_t T0 = nowNanos();
-  State.Phase.store(GcPhase::Clear, std::memory_order_release);
-  Handshakes.handshake(HandshakeStatus::Sync1);
-  uint64_t T1 = nowNanos();
-  Cycle.ClearNanos = T1 - T0;
+  runCyclePhases(
+      State,
+      {
+          // clear stage: first handshake — write barriers become active.
+          {GcPhase::Clear, &CycleStats::ClearNanos,
+           [&](CycleStats &) { Handshakes.handshake(HandshakeStatus::Sync1); }},
 
-  // mark stage: second handshake brackets the color toggle; the third
-  // handshake makes every mutator shade its own roots.
-  State.Phase.store(GcPhase::Mark, std::memory_order_release);
-  Handshakes.post(HandshakeStatus::Sync2);
-  State.switchAllocationClearColors();
-  Handshakes.wait();
+          // mark stage: second handshake brackets the color toggle; the
+          // third handshake makes every mutator shade its own roots.
+          {GcPhase::Mark, &CycleStats::MarkNanos,
+           [&](CycleStats &) {
+             Handshakes.post(HandshakeStatus::Sync2);
+             State.switchAllocationClearColors();
+             Handshakes.wait();
 
-  Handshakes.post(HandshakeStatus::Async);
-  Roots.markAll(CollectorGrays);
-  Handshakes.wait();
-  uint64_t T2 = nowNanos();
-  Cycle.MarkNanos = T2 - T1;
+             Handshakes.post(HandshakeStatus::Async);
+             Roots.markAll(CollectorGrays);
+             Handshakes.wait();
+           }},
 
-  // trace: "black" is the allocation color (Remark 5.1 toggle).
-  State.Phase.store(GcPhase::Trace, std::memory_order_release);
-  Tracer::Result TraceResult =
-      TraceEngine.trace(State.allocationColor(), CollectorGrays);
-  Cycle.ObjectsTraced = TraceResult.ObjectsTraced;
-  Cycle.BytesTraced = TraceResult.BytesTraced;
-  Cycle.LiveEstimateBytes = TraceResult.BytesTraced;
+          // trace: "black" is the allocation color (Remark 5.1 toggle).
+          {GcPhase::Trace, &CycleStats::TraceNanos,
+           [&](CycleStats &C) {
+             ParallelTracer::Result TraceResult =
+                 TraceEngine.trace(State.allocationColor(), CollectorGrays);
+             C.ObjectsTraced = TraceResult.ObjectsTraced;
+             C.BytesTraced = TraceResult.BytesTraced;
+             C.LiveEstimateBytes = TraceResult.BytesTraced;
+             C.TraceSteals = TraceResult.Steals;
+             C.TraceWorkerNanos = std::move(TraceResult.WorkerNanos);
+           }},
 
-  uint64_t T3 = nowNanos();
-  Cycle.TraceNanos = T3 - T2;
-
-  // sweep.
-  State.Phase.store(GcPhase::Sweep, std::memory_order_release);
-  Sweeper::Result SweepResult =
-      SweepEngine.sweep(SweepMode::NonGenerational, 0);
-  Cycle.ObjectsFreed = SweepResult.ObjectsFreed;
-  Cycle.BytesFreed = SweepResult.BytesFreed;
-  Cycle.LiveObjectsAfter = SweepResult.LiveObjectsAfter;
-  Cycle.LiveBytesAfter = SweepResult.LiveBytesAfter;
-
-  Cycle.SweepNanos = nowNanos() - T3;
-  State.Phase.store(GcPhase::Idle, std::memory_order_release);
+          // sweep.
+          {GcPhase::Sweep, &CycleStats::SweepNanos,
+           [&](CycleStats &C) {
+             ParallelSweepResult SweepResult = sweepParallel(
+                 H, State, Pool, SweepMode::NonGenerational, 0);
+             C.ObjectsFreed = SweepResult.Total.ObjectsFreed;
+             C.BytesFreed = SweepResult.Total.BytesFreed;
+             C.LiveObjectsAfter = SweepResult.Total.LiveObjectsAfter;
+             C.LiveBytesAfter = SweepResult.Total.LiveBytesAfter;
+             C.SweepWorkerNanos = std::move(SweepResult.WorkerNanos);
+           }},
+      },
+      Cycle);
   return Cycle;
 }

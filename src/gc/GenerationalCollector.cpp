@@ -6,10 +6,32 @@
 
 #include "gc/GenerationalCollector.h"
 
+#include <algorithm>
+
+#include "gc/CyclePhase.h"
 #include "runtime/ObjectModel.h"
 #include "support/Timer.h"
 
 using namespace gengc;
+
+namespace {
+/// Per-lane card-scan counters, merged into CycleStats after the shards
+/// finish.  Keeping them lane-private means the scan body never touches a
+/// shared cache line.
+struct CardScanStats {
+  uint64_t DirtyCards = 0;
+  uint64_t OldObjectsScanned = 0;
+  uint64_t CardScanAreaBytes = 0;
+  uint64_t CardsRemarked = 0;
+};
+
+/// Chunk size for sharding \p Items across \p Lanes (8 chunks per lane so a
+/// lane stuck with a dense range can be helped, floor so tiny tables do not
+/// shatter into per-item claims).
+size_t shardChunk(size_t Items, unsigned Lanes, size_t Floor) {
+  return std::max(Floor, Items / (size_t(Lanes) * 8));
+}
+} // namespace
 
 GenerationalCollector::GenerationalCollector(Heap &H, CollectorState &S,
                                              MutatorRegistry &Registry,
@@ -34,28 +56,34 @@ GenerationalCollector::GenerationalCollector(Heap &H, CollectorState &S,
 void GenerationalCollector::recolorTracedToAllocation() {
   Color Alloc = State.allocationColor();
   PageTouchTracker &Pages = H.pages();
-  for (size_t BlockIdx = 0, E = H.numBlocks(); BlockIdx != E; ++BlockIdx) {
-    const BlockDescriptor &Desc = H.block(BlockIdx);
-    uint64_t Base = uint64_t(BlockIdx) << Heap::BlockShift;
-    if (Desc.State == BlockState::LargeStart) {
-      ObjectRef Ref = ObjectRef(Base);
-      Pages.touch(Region::ColorTable, Ref >> GranuleShift);
-      Color C = H.loadColor(Ref);
-      if (C == Color::Black || C == Color::Gray)
-        H.storeColor(Ref, Alloc);
-      continue;
-    }
-    if (Desc.State != BlockState::SizeClass)
-      continue;
-    Pages.touchRange(Region::ColorTable, Base >> GranuleShift,
-                     Heap::BlockBytes >> GranuleShift);
-    for (uint32_t Cell = 0; Cell < Desc.NumCells; ++Cell) {
-      ObjectRef Ref = ObjectRef(Base + uint64_t(Cell) * Desc.CellBytes);
-      Color C = H.loadColor(Ref, std::memory_order_relaxed);
-      if (C == Color::Black || C == Color::Gray)
-        H.storeColor(Ref, Alloc);
-    }
-  }
+  // Blocks are independent, so the recolor shards cleanly over block-index
+  // ranges; every lane only stores to colors of objects in its own blocks.
+  parallelChunks(
+      Pool, 0, H.numBlocks(), shardChunk(H.numBlocks(), Pool.lanes(), 8),
+      [&](unsigned, size_t ChunkBegin, size_t ChunkEnd) {
+        for (size_t BlockIdx = ChunkBegin; BlockIdx != ChunkEnd; ++BlockIdx) {
+          const BlockDescriptor &Desc = H.block(BlockIdx);
+          uint64_t Base = uint64_t(BlockIdx) << Heap::BlockShift;
+          if (Desc.State == BlockState::LargeStart) {
+            ObjectRef Ref = ObjectRef(Base);
+            Pages.touch(Region::ColorTable, Ref >> GranuleShift);
+            Color C = H.loadColor(Ref);
+            if (C == Color::Black || C == Color::Gray)
+              H.storeColor(Ref, Alloc);
+            continue;
+          }
+          if (Desc.State != BlockState::SizeClass)
+            continue;
+          Pages.touchRange(Region::ColorTable, Base >> GranuleShift,
+                           Heap::BlockBytes >> GranuleShift);
+          for (uint32_t Cell = 0; Cell < Desc.NumCells; ++Cell) {
+            ObjectRef Ref = ObjectRef(Base + uint64_t(Cell) * Desc.CellBytes);
+            Color C = H.loadColor(Ref, std::memory_order_relaxed);
+            if (C == Color::Black || C == Color::Gray)
+              H.storeColor(Ref, Alloc);
+          }
+        }
+      });
 }
 
 void GenerationalCollector::initFullCollectionSimple() {
@@ -87,32 +115,51 @@ void GenerationalCollector::clearCardsSimple(CycleStats &Cycle) {
   // The dirty scan reads the whole card table.
   Pages.touchRange(Region::CardTable, 0, Cards.numCards());
 
-  ObjectRef LastScanned = NullRef;
-  std::vector<ObjectRef> Regrayed;
-  Cards.forEachDirtyIndex([&](size_t CardIdx) {
-    ++Cycle.DirtyCardsAtStart;
-    Cards.clearCardUncontended(CardIdx);
-    H.forEachObjectOverlappingCard(CardIdx, [&](ObjectRef Ref) {
-      // Several consecutive dirty cards typically cover one object; scan
-      // each object once (cards are visited in address order).
-      if (Ref == LastScanned)
-        return;
-      LastScanned = Ref;
-      Pages.touch(Region::ColorTable, Ref >> GranuleShift);
-      Color C = H.loadColor(Ref, std::memory_order_relaxed);
-      if (C == Color::Blue)
-        return;
-      Cycle.CardScanAreaBytes += H.storageBytesOf(Ref);
-      // Figure 3: shade black (old) objects on dirty cards gray; the trace
-      // will scan them and shade their young sons.
-      if (C == Color::Black) {
-        ++Cycle.OldObjectsScanned;
-        H.storeColor(Ref, Color::Gray);
-        Regrayed.push_back(Ref);
-      }
-    });
-  });
-  State.Grays.pushMany(Regrayed);
+  // Shard the card table by index ranges.  Each card is handled by exactly
+  // one lane; an object overlapping a shard boundary may be scanned by two
+  // lanes (the LastScanned dedup is lane-local), which at worst double
+  // counts it and re-grays it twice — both benign, and impossible with one
+  // lane where ascending chunk order makes this the exact sequential scan.
+  unsigned Lanes = Pool.lanes();
+  std::vector<CardScanStats> LaneStats(Lanes);
+  std::vector<ObjectRef> LastScanned(Lanes, NullRef);
+  std::vector<std::vector<ObjectRef>> Regrayed(Lanes);
+  parallelChunks(
+      Pool, 0, Cards.numCards(),
+      shardChunk(Cards.numCards(), Lanes, 64),
+      [&](unsigned Lane, size_t ChunkBegin, size_t ChunkEnd) {
+        CardScanStats &S = LaneStats[Lane];
+        Cards.forEachDirtyIndexInRange(ChunkBegin, ChunkEnd, [&](size_t
+                                                                     CardIdx) {
+          ++S.DirtyCards;
+          Cards.clearCardUncontended(CardIdx);
+          H.forEachObjectOverlappingCard(CardIdx, [&](ObjectRef Ref) {
+            // Several consecutive dirty cards typically cover one object;
+            // scan each object once (cards are visited in address order).
+            if (Ref == LastScanned[Lane])
+              return;
+            LastScanned[Lane] = Ref;
+            Pages.touch(Region::ColorTable, Ref >> GranuleShift);
+            Color C = H.loadColor(Ref, std::memory_order_relaxed);
+            if (C == Color::Blue)
+              return;
+            S.CardScanAreaBytes += H.storageBytesOf(Ref);
+            // Figure 3: shade black (old) objects on dirty cards gray; the
+            // trace will scan them and shade their young sons.
+            if (C == Color::Black) {
+              ++S.OldObjectsScanned;
+              H.storeColor(Ref, Color::Gray);
+              Regrayed[Lane].push_back(Ref);
+            }
+          });
+        });
+      });
+  for (unsigned Lane = 0; Lane < Lanes; ++Lane) {
+    Cycle.DirtyCardsAtStart += LaneStats[Lane].DirtyCards;
+    Cycle.OldObjectsScanned += LaneStats[Lane].OldObjectsScanned;
+    Cycle.CardScanAreaBytes += LaneStats[Lane].CardScanAreaBytes;
+    State.Grays.pushMany(Regrayed[Lane]);
+  }
 }
 
 void GenerationalCollector::drainRememberedSet(CycleStats &Cycle) {
@@ -141,47 +188,70 @@ void GenerationalCollector::clearCardsAging(CycleStats &Cycle) {
   Pages.touchRange(Region::CardTable, 0, Cards.numCards());
 
   uint8_t OldestAge = Config.OldestAge;
-  ObjectRef LastCounted = NullRef;
-  Cards.forEachDirtyIndex([&](size_t CardIdx) {
-    ++Cycle.DirtyCardsAtStart;
-    // Section 7.2, step 1: clear the mark FIRST.  A mutator that writes an
-    // inter-generational pointer concurrently either re-marks after our
-    // clear (mark survives) or marked before it — in which case its store
-    // is visible to the scan below and we re-mark ourselves.
-    Cards.clearCard(CardIdx);
+  // Sharded like clearCardsSimple.  The Section 7.2 three-step protocol is
+  // per-card, so it composes with sharding unchanged: each card's
+  // clear/scan/re-mark is executed entirely by the lane that owns the
+  // card's range, racing only with mutator marking, exactly as before.
+  // Son shading goes through markGrayClearOnly's CAS, so two lanes shading
+  // the same son from boundary-straddling parents resolve correctly.
+  unsigned Lanes = Pool.lanes();
+  std::vector<CardScanStats> LaneStats(Lanes);
+  std::vector<ObjectRef> LastCounted(Lanes, NullRef);
+  parallelChunks(
+      Pool, 0, Cards.numCards(),
+      shardChunk(Cards.numCards(), Lanes, 64),
+      [&](unsigned Lane, size_t ChunkBegin, size_t ChunkEnd) {
+        CardScanStats &S = LaneStats[Lane];
+        Cards.forEachDirtyIndexInRange(ChunkBegin, ChunkEnd, [&](size_t
+                                                                     CardIdx) {
+          ++S.DirtyCards;
+          // Section 7.2, step 1: clear the mark FIRST.  A mutator that
+          // writes an inter-generational pointer concurrently either
+          // re-marks after our clear (mark survives) or marked before it —
+          // in which case its store is visible to the scan below and we
+          // re-mark ourselves.
+          Cards.clearCard(CardIdx);
 
-    bool Remark = false;
-    H.forEachObjectOverlappingCard(CardIdx, [&](ObjectRef Ref) {
-      Pages.touch(Region::ColorTable, Ref >> GranuleShift);
-      Color C = H.loadColor(Ref);
-      if (C != Color::Black || H.ages().ageOf(Ref) != OldestAge)
-        return;
-      Pages.touch(Region::AgeTable, Ref >> GranuleShift);
-      if (Ref != LastCounted) {
-        LastCounted = Ref;
-        ++Cycle.OldObjectsScanned;
-        Cycle.CardScanAreaBytes += H.storageBytesOf(Ref);
-      }
-      // Figure 6: shade the sons of old objects directly and decide
-      // whether the card still holds an inter-generational pointer.
-      uint32_t RefSlots = objectRefSlots(H, Ref);
-      Pages.touchRange(Region::Arena, Ref,
-                       ObjectHeaderBytes + uint64_t(RefSlots) * RefSlotBytes);
-      for (uint32_t I = 0; I < RefSlots; ++I) {
-        ObjectRef Son = loadRefSlot(H, Ref, I);
-        if (Son == NullRef)
-          continue;
-        markGrayClearOnly(H, State, Son, CollectorGrays);
-        if (H.ages().ageOf(Son) < OldestAge)
-          Remark = true;
-      }
-    });
-    if (Remark) {
-      // Step 3: the card still guards an old->young pointer.
-      Cards.markCardIndex(CardIdx);
-      ++Cycle.CardsRemarked;
-    }
-  });
+          bool Remark = false;
+          H.forEachObjectOverlappingCard(CardIdx, [&](ObjectRef Ref) {
+            Pages.touch(Region::ColorTable, Ref >> GranuleShift);
+            Color C = H.loadColor(Ref);
+            if (C != Color::Black || H.ages().ageOf(Ref) != OldestAge)
+              return;
+            Pages.touch(Region::AgeTable, Ref >> GranuleShift);
+            if (Ref != LastCounted[Lane]) {
+              LastCounted[Lane] = Ref;
+              ++S.OldObjectsScanned;
+              S.CardScanAreaBytes += H.storageBytesOf(Ref);
+            }
+            // Figure 6: shade the sons of old objects directly and decide
+            // whether the card still holds an inter-generational pointer.
+            uint32_t RefSlots = objectRefSlots(H, Ref);
+            Pages.touchRange(Region::Arena, Ref,
+                             ObjectHeaderBytes +
+                                 uint64_t(RefSlots) * RefSlotBytes);
+            for (uint32_t I = 0; I < RefSlots; ++I) {
+              ObjectRef Son = loadRefSlot(H, Ref, I);
+              if (Son == NullRef)
+                continue;
+              markGrayClearOnly(H, State, Son, CollectorGrays);
+              if (H.ages().ageOf(Son) < OldestAge)
+                Remark = true;
+            }
+          });
+          if (Remark) {
+            // Step 3: the card still guards an old->young pointer.
+            Cards.markCardIndex(CardIdx);
+            ++S.CardsRemarked;
+          }
+        });
+      });
+  for (unsigned Lane = 0; Lane < Lanes; ++Lane) {
+    Cycle.DirtyCardsAtStart += LaneStats[Lane].DirtyCards;
+    Cycle.OldObjectsScanned += LaneStats[Lane].OldObjectsScanned;
+    Cycle.CardScanAreaBytes += LaneStats[Lane].CardScanAreaBytes;
+    Cycle.CardsRemarked += LaneStats[Lane].CardsRemarked;
+  }
 }
 
 CycleStats GenerationalCollector::runCycle(CycleRequest Kind) {
@@ -189,73 +259,86 @@ CycleStats GenerationalCollector::runCycle(CycleRequest Kind) {
   CycleStats Cycle;
   Cycle.Kind = Full ? CycleKind::Full : CycleKind::Partial;
   Cycle.AllocatedCards = H.countAllocatedCards();
+  Cycle.GcWorkers = Pool.lanes();
 
-  // clear stage (Figure 2 / Figure 5).
-  uint64_t T0 = nowNanos();
-  State.Phase.store(GcPhase::Clear, std::memory_order_release);
-  if (Full) {
-    Cycle.DirtyCardsAtStart = H.cards().countDirty();
-    if (Config.Aging)
-      initFullCollectionAging();
-    else
-      initFullCollectionSimple();
-  }
-  Handshakes.handshake(HandshakeStatus::Sync1);
-  uint64_t T1 = nowNanos();
-  Cycle.ClearNanos = T1 - T0;
+  runCyclePhases(
+      State,
+      {
+          // clear stage (Figure 2 / Figure 5).
+          {GcPhase::Clear, &CycleStats::ClearNanos,
+           [&](CycleStats &C) {
+             if (Full) {
+               C.DirtyCardsAtStart = H.cards().countDirty();
+               if (Config.Aging)
+                 initFullCollectionAging();
+               else
+                 initFullCollectionSimple();
+             }
+             Handshakes.handshake(HandshakeStatus::Sync1);
+           }},
 
-  // mark stage.  Order matters and differs between the variants:
-  //   simple: ClearCards, then toggle (Figure 2) — a yellow object can only
-  //           appear after its parent's card was already scanned;
-  //   aging:  toggle, then ClearCards (Figure 5) — ClearCards must see
-  //           post-toggle colors to shade young sons correctly.
-  State.Phase.store(GcPhase::Mark, std::memory_order_release);
-  Handshakes.post(HandshakeStatus::Sync2);
-  if (Config.Aging) {
-    State.switchAllocationClearColors();
-    if (!Full)
-      clearCardsAging(Cycle);
-  } else {
-    if (!Full) {
-      if (Config.RememberedSets)
-        drainRememberedSet(Cycle);
-      else
-        clearCardsSimple(Cycle);
-    }
-    State.switchAllocationClearColors();
-  }
-  Handshakes.wait();
+          // mark stage.  Order matters and differs between the variants:
+          //   simple: ClearCards, then toggle (Figure 2) — a yellow object
+          //           can only appear after its parent's card was already
+          //           scanned;
+          //   aging:  toggle, then ClearCards (Figure 5) — ClearCards must
+          //           see post-toggle colors to shade young sons correctly.
+          {GcPhase::Mark, &CycleStats::MarkNanos,
+           [&](CycleStats &C) {
+             Handshakes.post(HandshakeStatus::Sync2);
+             if (Config.Aging) {
+               State.switchAllocationClearColors();
+               if (!Full) {
+                 uint64_t ScanStart = nowNanos();
+                 clearCardsAging(C);
+                 C.CardScanNanos = nowNanos() - ScanStart;
+               }
+             } else {
+               if (!Full) {
+                 uint64_t ScanStart = nowNanos();
+                 if (Config.RememberedSets)
+                   drainRememberedSet(C);
+                 else
+                   clearCardsSimple(C);
+                 C.CardScanNanos = nowNanos() - ScanStart;
+               }
+               State.switchAllocationClearColors();
+             }
+             Handshakes.wait();
 
-  Handshakes.post(HandshakeStatus::Async);
-  Roots.markAll(CollectorGrays);
-  Handshakes.wait();
-  uint64_t T2 = nowNanos();
-  Cycle.MarkNanos = T2 - T1;
+             Handshakes.post(HandshakeStatus::Async);
+             Roots.markAll(CollectorGrays);
+             Handshakes.wait();
+           }},
 
-  // trace: black marks promoted/old objects in both variants.
-  State.Phase.store(GcPhase::Trace, std::memory_order_release);
-  Tracer::Result TraceResult =
-      TraceEngine.trace(Color::Black, CollectorGrays);
-  Cycle.ObjectsTraced = TraceResult.ObjectsTraced;
-  Cycle.BytesTraced = TraceResult.BytesTraced;
+          // trace: black marks promoted/old objects in both variants.
+          {GcPhase::Trace, &CycleStats::TraceNanos,
+           [&](CycleStats &C) {
+             ParallelTracer::Result TraceResult =
+                 TraceEngine.trace(Color::Black, CollectorGrays);
+             C.ObjectsTraced = TraceResult.ObjectsTraced;
+             C.BytesTraced = TraceResult.BytesTraced;
+             C.TraceSteals = TraceResult.Steals;
+             C.TraceWorkerNanos = std::move(TraceResult.WorkerNanos);
+           }},
 
-  uint64_t T3 = nowNanos();
-  Cycle.TraceNanos = T3 - T2;
-
-  // sweep.
-  State.Phase.store(GcPhase::Sweep, std::memory_order_release);
-  Sweeper::Result SweepResult = SweepEngine.sweep(
-      Config.Aging ? SweepMode::GenerationalAging
-                   : SweepMode::GenerationalSimple,
-      Config.OldestAge);
-  Cycle.ObjectsFreed = SweepResult.ObjectsFreed;
-  Cycle.BytesFreed = SweepResult.BytesFreed;
-  Cycle.LiveObjectsAfter = SweepResult.LiveObjectsAfter;
-  Cycle.LiveBytesAfter = SweepResult.LiveBytesAfter;
-  Cycle.LiveEstimateBytes =
-      SweepResult.LiveBytesAfter - SweepResult.AllocColoredBytes;
-
-  Cycle.SweepNanos = nowNanos() - T3;
-  State.Phase.store(GcPhase::Idle, std::memory_order_release);
+          // sweep.
+          {GcPhase::Sweep, &CycleStats::SweepNanos,
+           [&](CycleStats &C) {
+             ParallelSweepResult SweepResult = sweepParallel(
+                 H, State, Pool,
+                 Config.Aging ? SweepMode::GenerationalAging
+                              : SweepMode::GenerationalSimple,
+                 Config.OldestAge);
+             C.ObjectsFreed = SweepResult.Total.ObjectsFreed;
+             C.BytesFreed = SweepResult.Total.BytesFreed;
+             C.LiveObjectsAfter = SweepResult.Total.LiveObjectsAfter;
+             C.LiveBytesAfter = SweepResult.Total.LiveBytesAfter;
+             C.LiveEstimateBytes = SweepResult.Total.LiveBytesAfter -
+                                   SweepResult.Total.AllocColoredBytes;
+             C.SweepWorkerNanos = std::move(SweepResult.WorkerNanos);
+           }},
+      },
+      Cycle);
   return Cycle;
 }

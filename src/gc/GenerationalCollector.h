@@ -54,6 +54,7 @@ private:
   /// objects on it gray, so the trace scans them for young sons.  Runs
   /// before the toggle; no mutator can be marking cards concurrently
   /// (they are all at sync1/sync2, where the simple barrier does not mark).
+  /// Sharded over card-index ranges across the worker pool's lanes.
   void clearCardsSimple(CycleStats &Cycle);
 
   /// Remembered-set analogue of clearCardsSimple: drain the recorded
@@ -65,7 +66,8 @@ private:
   /// Figure 6 ClearCards with the Section 7.2 three-step protocol: clear
   /// the mark, scan old objects on the card shading their sons, and re-mark
   /// the card if any son is still young.  Runs after the toggle, racing
-  /// benignly with mutator card marking.
+  /// benignly with mutator card marking.  Sharded over card-index ranges;
+  /// the per-card protocol is untouched by the sharding.
   void clearCardsAging(CycleStats &Cycle);
 };
 

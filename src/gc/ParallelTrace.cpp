@@ -1,0 +1,101 @@
+//===- gc/ParallelTrace.cpp - Work-stealing parallel trace ------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/ParallelTrace.h"
+
+#include <thread>
+
+#include "support/Timer.h"
+
+using namespace gengc;
+
+ParallelTracer::ParallelTracer(Heap &H, CollectorState &S, GcWorkerPool &Pool)
+    : H(H), State(S), Pool(Pool) {
+  for (unsigned Lane = 0; Lane < Pool.lanes(); ++Lane)
+    Engines.push_back(std::make_unique<Tracer>(H, S));
+}
+
+void ParallelTracer::setAgingThreshold(uint8_t OldestAge) {
+  for (auto &Engine : Engines)
+    Engine->setAgingThreshold(OldestAge);
+}
+
+ParallelTracer::Result ParallelTracer::trace(Color BlackColor,
+                                             GrayCounters &Counters) {
+  unsigned Lanes = Pool.lanes();
+  Result R;
+  R.WorkerNanos.assign(Lanes, 0);
+
+  if (Lanes == 1) {
+    // The historical single-threaded algorithm, verbatim — GcThreads = 1
+    // must stay bit-identical to the pre-parallel collector.
+    uint64_t Start = nowNanos();
+    Tracer::Result Single = Engines[0]->trace(BlackColor, Counters);
+    R.WorkerNanos[0] = nowNanos() - Start;
+    R.ObjectsTraced = Single.ObjectsTraced;
+    R.BytesTraced = Single.BytesTraced;
+    R.Passes = Single.Passes;
+    return R;
+  }
+
+  PageTouchTracker &Pages = H.pages();
+  const AtomicByteTable &Colors = H.colors();
+  std::vector<ObjectRef> Pending;
+  State.Grays.drainTo(Pending);
+
+  for (;;) {
+    if (!Pending.empty()) {
+      // Fan the pending grays out as stealable chunks and let every lane
+      // work-steal until global quiescence.
+      TraceWorkList Shared;
+      for (size_t I = 0; I < Pending.size();
+           I += TraceWorkList::ChunkRefs) {
+        size_t E = std::min(I + TraceWorkList::ChunkRefs, Pending.size());
+        Shared.push(std::vector<ObjectRef>(Pending.begin() + I,
+                                           Pending.begin() + E));
+      }
+      Pending.clear();
+      std::atomic<unsigned> NumIdle{0};
+      std::vector<Tracer::Result> LaneResults(Lanes);
+      Pool.run([&](unsigned Lane) {
+        uint64_t Start = nowNanos();
+        Engines[Lane]->drainShared(Shared, NumIdle, Lanes, BlackColor,
+                                   Counters, LaneResults[Lane]);
+        R.WorkerNanos[Lane] += nowNanos() - Start;
+      });
+      for (const Tracer::Result &LR : LaneResults) {
+        R.ObjectsTraced += LR.ObjectsTraced;
+        R.BytesTraced += LR.BytesTraced;
+      }
+      R.Steals += Shared.steals();
+    }
+
+    // Termination, step 1: wait out shades whose buffer enqueue is still
+    // in flight, then re-drain anything they published.
+    while (State.InFlightShades.load(std::memory_order_acquire) != 0)
+      std::this_thread::yield();
+    if (State.Grays.drainTo(Pending))
+      continue;
+
+    // Termination, step 2: one verification scan of the color side-table.
+    // Runs on the leader; grays it finds (rare) go back through the
+    // parallel drain above.
+    ++R.Passes;
+    Pages.touchRange(Region::ColorTable, 0, Colors.size());
+    for (size_t W = 0, E = Colors.numWords(); W != E; ++W) {
+      if (!AtomicByteTable::wordContainsByte(Colors.racyWord(W),
+                                             uint8_t(Color::Gray)))
+        continue;
+      size_t Begin = W * AtomicByteTable::WordEntries;
+      for (size_t I = Begin; I != Begin + AtomicByteTable::WordEntries; ++I)
+        if (Color(Colors.entry(I).load(std::memory_order_acquire)) ==
+            Color::Gray)
+          Pending.push_back(ObjectRef(I << GranuleShift));
+    }
+    if (Pending.empty())
+      return R;
+  }
+}

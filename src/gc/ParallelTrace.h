@@ -1,0 +1,122 @@
+//===- gc/ParallelTrace.h - Work-stealing parallel trace --------*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The parallel trace stage.  Each GcWorkerPool lane runs its own Tracer
+/// engine over a private gray stack; surplus work moves between lanes in
+/// chunks through a shared TraceWorkList (steal = pop one chunk).  All
+/// mutator-facing machinery is untouched: mutators shade through the same
+/// write barriers into the same shared gray buffer, every color transition
+/// funnels through Heap::casColor, and the termination protocol is the
+/// paper-faithful one the single-threaded tracer used — wait out in-flight
+/// shades, drain the gray buffer, then run verification scans of the color
+/// side-table until one finds no gray object.
+///
+/// With one lane, ParallelTracer delegates to the historical Tracer::trace
+/// verbatim, so GcThreads = 1 is bit-identical to the single-threaded
+/// collector.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_GC_PARALLELTRACE_H
+#define GENGC_GC_PARALLELTRACE_H
+
+#include <memory>
+#include <vector>
+
+#include "gc/Tracer.h"
+#include "gc/WorkerPool.h"
+
+namespace gengc {
+
+/// Shared pool of gray-object chunks; the unit of work stealing.  A plain
+/// mutex-protected chunk stack is plenty: lanes touch it once per ChunkRefs
+/// objects traced, so contention is bounded by construction.
+class TraceWorkList {
+public:
+  /// Number of object refs per stealable chunk.
+  static constexpr size_t ChunkRefs = 64;
+
+  /// Deposits one chunk for stealing.
+  void push(std::vector<ObjectRef> &&Chunk) {
+    std::scoped_lock Locked(Mutex);
+    Chunks.push_back(std::move(Chunk));
+    NumChunks.store(Chunks.size(), std::memory_order_release);
+  }
+
+  /// Moves one chunk's refs onto the back of \p Out.
+  /// \returns true if a chunk was stolen.
+  bool steal(std::vector<ObjectRef> &Out) {
+    std::scoped_lock Locked(Mutex);
+    if (Chunks.empty())
+      return false;
+    std::vector<ObjectRef> Chunk = std::move(Chunks.back());
+    Chunks.pop_back();
+    NumChunks.store(Chunks.size(), std::memory_order_release);
+    ++Steals;
+    Out.insert(Out.end(), Chunk.begin(), Chunk.end());
+    return true;
+  }
+
+  /// Racy emptiness hint for idle-lane spinning (misses are resolved by the
+  /// steal's mutex, and ultimately by the tracer's verification scan).
+  bool empty() const {
+    return NumChunks.load(std::memory_order_acquire) == 0;
+  }
+
+  /// Current number of deposited chunks (offload throttling hint).
+  size_t approxChunks() const {
+    return NumChunks.load(std::memory_order_relaxed);
+  }
+
+  /// Number of successful steals so far (statistics).
+  uint64_t steals() const {
+    std::scoped_lock Locked(Mutex);
+    return Steals;
+  }
+
+private:
+  mutable std::mutex Mutex;
+  std::vector<std::vector<ObjectRef>> Chunks;
+  std::atomic<size_t> NumChunks{0};
+  uint64_t Steals = 0;
+};
+
+/// The parallel trace driver; owned by a collector, reused across cycles.
+class ParallelTracer {
+public:
+  struct Result {
+    /// Number of MarkBlack executions, summed over lanes.
+    uint64_t ObjectsTraced = 0;
+    /// Their storage footprint.
+    uint64_t BytesTraced = 0;
+    /// Number of color-table verification passes until the clean pass.
+    uint64_t Passes = 0;
+    /// Chunks stolen between lanes (0 with one lane).
+    uint64_t Steals = 0;
+    /// Wall time each lane spent inside the trace, indexed by lane.
+    std::vector<uint64_t> WorkerNanos;
+  };
+
+  ParallelTracer(Heap &H, CollectorState &S, GcWorkerPool &Pool);
+
+  /// See Tracer::setAgingThreshold; forwarded to every lane engine.
+  void setAgingThreshold(uint8_t OldestAge);
+
+  /// Traces to completion (see Tracer::trace for the color contract).
+  Result trace(Color BlackColor, GrayCounters &Counters);
+
+private:
+  Heap &H;
+  CollectorState &State;
+  GcWorkerPool &Pool;
+  /// One engine per lane; unique_ptr keeps them stable and non-movable.
+  std::vector<std::unique_ptr<Tracer>> Engines;
+};
+
+} // namespace gengc
+
+#endif // GENGC_GC_PARALLELTRACE_H

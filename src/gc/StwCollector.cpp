@@ -8,7 +8,7 @@
 
 #include <thread>
 
-#include "support/Timer.h"
+#include "gc/CyclePhase.h"
 
 using namespace gengc;
 
@@ -25,17 +25,18 @@ StwCollector::StwCollector(Heap &H, CollectorState &S,
                       std::memory_order_release);
 }
 
-void StwCollector::waitWorldStopped() {
-  // A mutator counts as stopped when it parked itself (shading its own
-  // roots on the way in) or when it is blocked (we shade for it).  The
-  // registry can change while we wait: re-snapshot every pass.
+void StwCollector::waitWorldStopped(uint64_t Epoch) {
+  // A mutator counts as stopped when it parked itself AND shaded its roots
+  // for this very epoch (a thread still asleep from the previous pause has
+  // stale shading and must not be trusted until it re-shades), or when it
+  // is blocked (we shade for it).  The registry can change while we wait:
+  // re-snapshot every pass.
   for (unsigned Spin = 0;; ++Spin) {
-    size_t Accounted = size_t(
-        State.ParkedMutators.load(std::memory_order_acquire));
     size_t Total = 0;
+    size_t Accounted = 0;
     Registry.forEach([&](Mutator &M) {
       ++Total;
-      if (M.markRootsIfBlockedForStw())
+      if (M.stwParkedFor(Epoch) || M.markRootsIfBlockedForStw())
         ++Accounted;
     });
     if (Accounted >= Total)
@@ -51,41 +52,52 @@ CycleStats StwCollector::runCycle(CycleRequest Kind) {
   (void)Kind; // Always the whole heap.
   CycleStats Cycle;
   Cycle.Kind = CycleKind::NonGenerational;
+  Cycle.GcWorkers = Pool.lanes();
 
-  uint64_t T0 = nowNanos();
-  State.Phase.store(GcPhase::Clear, std::memory_order_release);
-  State.switchAllocationClearColors();
+  runCyclePhases(
+      State,
+      {
+          {GcPhase::Clear, &CycleStats::ClearNanos,
+           [&](CycleStats &) {
+             State.switchAllocationClearColors();
 
-  // Stop the world.
-  State.StopWorld.store(true, std::memory_order_seq_cst);
-  waitWorldStopped();
-  uint64_t T1 = nowNanos();
-  Cycle.ClearNanos = T1 - T0;
+             // Stop the world.  The epoch bump follows the toggle, so a
+             // parker that observes the new epoch also sees the new colors
+             // when it (re-)shades its roots.
+             uint64_t Epoch =
+                 State.StopEpoch.fetch_add(1, std::memory_order_acq_rel) + 1;
+             State.StopWorld.store(true, std::memory_order_seq_cst);
+             waitWorldStopped(Epoch);
+           }},
 
-  Roots.markAll(CollectorGrays);
-  uint64_t T2 = nowNanos();
-  Cycle.MarkNanos = T2 - T1;
+          {GcPhase::Mark, &CycleStats::MarkNanos,
+           [&](CycleStats &) { Roots.markAll(CollectorGrays); }},
 
-  State.Phase.store(GcPhase::Trace, std::memory_order_release);
-  Tracer::Result TraceResult =
-      TraceEngine.trace(State.allocationColor(), CollectorGrays);
-  Cycle.ObjectsTraced = TraceResult.ObjectsTraced;
-  Cycle.BytesTraced = TraceResult.BytesTraced;
-  Cycle.LiveEstimateBytes = TraceResult.BytesTraced;
-  uint64_t T3 = nowNanos();
-  Cycle.TraceNanos = T3 - T2;
+          {GcPhase::Trace, &CycleStats::TraceNanos,
+           [&](CycleStats &C) {
+             ParallelTracer::Result TraceResult =
+                 TraceEngine.trace(State.allocationColor(), CollectorGrays);
+             C.ObjectsTraced = TraceResult.ObjectsTraced;
+             C.BytesTraced = TraceResult.BytesTraced;
+             C.LiveEstimateBytes = TraceResult.BytesTraced;
+             C.TraceSteals = TraceResult.Steals;
+             C.TraceWorkerNanos = std::move(TraceResult.WorkerNanos);
+           }},
 
-  State.Phase.store(GcPhase::Sweep, std::memory_order_release);
-  Sweeper::Result SweepResult =
-      SweepEngine.sweep(SweepMode::NonGenerational, 0);
-  Cycle.ObjectsFreed = SweepResult.ObjectsFreed;
-  Cycle.BytesFreed = SweepResult.BytesFreed;
-  Cycle.LiveObjectsAfter = SweepResult.LiveObjectsAfter;
-  Cycle.LiveBytesAfter = SweepResult.LiveBytesAfter;
-  Cycle.SweepNanos = nowNanos() - T3;
+          {GcPhase::Sweep, &CycleStats::SweepNanos,
+           [&](CycleStats &C) {
+             ParallelSweepResult SweepResult = sweepParallel(
+                 H, State, Pool, SweepMode::NonGenerational, 0);
+             C.ObjectsFreed = SweepResult.Total.ObjectsFreed;
+             C.BytesFreed = SweepResult.Total.BytesFreed;
+             C.LiveObjectsAfter = SweepResult.Total.LiveObjectsAfter;
+             C.LiveBytesAfter = SweepResult.Total.LiveBytesAfter;
+             C.SweepWorkerNanos = std::move(SweepResult.WorkerNanos);
+           }},
+      },
+      Cycle);
 
-  // Resume the world.
-  State.Phase.store(GcPhase::Idle, std::memory_order_release);
+  // runCyclePhases already published Idle; resume the world after it.
   State.StopWorld.store(false, std::memory_order_seq_cst);
   return Cycle;
 }

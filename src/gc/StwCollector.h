@@ -41,9 +41,9 @@ protected:
   CycleStats runCycle(CycleRequest Kind) override;
 
 private:
-  /// Blocks until every registered mutator is parked or blocked (with its
-  /// roots shaded either way).
-  void waitWorldStopped();
+  /// Blocks until every registered mutator is parked-and-shaded for stop
+  /// \p Epoch or blocked (with its roots shaded either way).
+  void waitWorldStopped(uint64_t Epoch);
 };
 
 } // namespace gengc

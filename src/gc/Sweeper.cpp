@@ -6,6 +6,11 @@
 
 #include "gc/Sweeper.h"
 
+#include <algorithm>
+#include <atomic>
+
+#include "support/Timer.h"
+
 using namespace gengc;
 
 void Sweeper::processSurvivor(ObjectRef Ref, Color C, uint32_t StorageBytes,
@@ -29,21 +34,19 @@ void Sweeper::processSurvivor(ObjectRef Ref, Color C, uint32_t StorageBytes,
   Ages.setAge(Ref, uint8_t(Age + 1));
 }
 
-Sweeper::Result Sweeper::sweep(SweepMode Mode, uint8_t OldestAge) {
-  Result R;
+void Sweeper::sweepBlockRange(SweepMode Mode, uint8_t OldestAge,
+                              size_t BlockBegin, size_t BlockEnd, Result &R) {
   PageTouchTracker &Pages = H.pages();
   Color Clear = State.clearColor();
   Color Alloc = State.allocationColor();
 
-  // Freed cells accumulate into per-class chains and return to the central
-  // lists in bulk.
-  Heap::CellChain Chains[NumSizeClasses];
-
-  for (size_t BlockIdx = 0, E = H.numBlocks(); BlockIdx != E; ++BlockIdx) {
+  for (size_t BlockIdx = BlockBegin; BlockIdx != BlockEnd; ++BlockIdx) {
     const BlockDescriptor &Desc = H.block(BlockIdx);
     uint64_t Base = uint64_t(BlockIdx) << Heap::BlockShift;
 
     if (Desc.State == BlockState::LargeStart) {
+      // A run is owned by the lane whose range covers its start block;
+      // continuation blocks are skipped by every lane.
       ObjectRef Ref = ObjectRef(Base);
       Pages.touch(Region::ColorTable, Ref >> GranuleShift);
       Color C = H.loadColor(Ref);
@@ -94,9 +97,60 @@ Sweeper::Result Sweeper::sweep(SweepMode Mode, uint8_t OldestAge) {
       processSurvivor(Ref, C, Desc.CellBytes, Mode, OldestAge, Alloc, R);
     }
   }
+}
 
-  for (unsigned ClassIdx = 0; ClassIdx < NumSizeClasses; ++ClassIdx)
-    if (Chains[ClassIdx].Count != 0)
+void Sweeper::flushChains() {
+  for (unsigned ClassIdx = 0; ClassIdx < NumSizeClasses; ++ClassIdx) {
+    if (Chains[ClassIdx].Count != 0) {
       H.pushFreeChain(ClassIdx, Chains[ClassIdx]);
+      Chains[ClassIdx] = Heap::CellChain();
+    }
+  }
+}
+
+Sweeper::Result Sweeper::sweep(SweepMode Mode, uint8_t OldestAge) {
+  Result R;
+  sweepBlockRange(Mode, OldestAge, 0, H.numBlocks(), R);
+  flushChains();
+  return R;
+}
+
+ParallelSweepResult gengc::sweepParallel(Heap &H, CollectorState &S,
+                                         GcWorkerPool &Pool, SweepMode Mode,
+                                         uint8_t OldestAge) {
+  unsigned Lanes = Pool.lanes();
+  size_t NumBlocks = H.numBlocks();
+  // Coarse enough that a lane amortizes its claims, fine enough that an
+  // unlucky lane stuck with a dense block range can be helped.
+  size_t Chunk = std::max<size_t>(8, NumBlocks / (size_t(Lanes) * 8));
+
+  ParallelSweepResult R;
+  R.WorkerNanos.assign(Lanes, 0);
+  std::vector<Sweeper> Engines;
+  Engines.reserve(Lanes);
+  for (unsigned Lane = 0; Lane < Lanes; ++Lane)
+    Engines.emplace_back(H, S);
+  std::vector<Sweeper::Result> LaneResults(Lanes);
+
+  // Same dynamic chunk claiming as parallelChunks, inlined so each lane can
+  // run a per-lane epilogue (flush its chains) after its last chunk.
+  std::atomic<size_t> Cursor{0};
+  Pool.run([&](unsigned Lane) {
+    uint64_t Start = nowNanos();
+    Sweeper &Engine = Engines[Lane];
+    for (;;) {
+      size_t Begin = Cursor.fetch_add(Chunk, std::memory_order_relaxed);
+      if (Begin >= NumBlocks)
+        break;
+      Engine.sweepBlockRange(Mode, OldestAge, Begin,
+                             std::min(Begin + Chunk, NumBlocks),
+                             LaneResults[Lane]);
+    }
+    Engine.flushChains();
+    R.WorkerNanos[Lane] = nowNanos() - Start;
+  });
+
+  for (const Sweeper::Result &LR : LaneResults)
+    R.Total.merge(LR);
   return R;
 }

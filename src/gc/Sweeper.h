@@ -22,11 +22,21 @@
 /// through a CAS on the color byte, so exactly one side wins: either the
 /// object is freed, or it floats gray into the next cycle.
 ///
+/// Sweep is embarrassingly parallel in this non-moving big-bag-of-pages
+/// design: blocks are independent, so sweepParallel partitions the heap by
+/// block-index ranges across GcWorkerPool lanes.  Each lane drives its own
+/// Sweeper engine whose freed cells accumulate into per-lane CellChain
+/// batches, so Heap::pushFreeChain contention stays bounded by the batch
+/// size exactly as in the single-threaded sweep.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GENGC_GC_SWEEPER_H
 #define GENGC_GC_SWEEPER_H
 
+#include <vector>
+
+#include "gc/WorkerPool.h"
 #include "heap/Heap.h"
 #include "runtime/CollectorState.h"
 
@@ -39,7 +49,9 @@ enum class SweepMode : uint8_t {
   GenerationalAging,
 };
 
-/// The sweep engine; owned by a collector, reused across cycles.
+/// One sweep engine.  Historically the singleton owned by a collector; now
+/// a per-worker engine: each lane of a parallel sweep drives its own
+/// Sweeper over the block ranges it claims.
 class Sweeper {
 public:
   struct Result {
@@ -51,6 +63,15 @@ public:
     /// during this cycle.  The generational collectors subtract this from
     /// LiveBytesAfter to estimate the true live set for triggering.
     uint64_t AllocColoredBytes = 0;
+
+    /// Accumulates \p Other into this result (lane merging).
+    void merge(const Result &Other) {
+      ObjectsFreed += Other.ObjectsFreed;
+      BytesFreed += Other.BytesFreed;
+      LiveObjectsAfter += Other.LiveObjectsAfter;
+      LiveBytesAfter += Other.LiveBytesAfter;
+      AllocColoredBytes += Other.AllocColoredBytes;
+    }
   };
 
   Sweeper(Heap &H, CollectorState &S) : H(H), State(S) {}
@@ -58,6 +79,15 @@ public:
   /// Sweeps the whole heap.  \p OldestAge is the tenuring threshold (aging
   /// mode only).
   Result sweep(SweepMode Mode, uint8_t OldestAge);
+
+  /// Per-lane API: sweeps blocks [\p BlockBegin, \p BlockEnd), accumulating
+  /// into \p R and this engine's pending free chains.  Call flushChains()
+  /// once after the lane's last range.
+  void sweepBlockRange(SweepMode Mode, uint8_t OldestAge, size_t BlockBegin,
+                       size_t BlockEnd, Result &R);
+
+  /// Returns all pending per-class chains to the heap's central lists.
+  void flushChains();
 
 private:
   /// Handles one live (non-clear, non-blue) object of color \p C.
@@ -67,7 +97,25 @@ private:
 
   Heap &H;
   CollectorState &State;
+  /// Freed cells pending return to the central lists, one chain per size
+  /// class; flushed whenever a chain reaches the heap's batch size.
+  Heap::CellChain Chains[NumSizeClasses];
 };
+
+/// A parallel sweep's merged result plus per-lane accounting.
+struct ParallelSweepResult {
+  Sweeper::Result Total;
+  /// Wall time each lane spent sweeping, indexed by lane.
+  std::vector<uint64_t> WorkerNanos;
+};
+
+/// Sweeps the whole heap across the pool's lanes: block-index ranges are
+/// claimed dynamically, each lane sweeping with a private engine.  With one
+/// lane this degenerates to the exact sequential sweep (ascending block
+/// order, identical chain batching), which the determinism tests rely on.
+ParallelSweepResult sweepParallel(Heap &H, CollectorState &S,
+                                  GcWorkerPool &Pool, SweepMode Mode,
+                                  uint8_t OldestAge);
 
 } // namespace gengc
 

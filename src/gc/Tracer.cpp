@@ -8,6 +8,7 @@
 
 #include <thread>
 
+#include "gc/ParallelTrace.h"
 #include "runtime/ObjectModel.h"
 
 using namespace gengc;
@@ -57,6 +58,46 @@ void Tracer::drain(Color BlackColor, GrayCounters &Counters, Result &R) {
     }
     // Pick up objects shaded concurrently by mutator write barriers.
   } while (State.Grays.drainTo(Stack));
+}
+
+void Tracer::drainShared(TraceWorkList &Shared, std::atomic<unsigned> &NumIdle,
+                         unsigned Lanes, Color BlackColor,
+                         GrayCounters &Counters, Result &R) {
+  constexpr size_t OffloadAt = 2 * TraceWorkList::ChunkRefs;
+  for (;;) {
+    while (!Stack.empty()) {
+      // Offload the oldest half-chunk when the local stack has plenty and
+      // the shared list is not already saturated.  Oldest entries sit near
+      // wide fan-out points, so stolen chunks carry real subtrees.
+      if (Stack.size() >= OffloadAt && Shared.approxChunks() < Lanes) {
+        std::vector<ObjectRef> Chunk(
+            Stack.begin(), Stack.begin() + TraceWorkList::ChunkRefs);
+        Stack.erase(Stack.begin(),
+                    Stack.begin() + TraceWorkList::ChunkRefs);
+        Shared.push(std::move(Chunk));
+      }
+      ObjectRef Ref = Stack.back();
+      Stack.pop_back();
+      markBlack(Ref, BlackColor, Counters, R);
+    }
+    if (Shared.steal(Stack))
+      continue;
+    // Idle consensus: a lane deposits chunks only while it is active, so
+    // once every lane has voted idle the shared list cannot refill — the
+    // last voter's failed steal saw it empty and no active lane remains.
+    // Anything shaded by mutators meanwhile sits in the shared gray
+    // buffer, which the leader drains after the pool run.
+    NumIdle.fetch_add(1, std::memory_order_acq_rel);
+    for (;;) {
+      if (!Shared.empty()) {
+        NumIdle.fetch_sub(1, std::memory_order_acq_rel);
+        break;
+      }
+      if (NumIdle.load(std::memory_order_acquire) == Lanes)
+        return;
+      std::this_thread::yield();
+    }
+  }
 }
 
 Tracer::Result Tracer::trace(Color BlackColor, GrayCounters &Counters) {

@@ -20,6 +20,7 @@
 #ifndef GENGC_GC_TRACER_H
 #define GENGC_GC_TRACER_H
 
+#include <atomic>
 #include <vector>
 
 #include "heap/Heap.h"
@@ -28,7 +29,15 @@
 
 namespace gengc {
 
-/// The trace engine; owned by a collector, reused across cycles.
+class TraceWorkList;
+
+/// One trace engine.  Historically the singleton owned by a collector; now
+/// a per-worker engine: each GcWorkerPool lane drives its own Tracer with a
+/// private gray stack, coordinating with its siblings only through the
+/// shared TraceWorkList (chunk-granularity work stealing) and the color
+/// side-table CASes it already used.  ParallelTrace.h owns the fan-out; the
+/// single-lane trace() below remains the complete, self-contained
+/// single-threaded algorithm.
 class Tracer {
 public:
   struct Result {
@@ -63,6 +72,17 @@ public:
   /// white toggle, Remark 5.1).  Shades of the sons from the clear color
   /// are recorded in \p Counters.
   Result trace(Color BlackColor, GrayCounters &Counters);
+
+  /// Parallel-lane drain: blackens everything on this engine's stack,
+  /// offloading surplus chunks to \p Shared when siblings are hungry and
+  /// stealing chunks back when the local stack runs dry.  Returns once all
+  /// \p Lanes engines are idle with the shared list empty (the \p NumIdle
+  /// counter implements the termination consensus).  Color transitions go
+  /// through the same CASes as the single-threaded path, so the
+  /// mutator-graying vs. collector race argument is unchanged.
+  void drainShared(TraceWorkList &Shared, std::atomic<unsigned> &NumIdle,
+                   unsigned Lanes, Color BlackColor, GrayCounters &Counters,
+                   Result &R);
 
 private:
   /// MarkBlack (Figure 3): shades all sons of \p Ref gray, then colors

@@ -1,0 +1,93 @@
+//===- gc/WorkerPool.cpp - Parallel GC worker pool --------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "gc/WorkerPool.h"
+
+using namespace gengc;
+
+GcWorkerPool::GcWorkerPool(unsigned Lanes) : NumLanes(Lanes < 1 ? 1 : Lanes) {
+  Threads.reserve(NumLanes - 1);
+  for (unsigned Lane = 1; Lane < NumLanes; ++Lane)
+    Threads.emplace_back([this, Lane] { threadLoop(Lane); });
+}
+
+GcWorkerPool::~GcWorkerPool() {
+  {
+    std::scoped_lock Locked(Mutex);
+    GENGC_ASSERT(Outstanding == 0, "pool destroyed while a job is running");
+    Stopping = true;
+  }
+  WorkCv.notify_all();
+  for (std::thread &T : Threads)
+    T.join();
+}
+
+void GcWorkerPool::finishLane(std::exception_ptr Error) {
+  std::scoped_lock Locked(Mutex);
+  if (Error && !FirstError)
+    FirstError = Error;
+  if (--Outstanding == 0)
+    DoneCv.notify_all();
+}
+
+void GcWorkerPool::threadLoop(unsigned Lane) {
+  uint64_t SeenEpoch = 0;
+  for (;;) {
+    const std::function<void(unsigned)> *MyJob;
+    {
+      std::unique_lock Locked(Mutex);
+      WorkCv.wait(Locked,
+                  [&] { return Stopping || Epoch != SeenEpoch; });
+      if (Stopping)
+        return;
+      SeenEpoch = Epoch;
+      MyJob = Job;
+    }
+    std::exception_ptr Error;
+    try {
+      (*MyJob)(Lane);
+    } catch (...) {
+      Error = std::current_exception();
+    }
+    finishLane(Error);
+  }
+}
+
+void GcWorkerPool::run(const std::function<void(unsigned)> &Job) {
+  if (NumLanes == 1) {
+    Job(0); // No pool threads: a plain, deterministic call.
+    return;
+  }
+  {
+    std::scoped_lock Locked(Mutex);
+    GENGC_ASSERT(Outstanding == 0 && this->Job == nullptr,
+                 "GcWorkerPool::run is not reentrant");
+    this->Job = &Job;
+    Outstanding = NumLanes; // lanes 1..N-1 plus the caller's lane 0
+    FirstError = nullptr;
+    ++Epoch;
+  }
+  WorkCv.notify_all();
+
+  std::exception_ptr Error;
+  try {
+    Job(0);
+  } catch (...) {
+    Error = std::current_exception();
+  }
+  finishLane(Error);
+
+  std::exception_ptr Pending;
+  {
+    std::unique_lock Locked(Mutex);
+    DoneCv.wait(Locked, [&] { return Outstanding == 0; });
+    this->Job = nullptr;
+    Pending = FirstError;
+    FirstError = nullptr;
+  }
+  if (Pending)
+    std::rethrow_exception(Pending);
+}

@@ -92,12 +92,23 @@ public:
   /// proper atomic loads.
   uint64_t racyWord(size_t WordIndex) const {
     GENGC_ASSERT(WordIndex < numWords(), "hint word out of range");
+#if GENGC_TSAN_ENABLED
+    // Same hint, composed from relaxed per-byte loads so TSan does not
+    // report the intentional race; slower, but only in sanitizer builds.
+    uint64_t Word = 0;
+    for (size_t I = 0; I < WordEntries; ++I)
+      Word |= uint64_t(Entries[WordIndex * WordEntries + I].load(
+                  std::memory_order_relaxed))
+              << (8 * I);
+    return Word;
+#else
     uint64_t Word;
     std::memcpy(&Word,
                 reinterpret_cast<const unsigned char *>(Entries.get()) +
                     WordIndex * WordEntries,
                 sizeof(Word));
     return Word;
+#endif
   }
 
   /// True if any byte of \p Word equals \p Value (SWAR zero-byte test).

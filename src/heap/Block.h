@@ -17,6 +17,7 @@
 #ifndef GENGC_HEAP_BLOCK_H
 #define GENGC_HEAP_BLOCK_H
 
+#include <atomic>
 #include <cstdint>
 
 namespace gengc {
@@ -36,8 +37,15 @@ enum class BlockState : uint8_t {
 };
 
 /// Side metadata for one 64 KiB block.
+///
+/// Descriptors are written under the heap's block mutex but read lock-free
+/// by GC worker lanes (sweep, card scan, recolor all classify blocks by
+/// State).  State is therefore atomic, and writers populate the other
+/// fields *before* storing an object-holding State: a reader that observes
+/// SizeClass or LargeStart through the State load is guaranteed to see the
+/// matching field values.
 struct BlockDescriptor {
-  BlockState State = BlockState::Free;
+  std::atomic<BlockState> State{BlockState::Free};
   /// Size-class index (State == SizeClass).
   uint8_t SizeClassIdx = 0;
   /// Cell size in bytes (State == SizeClass).

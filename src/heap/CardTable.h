@@ -95,24 +95,42 @@ public:
   /// Clears every card (used when initiating a full collection).
   void clearAll() { Table.clearAll(); }
 
-  /// Invokes \p Callback(CardIndex) for every dirty card, using racy word
-  /// hints to skip clean regions quickly.  A card set concurrently with
-  /// the scan may be skipped — equivalent to the scan having passed it
-  /// already; it simply stays dirty for the next collection.
-  template <typename Fn> void forEachDirtyIndex(Fn Callback) const {
-    size_t Words = Table.numWords();
-    for (size_t W = 0; W != Words; ++W) {
-      if (Table.racyWord(W) == 0)
-        continue;
-      size_t Begin = W * AtomicByteTable::WordEntries;
-      for (size_t I = Begin; I != Begin + AtomicByteTable::WordEntries; ++I)
-        if (isDirty(I))
-          Callback(I);
-    }
-    for (size_t I = Words * AtomicByteTable::WordEntries; I != Table.size();
-         ++I)
+  /// Invokes \p Callback(CardIndex) for every dirty card with an index in
+  /// [\p IndexBegin, \p IndexEnd), ascending, using racy word hints to skip
+  /// clean regions quickly.  A card set concurrently with the scan may be
+  /// skipped — equivalent to the scan having passed it already; it simply
+  /// stays dirty for the next collection.  This is the sharding primitive
+  /// of the parallel card scan: lanes claim disjoint index ranges.
+  template <typename Fn>
+  void forEachDirtyIndexInRange(size_t IndexBegin, size_t IndexEnd,
+                                Fn Callback) const {
+    IndexEnd = IndexEnd < Table.size() ? IndexEnd : Table.size();
+    if (IndexBegin >= IndexEnd)
+      return;
+    size_t I = IndexBegin;
+    // Leading partial word: per-index checks up to the word boundary.
+    while (I != IndexEnd && I % AtomicByteTable::WordEntries != 0) {
       if (isDirty(I))
         Callback(I);
+      ++I;
+    }
+    // Word-aligned interior, eight cards per hint.
+    while (I + AtomicByteTable::WordEntries <= IndexEnd) {
+      if (Table.racyWord(I / AtomicByteTable::WordEntries) != 0)
+        for (size_t J = I; J != I + AtomicByteTable::WordEntries; ++J)
+          if (isDirty(J))
+            Callback(J);
+      I += AtomicByteTable::WordEntries;
+    }
+    // Trailing partial word.
+    for (; I != IndexEnd; ++I)
+      if (isDirty(I))
+        Callback(I);
+  }
+
+  /// Invokes \p Callback(CardIndex) for every dirty card (whole table).
+  template <typename Fn> void forEachDirtyIndex(Fn Callback) const {
+    forEachDirtyIndexInRange(0, Table.size(), Callback);
   }
 
   /// Counts currently dirty cards (statistics for Figure 22).

@@ -53,11 +53,13 @@ bool Heap::carveBlockLocked(unsigned ClassIdx) {
   FreeBlockCount.fetch_sub(1, std::memory_order_relaxed);
 
   BlockDescriptor &Desc = Blocks[BlockIdx];
-  Desc.State = BlockState::SizeClass;
+  // Fields first, State last: GC lanes read descriptors lock-free and are
+  // promised valid fields once they observe an object-holding State.
   Desc.SizeClassIdx = uint8_t(ClassIdx);
   Desc.CellBytes = sizeClassBytes(ClassIdx);
   Desc.CellRecip = uint32_t(divideCeil(1ull << 32, Desc.CellBytes));
   Desc.NumCells = uint32_t(BlockBytes / Desc.CellBytes);
+  Desc.State.store(BlockState::SizeClass, std::memory_order_release);
 
   // Thread all cells into chains of at most ChainCells and queue them.
   uint64_t Base = uint64_t(BlockIdx) << BlockShift;
@@ -135,10 +137,13 @@ ObjectRef Heap::allocateLarge(uint32_t Bytes) {
 
   for (uint32_t I = RunStart; I < RunStart + Needed; ++I) {
     BlockDescriptor &Desc = Blocks[I];
-    Desc.State = I == RunStart ? BlockState::LargeStart : BlockState::LargeCont;
+    // Fields first, State last (same lock-free reader contract as carving).
     Desc.LargeBytes = I == RunStart ? Bytes : 0;
     Desc.RunBlocks = I == RunStart ? Needed : 0;
     Desc.RunStart = RunStart;
+    Desc.State.store(I == RunStart ? BlockState::LargeStart
+                                   : BlockState::LargeCont,
+                     std::memory_order_release);
   }
 
   // Remove the run's blocks from the free list.
@@ -160,7 +165,11 @@ void Heap::freeLargeRun(uint32_t BlockIdx) {
                "freeLargeRun on a non-run block");
   uint32_t Run = Start.RunBlocks;
   for (uint32_t I = BlockIdx; I < BlockIdx + Run; ++I) {
-    Blocks[I] = BlockDescriptor();
+    BlockDescriptor &Desc = Blocks[I];
+    Desc.LargeBytes = 0;
+    Desc.RunBlocks = 0;
+    Desc.RunStart = 0;
+    Desc.State.store(BlockState::Free, std::memory_order_release);
     FreeBlocks.push_back(I);
   }
   FreeBlockCount.store(FreeBlocks.size(), std::memory_order_relaxed);

@@ -17,14 +17,20 @@ void PageTouchTracker::registerRegion(Region R, uint64_t Bytes) {
   GENGC_ASSERT(size_t(R) < size_t(Region::NumRegions), "bad region");
   RegionBase[size_t(R)] = TotalPages;
   TotalPages += size_t(divideCeil(Bytes, PageBytes));
-  Bits.assign(divideCeil(TotalPages, 64), 0);
+  NumWords = size_t(divideCeil(TotalPages, 64));
+  Bits.reset(new std::atomic<uint64_t>[NumWords]);
+  for (size_t I = 0; I < NumWords; ++I)
+    Bits[I].store(0, std::memory_order_relaxed);
 }
 
 uint64_t PageTouchTracker::countTouched() const {
   uint64_t Count = 0;
-  for (uint64_t Word : Bits)
-    Count += std::popcount(Word);
+  for (size_t I = 0; I < NumWords; ++I)
+    Count += std::popcount(Bits[I].load(std::memory_order_relaxed));
   return Count;
 }
 
-void PageTouchTracker::reset() { Bits.assign(Bits.size(), 0); }
+void PageTouchTracker::reset() {
+  for (size_t I = 0; I < NumWords; ++I)
+    Bits[I].store(0, std::memory_order_relaxed);
+}

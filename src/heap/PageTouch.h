@@ -10,16 +10,17 @@
 /// uses (such as the card table)".  This tracker reproduces that metric: the
 /// heap registers each memory region (arena, color table, card table, age
 /// table) and the collector reports every access through touch().  Pages are
-/// 4 KiB.  Only the collector thread records touches, so the bitmap needs no
-/// synchronization.
+/// 4 KiB.  GC worker lanes record touches concurrently, so the bitmap words
+/// are atomic; relaxed fetch_or is all a monotonic set-only bitmap needs.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef GENGC_HEAP_PAGETOUCH_H
 #define GENGC_HEAP_PAGETOUCH_H
 
+#include <atomic>
 #include <cstdint>
-#include <string>
+#include <memory>
 #include <vector>
 
 namespace gengc {
@@ -54,7 +55,7 @@ public:
     if (!Enabled)
       return;
     size_t Page = RegionBase[size_t(R)] + size_t(Offset / PageBytes);
-    Bits[Page >> 6] |= 1ull << (Page & 63);
+    Bits[Page >> 6].fetch_or(1ull << (Page & 63), std::memory_order_relaxed);
   }
 
   /// Records a touch of \p Len bytes starting at \p Offset.
@@ -64,7 +65,7 @@ public:
     uint64_t First = Offset / PageBytes, Last = (Offset + Len - 1) / PageBytes;
     for (uint64_t P = First; P <= Last; ++P) {
       size_t Page = RegionBase[size_t(R)] + size_t(P);
-      Bits[Page >> 6] |= 1ull << (Page & 63);
+      Bits[Page >> 6].fetch_or(1ull << (Page & 63), std::memory_order_relaxed);
     }
   }
 
@@ -78,7 +79,8 @@ private:
   bool Enabled = false;
   std::vector<size_t> RegionBase;
   size_t TotalPages = 0;
-  std::vector<uint64_t> Bits;
+  size_t NumWords = 0;
+  std::unique_ptr<std::atomic<uint64_t>[]> Bits;
 };
 
 } // namespace gengc

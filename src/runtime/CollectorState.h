@@ -91,6 +91,15 @@ struct CollectorState {
   /// cleared.
   std::atomic<bool> StopWorld{false};
 
+  /// Distinguishes consecutive stop-the-world pauses: bumped (after the
+  /// color toggle) each time StopWorld is raised.  A mutator still asleep
+  /// in its park loop from pause N re-shades its roots — under the new
+  /// colors — when it observes epoch N+1, and the collector counts it
+  /// stopped only once the mutator has published the current epoch.
+  /// Without this, back-to-back cycles treat stale parkers as stopped and
+  /// sweep their never-reshaded roots.
+  std::atomic<uint64_t> StopEpoch{0};
+
   /// Number of mutators currently parked for a stop-the-world pause.
   std::atomic<int64_t> ParkedMutators{0};
 

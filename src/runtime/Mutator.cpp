@@ -152,6 +152,14 @@ void Mutator::markOwnRoots() {
   }
 }
 
+void Mutator::markOwnRootsForStw() {
+  // Stop-the-world shading must also cover allocation-colored roots: an
+  // object allocated after the toggle but before this thread stopped may be
+  // the only path to clear-colored children (no trace has run yet).
+  for (ObjectRef Root : Stack)
+    markGrayForStw(H, State, Root, Grays);
+}
+
 void Mutator::cooperateLocked() {
   HandshakeStatus SC = State.StatusC.load(std::memory_order_acquire);
   HandshakeStatus SM = StatusM.load(std::memory_order_relaxed);
@@ -173,16 +181,27 @@ void Mutator::cooperate() {
 }
 
 void Mutator::parkForStopTheWorld() {
-  // Shade our roots first: the stop-the-world trace starts once every
-  // thread is parked, and parked threads cannot respond to anything.
-  {
-    std::scoped_lock Locked(CoopMutex);
-    markOwnRoots();
-  }
+  // Shade our roots, then publish the stop epoch we shaded for: the
+  // collector counts this thread stopped only once it sees the current
+  // epoch here.  The shade is redone per epoch because a new pause can
+  // begin (with freshly toggled colors) while this thread is still asleep
+  // from the previous one — a stale shading must never be trusted.
   State.ParkedMutators.fetch_add(1, std::memory_order_acq_rel);
   uint64_t Start = nowNanos();
-  while (State.StopWorld.load(std::memory_order_acquire))
+  uint64_t ShadedFor = 0;
+  while (State.StopWorld.load(std::memory_order_acquire)) {
+    uint64_t Epoch = State.StopEpoch.load(std::memory_order_acquire);
+    if (Epoch != ShadedFor) {
+      {
+        std::scoped_lock Locked(CoopMutex);
+        markOwnRootsForStw();
+      }
+      ShadedFor = Epoch;
+      StwParkedEpoch.store(Epoch, std::memory_order_release);
+    }
     std::this_thread::sleep_for(std::chrono::microseconds(10));
+  }
+  StwParkedEpoch.store(0, std::memory_order_release);
   recordPause(nowNanos() - Start, /*StopTheWorld=*/true);
   State.ParkedMutators.fetch_sub(1, std::memory_order_acq_rel);
 }
@@ -191,7 +210,7 @@ bool Mutator::markRootsIfBlockedForStw() {
   std::scoped_lock Locked(CoopMutex);
   if (!Blocked)
     return false;
-  markOwnRoots();
+  markOwnRootsForStw();
   return true;
 }
 

@@ -181,12 +181,22 @@ public:
   /// behalf for a stop-the-world cycle.  \returns true if it was blocked.
   bool markRootsIfBlockedForStw();
 
+  /// Collector side: whether this mutator is parked for the stop-the-world
+  /// pause with the given epoch, having already shaded its roots for it.
+  bool stwParkedFor(uint64_t Epoch) const {
+    return StwParkedEpoch.load(std::memory_order_acquire) == Epoch;
+  }
+
 private:
   /// Responds to the pending handshake.  CoopMutex must be held.
   void cooperateLocked();
 
   /// Marks every shadow-stack entry gray (response to the 3rd handshake).
   void markOwnRoots();
+
+  /// Stop-the-world variant: shades clear- AND allocation-colored roots
+  /// (see markGrayForStw).  CoopMutex must be held.
+  void markOwnRootsForStw();
 
   /// Stalls while a collection is in progress and the during-cycle
   /// allocation budget is exhausted (see CollectorState::ThrottleBytes).
@@ -209,6 +219,10 @@ private:
   /// collector (when blocked).
   std::mutex CoopMutex;
   bool Blocked = false;
+
+  /// The CollectorState::StopEpoch this thread last parked-and-shaded for;
+  /// 0 while not parked (epochs start at 1).
+  std::atomic<uint64_t> StwParkedEpoch{0};
 
   std::vector<ObjectRef> Stack;
   Heap::CellChain Cache[NumSizeClasses];

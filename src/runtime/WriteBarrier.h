@@ -73,6 +73,13 @@ void markGraySimple(Heap &H, CollectorState &S, HandshakeStatus StatusM,
 void markGrayClearOnly(Heap &H, CollectorState &S, ObjectRef X,
                        GrayCounters &Counters);
 
+/// Root shade for a stop-the-world park: shades clear-colored AND
+/// allocation-colored roots.  Before the world has stopped, "allocation
+/// color" does not mean "already traced" — a brand-new object can hold the
+/// only path to old clear-colored children, so it must be traced too.
+void markGrayForStw(Heap &H, CollectorState &S, ObjectRef X,
+                    GrayCounters &Counters);
+
 } // namespace gengc
 
 #endif // GENGC_RUNTIME_WRITEBARRIER_H

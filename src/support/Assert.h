@@ -52,4 +52,19 @@ namespace gengc {
 #define GENGC_UNREACHABLE(Msg)                                                 \
   ::gengc::fatalError("unreachable: " Msg, __FILE__, __LINE__)
 
+/// Detects ThreadSanitizer builds (GCC defines __SANITIZE_THREAD__; Clang
+/// exposes it through __has_feature).  Deliberate benign races — racy word
+/// hints — switch to per-byte atomic loads under TSan so the tool stays
+/// able to flag every *unintended* race.
+#if defined(__SANITIZE_THREAD__)
+#define GENGC_TSAN_ENABLED 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define GENGC_TSAN_ENABLED 1
+#endif
+#endif
+#ifndef GENGC_TSAN_ENABLED
+#define GENGC_TSAN_ENABLED 0
+#endif
+
 #endif // GENGC_SUPPORT_ASSERT_H

@@ -1,0 +1,201 @@
+//===- tests/gc/WorkerPoolTest.cpp -----------------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+// The GcWorkerPool and its companions carry the parallel cycle phases, so
+// their contracts are pinned down here: lane numbering, reuse across jobs,
+// exception propagation, the parallelChunks claiming discipline, and the
+// TraceWorkList steal/drain behavior.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+
+#include "gc/ParallelTrace.h"
+#include "gc/WorkerPool.h"
+
+using namespace gengc;
+
+namespace {
+
+TEST(WorkerPool, StartupAndShutdown) {
+  for (unsigned Lanes : {1u, 2u, 4u, 8u}) {
+    GcWorkerPool Pool(Lanes);
+    EXPECT_EQ(Pool.lanes(), Lanes);
+    EXPECT_EQ(Pool.threadCount(), Lanes - 1);
+  }
+  // Destruction with idle threads must not hang (checked by running at all).
+}
+
+TEST(WorkerPool, ZeroLanesClampsToOne) {
+  GcWorkerPool Pool(0);
+  EXPECT_EQ(Pool.lanes(), 1u);
+  EXPECT_EQ(Pool.threadCount(), 0u);
+}
+
+TEST(WorkerPool, RunsEveryLaneExactlyOnce) {
+  constexpr unsigned Lanes = 4;
+  GcWorkerPool Pool(Lanes);
+  std::atomic<unsigned> Counts[Lanes] = {};
+  Pool.run([&](unsigned Lane) {
+    ASSERT_LT(Lane, Lanes);
+    Counts[Lane].fetch_add(1);
+  });
+  for (unsigned Lane = 0; Lane < Lanes; ++Lane)
+    EXPECT_EQ(Counts[Lane].load(), 1u) << "lane " << Lane;
+}
+
+TEST(WorkerPool, LaneZeroIsTheCaller) {
+  GcWorkerPool Pool(3);
+  std::thread::id Lane0Id;
+  Pool.run([&](unsigned Lane) {
+    if (Lane == 0)
+      Lane0Id = std::this_thread::get_id();
+  });
+  EXPECT_EQ(Lane0Id, std::this_thread::get_id());
+}
+
+TEST(WorkerPool, SingleLaneSpawnsNoThreads) {
+  GcWorkerPool Pool(1);
+  EXPECT_EQ(Pool.threadCount(), 0u);
+  std::thread::id RunId;
+  Pool.run([&](unsigned Lane) {
+    EXPECT_EQ(Lane, 0u);
+    RunId = std::this_thread::get_id();
+  });
+  EXPECT_EQ(RunId, std::this_thread::get_id());
+}
+
+TEST(WorkerPool, ReusableAcrossManyJobs) {
+  GcWorkerPool Pool(4);
+  std::atomic<uint64_t> Total{0};
+  for (int Job = 0; Job < 100; ++Job)
+    Pool.run([&](unsigned) { Total.fetch_add(1); });
+  EXPECT_EQ(Total.load(), 400u);
+}
+
+TEST(WorkerPool, ExceptionFromWorkerLanePropagates) {
+  GcWorkerPool Pool(4);
+  EXPECT_THROW(Pool.run([&](unsigned Lane) {
+                 if (Lane == 2)
+                   throw std::runtime_error("lane 2 failed");
+               }),
+               std::runtime_error);
+  // The pool stays usable after a failed job.
+  std::atomic<unsigned> Ran{0};
+  Pool.run([&](unsigned) { Ran.fetch_add(1); });
+  EXPECT_EQ(Ran.load(), 4u);
+}
+
+TEST(WorkerPool, ExceptionFromCallerLanePropagates) {
+  GcWorkerPool Pool(2);
+  EXPECT_THROW(Pool.run([&](unsigned Lane) {
+                 if (Lane == 0)
+                   throw std::runtime_error("caller lane failed");
+               }),
+               std::runtime_error);
+  std::atomic<unsigned> Ran{0};
+  Pool.run([&](unsigned) { Ran.fetch_add(1); });
+  EXPECT_EQ(Ran.load(), 2u);
+}
+
+TEST(ParallelChunks, CoversEveryIndexExactlyOnce) {
+  GcWorkerPool Pool(4);
+  constexpr size_t N = 1013; // deliberately not a multiple of the chunk
+  std::vector<std::atomic<unsigned>> Seen(N);
+  parallelChunks(Pool, 0, N, 16,
+                 [&](unsigned, size_t Begin, size_t End) {
+                   for (size_t I = Begin; I != End; ++I)
+                     Seen[I].fetch_add(1);
+                 });
+  for (size_t I = 0; I < N; ++I)
+    EXPECT_EQ(Seen[I].load(), 1u) << "index " << I;
+}
+
+TEST(ParallelChunks, SingleLaneClaimsAscending) {
+  GcWorkerPool Pool(1);
+  std::vector<size_t> Starts;
+  parallelChunks(Pool, 0, 100, 8,
+                 [&](unsigned Lane, size_t Begin, size_t End) {
+                   EXPECT_EQ(Lane, 0u);
+                   EXPECT_LE(End, 100u);
+                   Starts.push_back(Begin);
+                 });
+  ASSERT_EQ(Starts.size(), 13u);
+  for (size_t I = 1; I < Starts.size(); ++I)
+    EXPECT_EQ(Starts[I], Starts[I - 1] + 8);
+}
+
+TEST(ParallelChunks, EmptyRangeRunsNothing) {
+  GcWorkerPool Pool(2);
+  parallelChunks(Pool, 5, 5, 8,
+                 [&](unsigned, size_t, size_t) { FAIL() << "no work exists"; });
+}
+
+TEST(TraceWorkList, StealDrainsEverythingPushed) {
+  TraceWorkList List;
+  EXPECT_TRUE(List.empty());
+  size_t Pushed = 0;
+  for (int Chunk = 0; Chunk < 5; ++Chunk) {
+    std::vector<ObjectRef> Refs;
+    for (size_t I = 0; I < TraceWorkList::ChunkRefs; ++I)
+      Refs.push_back(ObjectRef(++Pushed * 16));
+    List.push(std::move(Refs));
+  }
+  EXPECT_FALSE(List.empty());
+  EXPECT_EQ(List.approxChunks(), 5u);
+
+  std::set<ObjectRef> Stolen;
+  std::vector<ObjectRef> Out;
+  while (List.steal(Out)) {
+    Stolen.insert(Out.begin(), Out.end());
+    Out.clear();
+  }
+  EXPECT_TRUE(List.empty());
+  EXPECT_EQ(List.steals(), 5u);
+  EXPECT_EQ(Stolen.size(), Pushed);
+}
+
+TEST(TraceWorkList, ConcurrentPushersAndStealersLoseNothing) {
+  TraceWorkList List;
+  constexpr unsigned Pushers = 2, Stealers = 2;
+  constexpr size_t ChunksEach = 200;
+  std::atomic<size_t> StolenRefs{0};
+  std::atomic<unsigned> PushersDone{0};
+
+  std::vector<std::thread> Threads;
+  for (unsigned P = 0; P < Pushers; ++P)
+    Threads.emplace_back([&, P] {
+      for (size_t C = 0; C < ChunksEach; ++C) {
+        std::vector<ObjectRef> Refs(TraceWorkList::ChunkRefs,
+                                    ObjectRef((P * ChunksEach + C + 1) * 16));
+        List.push(std::move(Refs));
+      }
+      PushersDone.fetch_add(1);
+    });
+  for (unsigned S = 0; S < Stealers; ++S)
+    Threads.emplace_back([&] {
+      std::vector<ObjectRef> Out;
+      for (;;) {
+        if (List.steal(Out)) {
+          StolenRefs.fetch_add(Out.size());
+          Out.clear();
+        } else if (PushersDone.load() == Pushers && List.empty()) {
+          return;
+        } else {
+          std::this_thread::yield();
+        }
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  EXPECT_EQ(StolenRefs.load(),
+            size_t(Pushers) * ChunksEach * TraceWorkList::ChunkRefs);
+}
+
+} // namespace

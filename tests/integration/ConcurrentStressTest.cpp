@@ -23,13 +23,15 @@ using namespace gengc;
 
 namespace {
 
-RuntimeConfig stressConfig(CollectorChoice Choice, bool Aging = false) {
+RuntimeConfig stressConfig(CollectorChoice Choice, bool Aging = false,
+                           unsigned GcThreads = 1) {
   RuntimeConfig Config;
   Config.Heap.HeapBytes = 16ull << 20;
   Config.Heap.CardBytes = 16;
   Config.Choice = Choice;
   Config.Collector.Aging = Aging;
   Config.Collector.OldestAge = 3;
+  Config.Collector.GcThreads = GcThreads;
   // Aggressive triggering: collect roughly every 256 KB of allocation so
   // many cycles overlap the mutator work.
   Config.Collector.Trigger.YoungBytes = 256 << 10;
@@ -88,13 +90,15 @@ void stressThread(Runtime &RT, unsigned Idx, uint64_t Ops) {
 struct StressParam {
   CollectorChoice Choice;
   bool Aging;
+  unsigned GcThreads;
   const char *Name;
 };
 
 class ConcurrentStressTest : public ::testing::TestWithParam<StressParam> {};
 
 TEST_P(ConcurrentStressTest, ReachableObjectsNeverReclaimed) {
-  Runtime RT(stressConfig(GetParam().Choice, GetParam().Aging));
+  Runtime RT(stressConfig(GetParam().Choice, GetParam().Aging,
+                          GetParam().GcThreads));
   constexpr unsigned NumThreads = 4;
   constexpr uint64_t Ops = 400000;
   std::vector<std::thread> Threads;
@@ -104,14 +108,43 @@ TEST_P(ConcurrentStressTest, ReachableObjectsNeverReclaimed) {
     T.join();
   // The collector must have actually run during the stress.
   EXPECT_GT(RT.collector().completedCycles(), 0u);
+
+  // Post-stress heap invariants: after a final full cycle with no mutator
+  // load, no object may be left gray, and block metadata must be coherent
+  // for every object-holding block.
+  {
+    auto M = RT.attachMutator();
+    RT.collector().collectSyncCooperating(CycleRequest::Full, *M);
+  }
+  const Heap &H = RT.heap();
+  for (size_t B = 0; B < H.numBlocks(); ++B) {
+    const BlockDescriptor &Desc = H.block(B);
+    if (Desc.State == BlockState::SizeClass) {
+      ASSERT_GT(Desc.CellBytes, 0u);
+      ASSERT_GT(Desc.NumCells, 0u);
+      uint64_t Base = uint64_t(B) << Heap::BlockShift;
+      for (uint32_t Cell = 0; Cell < Desc.NumCells; ++Cell)
+        ASSERT_NE(H.loadColor(ObjectRef(Base + uint64_t(Cell) *
+                                        Desc.CellBytes)),
+                  Color::Gray)
+            << "gray object left behind after an idle full cycle";
+    } else if (Desc.State == BlockState::LargeStart) {
+      ASSERT_GT(Desc.RunBlocks, 0u);
+      ASSERT_NE(H.loadColor(ObjectRef(uint64_t(B) << Heap::BlockShift)),
+                Color::Gray);
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(
     Collectors, ConcurrentStressTest,
     ::testing::Values(
-        StressParam{CollectorChoice::Generational, false, "GenSimple"},
-        StressParam{CollectorChoice::Generational, true, "GenAging"},
-        StressParam{CollectorChoice::NonGenerational, false, "Dlg"}),
+        StressParam{CollectorChoice::Generational, false, 1, "GenSimple"},
+        StressParam{CollectorChoice::Generational, true, 1, "GenAging"},
+        StressParam{CollectorChoice::NonGenerational, false, 1, "Dlg"},
+        StressParam{CollectorChoice::Generational, false, 4, "GenSimpleGc4"},
+        StressParam{CollectorChoice::Generational, true, 4, "GenAgingGc4"},
+        StressParam{CollectorChoice::NonGenerational, false, 4, "DlgGc4"}),
     [](const auto &Info) { return std::string(Info.param.Name); });
 
 TEST(ConcurrentStress, BlockedThreadsDoNotStallHandshakes) {
