@@ -59,6 +59,13 @@ struct CollectorConfig {
   /// How often the collector thread re-evaluates the trigger.
   uint32_t PollMicros = 200;
 
+  /// Drive the partial-collection card scan through the two-level summary
+  /// table and the allocated-block filter (GenerationalCollector).  Off
+  /// forces the historical linear walk of [0, numCards) — same cards
+  /// visited in the same order, strictly more bytes read; exists so tests
+  /// can prove the filter changes cost, not outcomes.
+  bool CardSummaryScan = true;
+
   /// Number of GC worker lanes for the parallel cycle phases (card scan,
   /// trace, sweep).  1 (the default) spawns no pool threads and runs the
   /// historical single-threaded algorithms bit-identically; N > 1 spawns

@@ -80,6 +80,14 @@ struct CycleStats {
   uint64_t OldObjectsScanned = 0;
   uint64_t CardScanAreaBytes = 0;
   uint64_t CardsRemarked = 0;
+  /// Dirty summary chunks the two-level card scan actually opened (0 on
+  /// the linear fallback, which has no summary level).
+  uint64_t SummaryChunksScanned = 0;
+  /// Cards the two-level scan never examined individually: cards outside
+  /// allocated block ranges plus cards under clean summary chunks (0 on
+  /// the linear fallback).  Pure cost accounting — the skipped cards are
+  /// provably clean, so semantic counters are unaffected.
+  uint64_t CardsSkippedBySummary = 0;
 
   // Sweep.
   uint64_t ObjectsFreed = 0;

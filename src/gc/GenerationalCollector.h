@@ -54,7 +54,9 @@ private:
   /// objects on it gray, so the trace scans them for young sons.  Runs
   /// before the toggle; no mutator can be marking cards concurrently
   /// (they are all at sync1/sync2, where the simple barrier does not mark).
-  /// Sharded over card-index ranges across the worker pool's lanes.
+  /// Dirty cards are found through the two-level summary scan over
+  /// allocated block ranges (linear card walk when CardSummaryScan is
+  /// off), sharded across the worker pool's lanes.
   void clearCardsSimple(CycleStats &Cycle);
 
   /// Remembered-set analogue of clearCardsSimple: drain the recorded
@@ -66,8 +68,10 @@ private:
   /// Figure 6 ClearCards with the Section 7.2 three-step protocol: clear
   /// the mark, scan old objects on the card shading their sons, and re-mark
   /// the card if any son is still young.  Runs after the toggle, racing
-  /// benignly with mutator card marking.  Sharded over card-index ranges;
-  /// the per-card protocol is untouched by the sharding.
+  /// benignly with mutator card marking — the summary level runs the same
+  /// three-step protocol per 64-card chunk (see CardTable).  Sharded by
+  /// dirty chunk (card-index ranges on the linear fallback); the per-card
+  /// protocol is untouched by the sharding.
   void clearCardsAging(CycleStats &Cycle);
 };
 

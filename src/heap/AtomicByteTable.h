@@ -18,8 +18,11 @@
 #ifndef GENGC_HEAP_ATOMICBYTETABLE_H
 #define GENGC_HEAP_ATOMICBYTETABLE_H
 
+#include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cstddef>
+#include <cstdint>
 #include <cstring>
 #include <memory>
 
@@ -116,6 +119,57 @@ public:
     uint64_t Spread = 0x0101010101010101ull * Value;
     uint64_t X = Word ^ Spread;
     return ((X - 0x0101010101010101ull) & ~X & 0x8080808080808080ull) != 0;
+  }
+
+  /// Invokes \p Callback(ByteIdx) for every non-zero byte of \p Word in
+  /// ascending byte order.  Bit trick: the lowest set bit of the word names
+  /// the lowest non-zero byte, which is then masked out — cost is one
+  /// count-trailing-zeros per *hit*, not one test per byte.
+  template <typename Fn> static void forEachNonZeroByte(uint64_t Word, Fn Callback) {
+    while (Word != 0) {
+      unsigned Byte = unsigned(std::countr_zero(Word)) >> 3;
+      Callback(Byte);
+      Word &= ~(0xFFull << (Byte * 8));
+    }
+  }
+
+  /// Invokes \p Callback(Index) for every entry in [\p Begin, \p End) whose
+  /// byte is non-zero, ascending, sweeping clean space eight entries per
+  /// racyWord load.  Hint-guided: only bytes the hint shows non-zero are
+  /// re-examined with proper atomic loads, so a byte set concurrently with
+  /// the walk may be skipped — every caller treats that as the walk having
+  /// passed it already (see racyWord).
+  template <typename Fn>
+  void forEachNonZeroEntryInRange(size_t Begin, size_t End, Fn Callback) const {
+    End = std::min(End, NumEntries);
+    if (Begin >= End)
+      return;
+    auto Check = [&](size_t Index) {
+      if (Entries[Index].load(std::memory_order_relaxed) != 0)
+        Callback(Index);
+    };
+    size_t I = Begin;
+    // Leading partial word: per-entry checks up to the word boundary.
+    while (I != End && I % WordEntries != 0)
+      Check(I++);
+    // Word-aligned interior, eight entries per hint.
+    while (I + WordEntries <= End) {
+      if (uint64_t Word = racyWord(I / WordEntries))
+        forEachNonZeroByte(Word, [&](unsigned Byte) { Check(I + Byte); });
+      I += WordEntries;
+    }
+    // Trailing partial word.
+    for (; I != End; ++I)
+      Check(I);
+  }
+
+  /// Zeroes every entry in [\p Begin, \p End) with plain stores.  Racing
+  /// writers of *other* entries are unaffected (byte-sized stores); callers
+  /// guarantee no one is concurrently setting the cleared entries.
+  void clearRange(size_t Begin, size_t End) {
+    End = std::min(End, NumEntries);
+    for (size_t I = Begin; I < End; ++I)
+      Entries[I].store(0, std::memory_order_relaxed);
   }
 
   /// Base address of the entry array (for page-touch accounting).

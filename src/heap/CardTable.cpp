@@ -12,7 +12,8 @@
 using namespace gengc;
 
 CardTable::CardTable(uint64_t HeapBytes, uint32_t CardBytes)
-    : Shift(log2Floor(CardBytes)), Table(HeapBytes, Shift) {
+    : Shift(log2Floor(CardBytes)), Table(HeapBytes, Shift),
+      Summary((Table.size() + SummaryCards - 1) / SummaryCards, 0) {
   GENGC_ASSERT(isPowerOf2(CardBytes), "card size must be a power of two");
   GENGC_ASSERT(CardBytes >= MinCardBytes && CardBytes <= MaxCardBytes,
                "card size outside the paper's 16..4096 range");

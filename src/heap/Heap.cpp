@@ -39,6 +39,7 @@ Heap::Heap(const HeapConfig &Config)
   Pages.registerRegion(Region::Arena, Config.HeapBytes);
   Pages.registerRegion(Region::ColorTable, Colors.size());
   Pages.registerRegion(Region::CardTable, Cards.numCards());
+  Pages.registerRegion(Region::CardSummary, Cards.numSummaryChunks());
   Pages.registerRegion(Region::AgeTable, Ages.size());
   Pages.setEnabled(Config.TrackPages);
 }
@@ -164,6 +165,13 @@ void Heap::freeLargeRun(uint32_t BlockIdx) {
   GENGC_ASSERT(Start.State == BlockState::LargeStart,
                "freeLargeRun on a non-run block");
   uint32_t Run = Start.RunBlocks;
+  // Scrub the run's dirty cards: the object is garbage, so no mutator can
+  // be marking them, and leaving them set would make freed space look
+  // scan-worthy to the allocated-range card-scan filter's linear fallback
+  // while the summary path (correctly) skips it.  Summary bytes stay set —
+  // a chunk can straddle the run boundary and guard a neighbor's cards.
+  Cards.clearCardsOverRange(uint64_t(BlockIdx) << BlockShift,
+                            uint64_t(BlockIdx + Run) << BlockShift);
   for (uint32_t I = BlockIdx; I < BlockIdx + Run; ++I) {
     BlockDescriptor &Desc = Blocks[I];
     Desc.LargeBytes = 0;

@@ -242,6 +242,31 @@ public:
   /// cards").
   size_t countAllocatedCards() const;
 
+  /// Invokes \p Callback(ByteBegin, ByteEnd) for every maximal run of
+  /// consecutive blocks that currently hold objects (SizeClass, LargeStart
+  /// or LargeCont — everything except Free and Reserved, the same predicate
+  /// as countAllocatedCards).  The card-scan work generator restricts its
+  /// summary sweep to these ranges: cards over never-carved or reclaimed
+  /// space cannot be dirty (freeLargeRun clears them), so clean empty heap
+  /// costs nothing.  Block states are read racily; concurrent carving only
+  /// grows the allocated set, and a block carved after its range was passed
+  /// holds no old objects a partial collection could need.
+  template <typename Fn> void forEachAllocatedBlockRange(Fn Callback) const {
+    size_t NumBlocks = Blocks.size();
+    for (size_t I = 0; I < NumBlocks;) {
+      BlockState S = Blocks[I].State;
+      if (S == BlockState::Free || S == BlockState::Reserved) {
+        ++I;
+        continue;
+      }
+      size_t Begin = I;
+      while (I < NumBlocks && Blocks[I].State != BlockState::Free &&
+             Blocks[I].State != BlockState::Reserved)
+        ++I;
+      Callback(uint64_t(Begin) << BlockShift, uint64_t(I) << BlockShift);
+    }
+  }
+
   //===--------------------------------------------------------------------===
   // Accounting.
   //===--------------------------------------------------------------------===

@@ -30,6 +30,7 @@ enum class Region : unsigned {
   Arena = 0,
   ColorTable,
   CardTable,
+  CardSummary,
   AgeTable,
   NumRegions,
 };

@@ -75,11 +75,14 @@ void gengc::markGrayForStw(Heap &H, CollectorState &S, ObjectRef X,
 
 /// Records the inter-generational-pointer candidate created by a store
 /// into \p X: a dirty card over the slot (the paper's choice) or a
-/// remembered-set entry for X (the Section 3.1 alternative).  The flag
-/// exchange makes each object enter the set once per cycle; the paper
-/// notes this dedup needs a header bit their JVM lacked — our side table
-/// provides it, at the cost the paper predicted: a read-modify-write on
-/// every recording store instead of a plain byte store.
+/// remembered-set entry for X (the Section 3.1 alternative).  Card marking
+/// is two plain byte stores — the card byte and its summary-chunk byte
+/// (CardTable::markCard) — still free of read-modify-write, preserving the
+/// fine-grained-atomicity property the paper demands of the barrier.  The
+/// remembered-set flag exchange makes each object enter the set once per
+/// cycle; the paper notes this dedup needs a header bit their JVM lacked —
+/// our side table provides it, at the cost the paper predicted: a
+/// read-modify-write on every recording store instead of plain byte stores.
 static void recordInterGen(Heap &H, CollectorState &S, ObjectRef X,
                            uint64_t SlotOffset) {
   if (!S.UseRememberedSets.load(std::memory_order_relaxed)) {
@@ -119,9 +122,10 @@ void Mutator::writeRef(ObjectRef X, uint32_t SlotIdx, ObjectRef Y) {
     return;
 
   case BarrierKind::Aging:
-    // Figure 4.  The card is marked in *every* state, and strictly after
-    // the pointer store: this is the mutator's half of the Section 7.2
-    // two-step/three-step race resolution.
+    // Figure 4.  The card (and its summary byte) is marked in *every*
+    // state, and strictly after the pointer store: this is the mutator's
+    // half of the Section 7.2 two-step/three-step race resolution, run at
+    // both levels of the card table.
     if (SM != HandshakeStatus::Async) {
       markGrayClearOnly(H, State, loadRefSlot(H, X, SlotIdx), Grays);
       markGrayClearOnly(H, State, Y, Grays);

@@ -1,0 +1,130 @@
+//===- tests/gc/CardScanModeTest.cpp ---------------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+// The two-level card scan is a pure cost optimization: with GcThreads = 1 a
+// fixed-seed workload must report bit-identical *semantic* per-cycle
+// statistics whether the scan walks dirty summary chunks over allocated
+// block ranges or linearly walks [0, numCards).  Only the cost counters
+// (SummaryChunksScanned, CardsSkippedBySummary, page touches) may differ —
+// the filter changes what the collector reads, never what it concludes.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "core/Runtime.h"
+#include "support/Random.h"
+
+using namespace gengc;
+
+namespace {
+
+RuntimeConfig modeConfig(bool Aging, bool SummaryScan) {
+  RuntimeConfig Config;
+  Config.Heap.HeapBytes = 16ull << 20;
+  Config.Heap.CardBytes = 16;
+  Config.Choice = CollectorChoice::Generational;
+  Config.Collector.GcThreads = 1;
+  Config.Collector.Aging = Aging;
+  Config.Collector.OldestAge = 3;
+  Config.Collector.CardSummaryScan = SummaryScan;
+  // Cycles only where the workload requests them (see DeterminismTest).
+  Config.Collector.Trigger.YoungBytes = 1ull << 40;
+  Config.Collector.Trigger.InitialSoftBytes = 8ull << 20;
+  Config.Collector.Trigger.FullFraction = 1.1;
+  return Config;
+}
+
+/// Same deterministic workload shape as DeterminismTest: fixed-seed graph
+/// churn on one mutator, cycles at fixed operation counts, ending with
+/// several partial collections so the card scan actually runs.
+GcRunStats runWorkload(bool Aging, bool SummaryScan) {
+  Runtime RT(modeConfig(Aging, SummaryScan));
+  auto M = RT.attachMutator();
+  Rng Rand(0x5CA9);
+  constexpr unsigned Ring = 48;
+  for (unsigned I = 0; I < Ring; ++I)
+    M->pushRoot(NullRef);
+
+  bool Partial = false;
+  for (uint64_t Op = 0; Op < 24000; ++Op) {
+    unsigned Slot = unsigned(Rand.nextBelow(Ring));
+    switch (Rand.nextBelow(4)) {
+    case 0:
+    case 1: {
+      ObjectRef Node = M->allocate(2, uint32_t(Rand.nextInRange(8, 64)));
+      M->writeRef(Node, 0, M->root(Slot));
+      M->setRoot(Slot, Node);
+      break;
+    }
+    case 2: {
+      ObjectRef A = M->root(Slot);
+      if (A != NullRef)
+        M->writeRef(A, 1, M->root(unsigned(Rand.nextBelow(Ring))));
+      break;
+    }
+    case 3:
+      break;
+    }
+    if (Op % 4000 == 3999) {
+      RT.collector().collectSyncCooperating(
+          Partial ? CycleRequest::Partial : CycleRequest::Full, *M);
+      Partial = !Partial;
+    }
+  }
+  M->popRoots(M->numRoots());
+  return RT.gcStats();
+}
+
+class CardScanModeTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(CardScanModeTest, SummaryScanChangesCostNotOutcomes) {
+  bool Aging = GetParam();
+  GcRunStats Summary = runWorkload(Aging, /*SummaryScan=*/true);
+  GcRunStats Linear = runWorkload(Aging, /*SummaryScan=*/false);
+
+  ASSERT_EQ(Summary.Cycles.size(), Linear.Cycles.size());
+  ASSERT_EQ(Summary.Cycles.size(), 6u);
+  bool SawSkips = false;
+  for (size_t I = 0; I < Summary.Cycles.size(); ++I) {
+    const CycleStats &A = Summary.Cycles[I];
+    const CycleStats &B = Linear.Cycles[I];
+    SCOPED_TRACE("cycle " + std::to_string(I));
+    EXPECT_EQ(A.Kind, B.Kind);
+    // Semantic outcomes: identical card set, identical scan conclusions,
+    // identical trace and sweep results.
+    EXPECT_EQ(A.DirtyCardsAtStart, B.DirtyCardsAtStart);
+    EXPECT_EQ(A.OldObjectsScanned, B.OldObjectsScanned);
+    EXPECT_EQ(A.CardScanAreaBytes, B.CardScanAreaBytes);
+    EXPECT_EQ(A.CardsRemarked, B.CardsRemarked);
+    EXPECT_EQ(A.ObjectsTraced, B.ObjectsTraced);
+    EXPECT_EQ(A.BytesTraced, B.BytesTraced);
+    EXPECT_EQ(A.YoungSurvivors, B.YoungSurvivors);
+    EXPECT_EQ(A.YoungSurvivorBytes, B.YoungSurvivorBytes);
+    EXPECT_EQ(A.ObjectsFreed, B.ObjectsFreed);
+    EXPECT_EQ(A.BytesFreed, B.BytesFreed);
+    EXPECT_EQ(A.LiveObjectsAfter, B.LiveObjectsAfter);
+    EXPECT_EQ(A.LiveBytesAfter, B.LiveBytesAfter);
+    // Cost counters: the fallback has no summary level at all.
+    EXPECT_EQ(B.SummaryChunksScanned, 0u);
+    EXPECT_EQ(B.CardsSkippedBySummary, 0u);
+    if (A.Kind == CycleKind::Partial) {
+      // A 16 MB heap holds 1M cards and the workload's live set is small:
+      // the filter must be skipping nearly all of them.
+      EXPECT_GT(A.CardsSkippedBySummary, 0u);
+      SawSkips = true;
+      if (A.DirtyCardsAtStart > 0) {
+        EXPECT_GT(A.SummaryChunksScanned, 0u);
+      }
+    }
+  }
+  EXPECT_TRUE(SawSkips) << "no partial cycle exercised the summary path";
+}
+
+INSTANTIATE_TEST_SUITE_P(Barriers, CardScanModeTest, ::testing::Bool(),
+                         [](const auto &Info) {
+                           return Info.param ? "Aging" : "Simple";
+                         });
+
+} // namespace

@@ -1,0 +1,86 @@
+//===- tests/gc/CardSummaryStressTest.cpp ----------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+// Race stress for the two-level card table: mutator threads hammer
+// markCard (card byte, then summary byte — the write barrier's two plain
+// stores) while a collector thread runs the chunk-level Section 7.2
+// protocol (acquiring summary clear, hint-guided card walk, per-card
+// acquiring clear, occasional re-mark).  Registered in both the plain
+// test_gc binary and the ThreadSanitizer gengc_tsan suite; the TSan run is
+// the regression gate for the summary level's memory-ordering choices.
+//
+// The asserted property is the table's quiescent invariant: once all
+// threads join, every dirty card sits under a set summary byte.  During
+// the run the protocol's own step-1 window (summary cleared, chunk cards
+// not yet consumed) transiently breaks it by design — only the collector
+// can observe that window, and it is the one reading the cards.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "heap/CardTable.h"
+#include "support/Random.h"
+
+using namespace gengc;
+
+namespace {
+
+TEST(CardSummaryStress, ConcurrentMarkVsChunkProtocolKeepsInvariant) {
+  constexpr uint64_t HeapBytes = 4 << 20;
+  CardTable T(HeapBytes, 16);
+  constexpr unsigned Markers = 3;
+  constexpr int MarkRounds = 60000;
+  std::atomic<bool> Stop{false};
+
+  std::vector<std::thread> Threads;
+  for (unsigned M = 0; M < Markers; ++M)
+    Threads.emplace_back([&, M] {
+      Rng Rand(0xBEEF + M);
+      for (int I = 0; I < MarkRounds; ++I) {
+        // Concentrate on a narrow window so marks and clears really
+        // collide, with a tail of scattered marks for coverage.
+        uint64_t Offset = I % 8 ? Rand.nextBelow(64 << 10)
+                                : Rand.nextBelow(HeapBytes);
+        T.markCard(Offset);
+      }
+    });
+
+  std::thread Collector([&] {
+    Rng Rand(0xC01D);
+    while (!Stop.load(std::memory_order_acquire)) {
+      for (size_t Chunk = 0; Chunk < T.numSummaryChunks(); ++Chunk) {
+        if (!T.isSummaryDirty(Chunk))
+          continue;
+        T.clearSummaryAcquire(Chunk);
+        T.forEachDirtyIndexInRange(
+            T.chunkCardBegin(Chunk), T.chunkCardEnd(Chunk), [&](size_t Card) {
+              T.clearCard(Card);
+              // Sometimes the scan decides the card still guards an
+              // inter-generational pointer: step 3 re-marks both levels.
+              if (Rand.nextBelow(4) == 0)
+                T.markCardIndex(Card);
+            });
+      }
+    }
+  });
+
+  for (std::thread &Th : Threads)
+    Th.join();
+  Stop.store(true, std::memory_order_release);
+  Collector.join();
+
+  for (size_t Card = 0; Card < T.numCards(); ++Card) {
+    if (T.isDirty(Card)) {
+      EXPECT_TRUE(T.isSummaryDirty(T.summaryChunkFor(Card)))
+          << "dirty card " << Card << " lost its summary byte";
+    }
+  }
+}
+
+} // namespace

@@ -109,6 +109,8 @@ TEST_P(DeterminismTest, IdenticalStatsAcrossRunsAtOneGcThread) {
     EXPECT_EQ(A.OldObjectsScanned, B.OldObjectsScanned);
     EXPECT_EQ(A.CardScanAreaBytes, B.CardScanAreaBytes);
     EXPECT_EQ(A.CardsRemarked, B.CardsRemarked);
+    EXPECT_EQ(A.SummaryChunksScanned, B.SummaryChunksScanned);
+    EXPECT_EQ(A.CardsSkippedBySummary, B.CardsSkippedBySummary);
     EXPECT_EQ(A.ObjectsFreed, B.ObjectsFreed);
     EXPECT_EQ(A.BytesFreed, B.BytesFreed);
     EXPECT_EQ(A.LiveObjectsAfter, B.LiveObjectsAfter);

@@ -153,7 +153,7 @@ int main(int Argc, char **Argv) {
   if (PrintCycles) {
     std::printf("\n");
     Table Cycles({"#", "kind", "ms", "traced", "inter-gen", "dirty",
-                  "freed", "freed KB", "live after"});
+                  "skipped", "freed", "freed KB", "live after"});
     for (size_t I = 0; I < R.Gc.Cycles.size(); ++I) {
       const CycleStats &C = R.Gc.Cycles[I];
       Cycles.addRow({Table::count(I), cycleKindName(C.Kind),
@@ -161,6 +161,7 @@ int main(int Argc, char **Argv) {
                      Table::count(C.ObjectsTraced),
                      Table::count(C.OldObjectsScanned),
                      Table::count(C.DirtyCardsAtStart),
+                     Table::count(C.CardsSkippedBySummary),
                      Table::count(C.ObjectsFreed),
                      Table::count(C.BytesFreed >> 10),
                      Table::count(C.LiveObjectsAfter)});
