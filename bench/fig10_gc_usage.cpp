@@ -48,15 +48,16 @@ int main() {
     Profile P = profileByName(Row.Name);
     RunResult Gen = runMedian(P, CollectorChoice::Generational, Options);
     RunResult Base = runMedian(P, CollectorChoice::NonGenerational, Options);
+    // Counts and active time come from the shared metrics snapshot.
     T.addRow({Row.Name, Table::number(Row.PctGen),
               Table::number(Gen.percentGcActive()), Table::count(Row.Partial),
-              Table::count(Gen.Gc.count(CycleKind::Partial)),
+              Table::count(Gen.Metrics.count(CycleKind::Partial)),
               Table::count(Row.Full),
-              Table::count(Gen.Gc.count(CycleKind::Full)),
+              Table::count(Gen.Metrics.count(CycleKind::Full)),
               Table::number(Row.PctBase),
               Table::number(Base.percentGcActive()),
               Table::count(Row.CyclesBase),
-              Table::count(Base.Gc.count(CycleKind::NonGenerational))});
+              Table::count(Base.Metrics.count(CycleKind::NonGenerational))});
   }
   T.print(stdout);
   printFigureFooter();

@@ -47,15 +47,13 @@ int main() {
     Profile P = profileByName(Row.Name);
     RunResult Gen = runMedian(P, CollectorChoice::Generational, Options);
     RunResult Base = runMedian(P, CollectorChoice::NonGenerational, Options);
-    double PartialMs =
-        Gen.Gc.mean(CycleKind::Partial, &CycleStats::DurationNanos) * 1e-6;
-    double FullMs =
-        Gen.Gc.count(CycleKind::Full)
-            ? Gen.Gc.mean(CycleKind::Full, &CycleStats::DurationNanos) * 1e-6
-            : -1;
-    double NonGenMs = Base.Gc.mean(CycleKind::NonGenerational,
-                                   &CycleStats::DurationNanos) *
-                      1e-6;
+    // Mean cycle times come from the shared metrics snapshot.
+    double PartialMs = Gen.Metrics.meanCycleNanos(CycleKind::Partial) * 1e-6;
+    double FullMs = Gen.Metrics.count(CycleKind::Full)
+                        ? Gen.Metrics.meanCycleNanos(CycleKind::Full) * 1e-6
+                        : -1;
+    double NonGenMs =
+        Base.Metrics.meanCycleNanos(CycleKind::NonGenerational) * 1e-6;
     T.addRow({Row.Name, Cell(Row.PartialMs), Cell(PartialMs),
               Cell(Row.FullMs), Cell(FullMs), Cell(Row.NonGenMs),
               Cell(NonGenMs)});

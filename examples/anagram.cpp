@@ -26,7 +26,7 @@
 #include <string>
 #include <vector>
 
-#include "core/Runtime.h"
+#include "core/GenGc.h"
 
 using namespace gengc;
 
@@ -72,13 +72,12 @@ public:
 
   void insert(Mutator &M, const std::string &Word) {
     uint32_t B = hashOf(Word) % NumBuckets;
-    ObjectRef Entry = M.allocate(2, 0);
-    size_t Slot = M.pushRoot(Entry);
+    RootScope Roots(M);
+    ObjectRef Entry = Roots.add(M.allocate(2, 0));
     ObjectRef Str = Strings.make(M, Word);
     M.writeRef(Entry, 1, Str);
     M.writeRef(Entry, 0, M.readRef(Buckets, B));
     M.writeRef(Buckets, B, Entry);
-    M.popRoots(M.numRoots() - Slot);
   }
 
   bool contains(Mutator &M, const std::string &Word) {
@@ -128,11 +127,10 @@ private:
       ++Generated;
       // Allocate the candidate on the heap (short-lived), then check each
       // space-separated word against the dictionary.
-      ObjectRef Candidate = Strings.make(M, Prefix);
-      size_t Slot = M.pushRoot(Candidate);
+      RootScope Roots(M);
+      ObjectRef Candidate = Roots.add(Strings.make(M, Prefix));
       if (allWordsInDictionary(Strings.get(Candidate)))
         Found.push_back(Strings.get(Candidate));
-      M.popRoots(M.numRoots() - Slot);
       return;
     }
     for (size_t I = 0; I < Remaining.size(); ++I) {
@@ -141,11 +139,13 @@ private:
       if (I > 0 && Remaining[I - 1] == C)
         continue;
       Remaining.erase(I, 1);
-      // Fresh heap string per step: deliberate allocation churn.
-      ObjectRef Step = Strings.make(M, Prefix + C);
-      size_t Slot = M.pushRoot(Step);
-      permute(Remaining, Strings.get(Step));
-      M.popRoots(M.numRoots() - Slot);
+      // Fresh heap string per step: deliberate allocation churn.  The
+      // scope keeps it rooted across the recursion.
+      {
+        RootScope Roots(M);
+        ObjectRef Step = Roots.add(Strings.make(M, Prefix + C));
+        permute(Remaining, Strings.get(Step));
+      }
       Remaining.insert(I, 1, C);
     }
   }
@@ -220,6 +220,5 @@ int main(int Argc, char **Argv) {
               (unsigned long long)Stats.totalAll(&CycleStats::ObjectsFreed),
               Stats.percentFreedPartialObjects());
 
-  M->popRoots(M->numRoots());
   return 0;
 }

@@ -24,7 +24,7 @@
 #include <cstdio>
 #include <cstdlib>
 
-#include "core/Runtime.h"
+#include "core/GenGc.h"
 #include "support/Timer.h"
 
 using namespace gengc;
@@ -42,10 +42,10 @@ ObjectRef makeTree(Mutator &M, int Depth) {
   ObjectRef Node = M.allocate(NodeRefs, NodeData);
   if (Depth <= 0)
     return Node;
-  size_t Slot = M.pushRoot(Node);
+  RootScope Roots(M);
+  Roots.add(Node);
   M.writeRef(Node, 0, makeTree(M, Depth - 1));
   M.writeRef(Node, 1, makeTree(M, Depth - 1));
-  M.popRoots(M.numRoots() - Slot);
   return Node;
 }
 
@@ -55,12 +55,12 @@ void populate(Mutator &M, ObjectRef Node, int Depth) {
   M.cooperate();
   if (Depth <= 0)
     return;
-  size_t Slot = M.pushRoot(Node);
+  RootScope Roots(M);
+  Roots.add(Node);
   M.writeRef(Node, 0, M.allocate(NodeRefs, NodeData));
   M.writeRef(Node, 1, M.allocate(NodeRefs, NodeData));
   populate(M, M.readRef(Node, 0), Depth - 1);
   populate(M, M.readRef(Node, 1), Depth - 1);
-  M.popRoots(M.numRoots() - Slot);
 }
 
 int treeSize(int Depth) { return (1 << (Depth + 1)) - 1; }
@@ -116,10 +116,9 @@ int main(int Argc, char **Argv) {
     for (int I = 0; I < Iterations; ++I) {
       ObjectRef TopDown = makeTree(*M, Depth);
       (void)TopDown; // dropped immediately
-      ObjectRef BottomUp = M->allocate(NodeRefs, NodeData);
-      size_t Slot = M->pushRoot(BottomUp);
+      RootScope Roots(*M);
+      ObjectRef BottomUp = Roots.add(M->allocate(NodeRefs, NodeData));
       populate(*M, BottomUp, Depth);
-      M->popRoots(M->numRoots() - Slot);
     }
     std::printf(" depth %2d: %6d trees, %7.1f ms\n", Depth, 2 * Iterations,
                 double(nowNanos() - T0) * 1e-6);

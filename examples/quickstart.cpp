@@ -18,7 +18,7 @@
 
 #include <cstdio>
 
-#include "core/Runtime.h"
+#include "core/GenGc.h"
 
 using namespace gengc;
 
@@ -50,15 +50,17 @@ int main() {
 
   // 4. Roots.  Anything you want to keep alive must be reachable from the
   //    shadow stack, a global root, or another live object.  Stack writes
-  //    need no barrier (the DLG property).
-  size_t Slot = M->pushRoot(Node);
+  //    need no barrier (the DLG property).  A RootScope pops everything
+  //    pushed through it when it goes out of scope.
+  RootScope Roots(*M);
+  size_t Slot = Roots.addSlot(Node);
 
   // 5. Build a linked list of 100,000 nodes; writeRef is the paper's
   //    "Update" write barrier (Figure 1).
   for (int I = 0; I < 100000; ++I) {
     ObjectRef Next = M->allocate(2, 16);
-    M->writeRef(Next, 0, M->root(Slot));
-    M->setRoot(Slot, Next);
+    M->writeRef(Next, 0, Roots.get(Slot));
+    Roots.set(Slot, Next);
     // Call cooperate() regularly — the analogue of Java's backward-branch
     // checks.  The collector never stops this thread; it only asks it to
     // acknowledge handshakes at its own pace.
@@ -68,7 +70,7 @@ int main() {
   // 6. Drop most of the list (keep the first 10 nodes reachable) and let
   //    the collector work.  Partial collections reclaim the young dead;
   //    survivors are promoted to the old generation (they turn black).
-  ObjectRef Head = M->root(Slot);
+  ObjectRef Head = Roots.get(Slot);
   for (int I = 0; I < 9; ++I)
     Head = M->readRef(Head, 0);
   M->writeRef(Head, 0, NullRef); // sever the tail: 99,990 nodes die
@@ -95,9 +97,9 @@ int main() {
                   ? "survived via its dirty card"
                   : "was LOST (bug!)");
 
-  // 8. Global roots outlive any mutator.
-  RT.globalRoots().addRoot(M->root(Slot));
-  M->popRoots(M->numRoots());
+  // 8. Global roots outlive any mutator.  (The shadow-stack roots are
+  //    popped when Roots goes out of scope at the end of main.)
+  RT.globalRoots().addRoot(Roots.get(Slot));
 
   // 9. A full collection reclaims old garbage too.
   RT.collector().collectSyncCooperating(CycleRequest::Full, *M);

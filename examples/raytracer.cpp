@@ -22,7 +22,7 @@
 #include <thread>
 #include <vector>
 
-#include "core/Runtime.h"
+#include "core/GenGc.h"
 
 using namespace gengc;
 
@@ -73,8 +73,8 @@ struct Scene {
     List = M.allocate(uint32_t(NumSpheres), 0, /*Tag=*/2);
     RT.globalRoots().addRoot(List);
     for (unsigned I = 0; I < NumSpheres; ++I) {
-      ObjectRef Sphere = M.allocate(1, 16, /*Tag=*/3);
-      size_t Slot = M.pushRoot(Sphere);
+      RootScope Roots(M);
+      ObjectRef Sphere = Roots.add(M.allocate(1, 16, /*Tag=*/3));
       ObjectRef Center =
           V.make(M, Coords[I][0], Coords[I][1], Coords[I][2]);
       M.writeRef(Sphere, 0, Center);
@@ -83,7 +83,6 @@ struct Scene {
       storeDataWord(V.H, Sphere, 2, std::bit_cast<uint32_t>(Coords[I][5]));
       storeDataWord(V.H, Sphere, 3, std::bit_cast<uint32_t>(Coords[I][6]));
       M.writeRef(List, I, Sphere);
-      M.popRoots(M.numRoots() - Slot);
     }
   }
 
@@ -106,9 +105,11 @@ RenderResult renderBand(Runtime &RT, const Scene &Scene, unsigned Width,
   Vec3Heap V(RT.heap());
   RenderResult Result;
 
-  // Rooted scratch: ray origin, ray direction, accumulated color.
-  size_t Origin = M->pushRoot(V.make(*M, 0, 0.25f, 0.7f));
-  size_t Dir = M->pushRoot(NullRef);
+  // Rooted scratch: ray origin, ray direction, accumulated color.  The
+  // scope pops all of them (plus the per-pixel hit records) on return.
+  RootScope Roots(*M);
+  size_t Origin = Roots.addSlot(V.make(*M, 0, 0.25f, 0.7f));
+  size_t Dir = Roots.addSlot(NullRef);
 
   for (unsigned Y = Y0; Y < Y1; ++Y) {
     for (unsigned X = 0; X < Width; ++X) {
@@ -116,13 +117,15 @@ RenderResult renderBand(Runtime &RT, const Scene &Scene, unsigned Width,
       // Fresh direction object per ray (allocation churn by design).
       float U = (float(X) / Width - 0.5f) * 2.2f;
       float W = -(float(Y) / Height - 0.5f) * 2.2f;
-      M->setRoot(Dir, V.make(*M, U, W, -1.0f));
+      Roots.set(Dir, V.make(*M, U, W, -1.0f));
       ++Result.Rays;
 
-      // Intersect every sphere; keep the nearest hit as a heap record.
+      // Intersect every sphere; keep the nearest hit as a heap record
+      // (rooted for this pixel only).
       float Nearest = 1e30f;
       ObjectRef Hit = NullRef;
-      size_t HitSlot = M->pushRoot(NullRef);
+      RootScope PixelRoots(*M);
+      size_t HitSlot = PixelRoots.addSlot(NullRef);
       for (unsigned S = 0; S < Scene.NumSpheres; ++S) {
         ObjectRef Sphere = M->readRef(Scene.List, S);
         ObjectRef Center = M->readRef(Sphere, 0);
@@ -143,7 +146,7 @@ RenderResult renderBand(Runtime &RT, const Scene &Scene, unsigned Width,
           Nearest = T;
           // Heap hit record: [sphere ref] + [t].
           Hit = M->allocate(1, 4, /*Tag=*/4);
-          M->setRoot(HitSlot, Hit);
+          PixelRoots.set(HitSlot, Hit);
           M->writeRef(Hit, 0, Sphere);
           storeDataWord(V.H, Hit, 0, std::bit_cast<uint32_t>(T));
         }
@@ -161,10 +164,8 @@ RenderResult renderBand(Runtime &RT, const Scene &Scene, unsigned Width,
         float W = -(float(Y) / Height - 0.5f) * 2.2f;
         Result.ColorSum += 0.6 + 0.3 * W;
       }
-      M->popRoots(1); // HitSlot
     }
   }
-  M->popRoots(M->numRoots());
   return Result;
 }
 

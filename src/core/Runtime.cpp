@@ -6,7 +6,66 @@
 
 #include "core/Runtime.h"
 
+#include "support/MathExtras.h"
+
 using namespace gengc;
+
+std::string RuntimeConfig::validate() const {
+  // Heap geometry: the arena is carved into fixed 64 KiB blocks.
+  if (Heap.HeapBytes < Heap::BlockBytes)
+    return "HeapBytes must be at least one block (64 KiB)";
+  if (Heap.HeapBytes % Heap::BlockBytes != 0)
+    return "HeapBytes must be a multiple of the 64 KiB block size";
+
+  // Card geometry (Section 8.5.3 evaluates 16..4096).
+  if (!isPowerOf2(uint64_t(Heap.CardBytes)))
+    return "CardBytes must be a power of two";
+  if (Heap.CardBytes < 16 || Heap.CardBytes > 4096)
+    return "CardBytes must be in [16, 4096]";
+  if (uint64_t(Heap.CardBytes) > Heap::BlockBytes)
+    return "CardBytes must not exceed the 64 KiB block size";
+
+  if (Heap.ChainCells == 0)
+    return "ChainCells must be positive (free memory moves in chains)";
+
+  // Trigger thresholds.  Values LARGER than the heap are deliberately
+  // legal: "YoungBytes = 1 TB" / "FullFraction > 1" is the idiom for
+  // disabling automatic triggering (tests drive cycles manually).  Only
+  // degenerate values that would trigger a cycle on every allocation are
+  // rejected.
+  if (Collector.Trigger.YoungBytes == 0)
+    return "Trigger.YoungBytes must be positive (use a huge value to "
+           "disable automatic partial cycles)";
+  if (Collector.Trigger.FullFraction <= 0.0)
+    return "Trigger.FullFraction must be positive (use a value above 1 to "
+           "disable automatic full cycles)";
+
+  // Worker lanes: 0 would mean no one runs the cycle; an absurd count is
+  // almost certainly a unit mix-up.
+  if (Collector.GcThreads < 1)
+    return "GcThreads must be at least 1 (lane 0 is the collector thread)";
+  if (Collector.GcThreads > 256)
+    return "GcThreads above 256 is unsupported (suspect a configuration "
+           "mix-up)";
+
+  // Generational-policy combinations (mirrors the collector's asserts, but
+  // catchable before a thread is spawned).  Only checked for the
+  // generational choice: fixupCollectorConfig strips Aging/RememberedSets
+  // from the other collectors, preserving the historical "the runtime
+  // fixes the trigger/choice invariants" behavior.
+  if (Choice == CollectorChoice::Generational) {
+    if (Collector.Aging && Collector.RememberedSets)
+      return "Aging with RememberedSets is unsupported: remembered sets "
+             "are implemented for simple promotion only (Section 3.1)";
+    if (Collector.Aging && Collector.OldestAge < 2)
+      return "OldestAge (the aging threshold) below 2 is meaningless with "
+             "aging: objects are allocated with age 1";
+  }
+
+  if (Collector.Obs.RingEvents == 0)
+    return "Obs.RingEvents must be positive when tracing can be enabled";
+  return std::string();
+}
 
 static CollectorConfig fixupCollectorConfig(const RuntimeConfig &Config) {
   CollectorConfig Fixed = Config.Collector;
@@ -21,8 +80,17 @@ static CollectorConfig fixupCollectorConfig(const RuntimeConfig &Config) {
   return Fixed;
 }
 
+static const HeapConfig &validatedHeapConfig(const RuntimeConfig &Config) {
+  // Runs before any member is built so an invalid configuration cannot
+  // construct a heap (member initializers run before the ctor body).
+  std::string Error = Config.validate();
+  if (!Error.empty())
+    fatalError(Error.c_str(), __FILE__, __LINE__);
+  return Config.Heap;
+}
+
 Runtime::Runtime(const RuntimeConfig &Config)
-    : Config(Config), TheHeap(Config.Heap), Registry(State),
+    : Config(Config), TheHeap(validatedHeapConfig(Config)), Registry(State),
       Roots(TheHeap, State) {
   CollectorConfig GcConfig = fixupCollectorConfig(Config);
   switch (Config.Choice) {
@@ -52,5 +120,19 @@ Runtime::~Runtime() {
 std::unique_ptr<Mutator> Runtime::attachMutator() {
   auto M = std::make_unique<Mutator>(TheHeap, State, Registry);
   M->setMemoryWaiter(Gc.get());
+  M->setObsRegistry(&Gc->obs());
+  return M;
+}
+
+MetricsSnapshot Runtime::metrics() const {
+  MetricsSnapshot M;
+  M.addCycles(Gc->statsSnapshot());
+  M.HeapBytes = TheHeap.heapBytes();
+  const ObsRegistry &Obs = Gc->obs();
+  M.EventsWritten = Obs.eventsWritten();
+  M.EventsDropped = Obs.eventsDropped();
+  M.StallNanos = HistogramSnapshot::of(Obs.stallHistogram());
+  M.StwPauseNanos = HistogramSnapshot::of(Obs.stwPauseHistogram());
+  M.HandshakeNanos = HistogramSnapshot::of(Obs.handshakeHistogram());
   return M;
 }

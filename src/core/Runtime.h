@@ -29,12 +29,16 @@
 #define GENGC_CORE_RUNTIME_H
 
 #include <memory>
+#include <string>
 
 #include "gc/Collector.h"
 #include "gc/DlgCollector.h"
 #include "gc/GenerationalCollector.h"
 #include "gc/StwCollector.h"
 #include "heap/Heap.h"
+#include "obs/GcObserver.h"
+#include "obs/Metrics.h"
+#include "obs/TraceExport.h"
 #include "runtime/Mutator.h"
 #include "runtime/MutatorRegistry.h"
 #include "runtime/Roots.h"
@@ -61,6 +65,13 @@ struct RuntimeConfig {
   /// Start the collector thread in the constructor.  Tests that drive
   /// cycles manually can defer via start().
   bool StartCollector = true;
+
+  /// Checks the configuration for internal consistency: heap-vs-card-vs-
+  /// block-size geometry, GC thread bounds, aging/remembered-set
+  /// combinations.  \returns an empty string when valid, otherwise a
+  /// description of the first problem found.  The Runtime constructor
+  /// calls this and aborts with the message on an invalid configuration.
+  std::string validate() const;
 };
 
 /// An embedded GC runtime: heap + collector + registries.
@@ -89,6 +100,30 @@ public:
 
   /// Snapshot of the collector's statistics.
   GcRunStats gcStats() const { return Gc->statsSnapshot(); }
+
+  //===-- Observability ---------------------------------------------------===
+
+  /// Builds a point-in-time metrics snapshot: per-kind cycle aggregates,
+  /// the always-on latency histograms (allocation stalls, STW pauses,
+  /// handshake response latency) and heap gauges.  Cheap enough to poll.
+  MetricsSnapshot metrics() const;
+
+  /// Registers \p Observer for a callback after every completed collection
+  /// cycle (see obs/GcObserver.h for the threading contract).
+  void addGcObserver(GcObserver &Observer) { Gc->addObserver(Observer); }
+
+  /// Deregisters \p Observer.
+  void removeGcObserver(GcObserver &Observer) {
+    Gc->removeObserver(Observer);
+  }
+
+  /// The event-ring registry (Collector.Obs.Tracing gates whether rings
+  /// exist and record).
+  ObsRegistry &obs() { return Gc->obs(); }
+
+  /// Merged, timestamp-sorted copy of all recorded events; empty with
+  /// tracing off.  Feed it to writeChromeTrace / writeJsonLines.
+  TraceSnapshot traceSnapshot() const { return TraceSnapshot::of(Gc->obs()); }
 
 private:
   RuntimeConfig Config;

@@ -6,6 +6,8 @@
 
 #include "gc/Collector.h"
 
+#include <algorithm>
+
 #include "support/Timer.h"
 
 using namespace gengc;
@@ -13,8 +15,11 @@ using namespace gengc;
 Collector::Collector(Heap &H, CollectorState &S, MutatorRegistry &Registry,
                      GlobalRoots &Roots, const CollectorConfig &Config)
     : H(H), State(S), Registry(Registry), Roots(Roots), Config(Config),
+      Obs(Config.Obs, std::max(1u, Config.GcThreads)),
       Handshakes(S, Registry), Pool(Config.GcThreads),
       TraceEngine(H, S, Pool), Trig(Config.Trigger, H.heapBytes()) {
+  Handshakes.setObsRing(Obs.laneRing(0));
+  TraceEngine.setObs(&Obs);
   // During-cycle allocation budget: the trigger fires around YoungBytes of
   // allocation, so allowing another half generation during the cycle
   // bounds occupancy carry-over at 1.5 young generations — comfortably
@@ -90,6 +95,24 @@ void Collector::resetStats() {
   Stats = GcRunStats();
 }
 
+void Collector::addObserver(GcObserver &Observer) {
+  std::scoped_lock Locked(ObserverMutex);
+  Observers.push_back(&Observer);
+}
+
+void Collector::removeObserver(GcObserver &Observer) {
+  std::scoped_lock Locked(ObserverMutex);
+  Observers.erase(std::remove(Observers.begin(), Observers.end(), &Observer),
+                  Observers.end());
+}
+
+void Collector::notifyObservers(const CycleStats &Cycle,
+                                uint64_t CycleIndex) {
+  std::scoped_lock Locked(ObserverMutex);
+  for (GcObserver *Observer : Observers)
+    Observer->onGcCycleEnd(Cycle, CycleIndex);
+}
+
 void Collector::resetGrayCounters() {
   CollectorGrays.reset();
   Registry.forEach([](Mutator &M) { M.grayCounters().reset(); });
@@ -115,6 +138,10 @@ void Collector::runOneCycle(CycleRequest Kind) {
   // verification pass.
   State.Grays.clear();
 
+  uint64_t Index = CyclesDone.load(std::memory_order_relaxed);
+  EventRing *Ring = Obs.laneRing(0);
+  uint64_t CycleStartNanos = Ring ? nowNanos() : 0;
+
   StopWatch Watch;
   Watch.start();
   CycleStats Cycle = runCycle(Kind);
@@ -125,14 +152,33 @@ void Collector::runOneCycle(CycleRequest Kind) {
   H.resetAllocatedSinceGc();
   Trig.afterCycle(Cycle.LiveEstimateBytes);
 
+  if (Ring) {
+    // Begin and end are emitted together once the kind is final (the
+    // request alone cannot tell a Dlg full cycle from a generational one);
+    // exporters order by timestamp, not ring position.
+    Ring->instant(ObsEventKind::CycleBegin, CycleStartNanos,
+                  uint64_t(Cycle.Kind), Index);
+    Ring->instant(ObsEventKind::CycleEnd, nowNanos(), uint64_t(Cycle.Kind),
+                  Index);
+  }
+
+  // Cycle publication happens in three ordered steps:
+  //  1. the statistics, under StatsMutex (the cycle-publication lock);
+  //  2. observer callbacks, with no collector lock held — they may call
+  //     statsSnapshot() or requestCycle() freely;
+  //  3. the completed-cycle count, under RequestMutex so collectSync's
+  //     predicate and wakeup cannot miss each other.
+  // The 1-before-3 ordering (release increment, acquire read) guarantees
+  // that any thread observing completedCycles() >= N sees at least N fully
+  // published cycles in statsSnapshot(); 2-before-3 guarantees every
+  // observer ran before synchronous waiters on this cycle are released.
   {
     std::scoped_lock Locked(StatsMutex);
     Stats.Cycles.push_back(Cycle);
     Stats.GcActiveNanos += Cycle.DurationNanos;
   }
+  notifyObservers(Cycle, Index);
   {
-    // Publish completion under RequestMutex so collectSync's predicate and
-    // wakeup cannot miss each other.
     std::scoped_lock Locked(RequestMutex);
     CyclesDone.fetch_add(1, std::memory_order_release);
   }

@@ -27,6 +27,8 @@
 
 #include "gc/CycleStats.h"
 #include "gc/ParallelTrace.h"
+#include "obs/GcObserver.h"
+#include "obs/ObsRegistry.h"
 #include "gc/Sweeper.h"
 #include "gc/Tracer.h"
 #include "gc/Trigger.h"
@@ -73,6 +75,11 @@ struct CollectorConfig {
   /// Mutator-facing machinery (handshakes, write barrier, color toggle) is
   /// unaffected by this knob.
   unsigned GcThreads = 1;
+
+  /// Observability subsystem configuration (see obs/Event.h).  Metrics are
+  /// always on; Obs.Tracing additionally records events into per-actor
+  /// rings.
+  ObsConfig Obs;
 };
 
 /// Base class of both collectors.
@@ -106,7 +113,10 @@ public:
   /// MemoryWaiter: a mutator ran out of memory.
   void waitForMemory(Mutator &M) override;
 
-  /// Copy of the statistics so far.
+  /// Copy of the statistics so far.  Taken under the cycle-publication
+  /// lock, so a caller that observed completedCycles() >= N is guaranteed a
+  /// snapshot containing at least N fully-formed cycles (including their
+  /// per-lane worker-time vectors).
   GcRunStats statsSnapshot() const;
 
   /// Resets the accumulated statistics (between benchmark phases).
@@ -126,6 +136,20 @@ public:
   const Trigger &trigger() const { return Trig; }
   CollectorState &state() { return State; }
 
+  /// The observability registry (event rings + histograms) of this
+  /// collector's runtime.
+  ObsRegistry &obs() { return Obs; }
+  const ObsRegistry &obs() const { return Obs; }
+
+  /// Registers \p Observer for per-cycle callbacks (see obs/GcObserver.h
+  /// for the callback contract).  The observer must outlive the collector
+  /// or be removed first; thread-safe.
+  void addObserver(GcObserver &Observer);
+
+  /// Deregisters \p Observer; no callback is running or will start after
+  /// this returns (callbacks are serialized with registration).
+  void removeObserver(GcObserver &Observer);
+
 protected:
   /// Runs one cycle; implemented by subclasses.
   virtual CycleStats runCycle(CycleRequest Kind) = 0;
@@ -142,6 +166,11 @@ protected:
   GlobalRoots &Roots;
   CollectorConfig Config;
 
+  /// Rings and histograms.  Owned here (not by Runtime) so collectors
+  /// constructed directly by tests are observable too; declared before the
+  /// engines that take ring pointers from it.
+  ObsRegistry Obs;
+
   HandshakeDriver Handshakes;
   /// Worker lanes for the parallel cycle phases; sized by Config.GcThreads.
   /// Must be declared before the engines that capture it.
@@ -153,6 +182,12 @@ protected:
 private:
   void threadLoop();
   void runOneCycle(CycleRequest Kind);
+
+  /// Invokes every registered observer for \p Cycle.  Runs on the collector
+  /// thread with no collector lock held (only ObserverMutex, which
+  /// serializes callbacks with add/removeObserver — hence observers must
+  /// not register or deregister from inside a callback).
+  void notifyObservers(const CycleStats &Cycle, uint64_t CycleIndex);
 
   std::thread Thread;
   bool Running = false;
@@ -166,8 +201,17 @@ private:
   std::atomic<uint64_t> CyclesDone{0};
   std::atomic<uint64_t> MemoryWaits{0};
 
+  /// The cycle-publication lock: runOneCycle pushes each finished cycle's
+  /// statistics under it *before* CyclesDone is bumped (with release) under
+  /// RequestMutex, and statsSnapshot copies under it — so the completed-
+  /// cycle count never runs ahead of the visible statistics, and the
+  /// per-lane worker-time vectors inside each CycleStats are never read
+  /// while being written.
   mutable std::mutex StatsMutex;
   GcRunStats Stats;
+
+  std::mutex ObserverMutex;
+  std::vector<GcObserver *> Observers;
 };
 
 } // namespace gengc

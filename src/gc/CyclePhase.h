@@ -27,6 +27,7 @@
 #include <initializer_list>
 
 #include "gc/CycleStats.h"
+#include "obs/EventRing.h"
 #include "runtime/CollectorState.h"
 #include "support/Timer.h"
 
@@ -44,15 +45,21 @@ struct CyclePhase {
 
 /// Executes \p Phases in order against \p Cycle: for each phase, publishes
 /// its GcPhase, runs the body, and accumulates its duration.  Publishes
-/// GcPhase::Idle after the last phase.
+/// GcPhase::Idle after the last phase.  With \p Obs set (the collector's
+/// event ring; tracing enabled), each phase is additionally emitted as a
+/// Phase span — reusing the timestamps the pipeline already takes, so
+/// tracing adds no clock reads here.
 inline void runCyclePhases(CollectorState &State,
                            std::initializer_list<CyclePhase> Phases,
-                           CycleStats &Cycle) {
+                           CycleStats &Cycle, EventRing *Obs = nullptr) {
   for (const CyclePhase &P : Phases) {
     State.Phase.store(P.Phase, std::memory_order_release);
     uint64_t Start = nowNanos();
     P.Run(Cycle);
-    Cycle.*(P.DurationField) += nowNanos() - Start;
+    uint64_t Duration = nowNanos() - Start;
+    Cycle.*(P.DurationField) += Duration;
+    if (Obs)
+      Obs->emit(ObsEventKind::Phase, Start, Duration, uint64_t(P.Phase));
   }
   State.Phase.store(GcPhase::Idle, std::memory_order_release);
 }

@@ -66,7 +66,7 @@ CycleStats DlgCollector::runCycle(CycleRequest Kind) {
           {GcPhase::Sweep, &CycleStats::SweepNanos,
            [&](CycleStats &C) {
              ParallelSweepResult SweepResult = sweepParallel(
-                 H, State, Pool, SweepMode::NonGenerational, 0);
+                 H, State, Pool, SweepMode::NonGenerational, 0, &Obs);
              C.ObjectsFreed = SweepResult.Total.ObjectsFreed;
              C.BytesFreed = SweepResult.Total.BytesFreed;
              C.LiveObjectsAfter = SweepResult.Total.LiveObjectsAfter;
@@ -74,6 +74,6 @@ CycleStats DlgCollector::runCycle(CycleRequest Kind) {
              C.SweepWorkerNanos = std::move(SweepResult.WorkerNanos);
            }},
       },
-      Cycle);
+      Cycle, Obs.laneRing(0));
   return Cycle;
 }

@@ -65,8 +65,8 @@ enum class SummaryClear {
 /// walk charges the whole card table; the two-level scan charges the whole
 /// summary table plus only the card bytes of chunks it opened.
 template <typename Fn>
-void scanDirtyCards(Heap &H, GcWorkerPool &Pool, bool UseSummaries,
-                    SummaryClear ClearMode,
+void scanDirtyCards(Heap &H, GcWorkerPool &Pool, ObsRegistry &Obs,
+                    bool UseSummaries, SummaryClear ClearMode,
                     std::vector<CardScanStats> &LaneStats, Fn Body) {
   CardTable &Cards = H.cards();
   PageTouchTracker &Pages = H.pages();
@@ -117,9 +117,12 @@ void scanDirtyCards(Heap &H, GcWorkerPool &Pool, bool UseSummaries,
       Pool, 0, Work.size(), shardChunk(Work.size(), Lanes, 1),
       [&](unsigned Lane, size_t WorkBegin, size_t WorkEnd) {
         CardScanStats &S = LaneStats[Lane];
+        EventRing *Ring = Obs.laneRing(Lane);
         for (size_t W = WorkBegin; W != WorkEnd; ++W) {
           size_t Chunk = Work[W];
           ++S.SummaryChunksScanned;
+          if (Ring)
+            Ring->instant(ObsEventKind::CardChunkOpen, nowNanos(), Chunk);
           // Chunk-level Section 7.2 step 1: clear the summary before
           // reading the cards it covers.  Any mutator mark that lands
           // after this re-sets the byte for the next collection; step 3 is
@@ -233,7 +236,8 @@ void GenerationalCollector::clearCardsSimple(CycleStats &Cycle) {
   std::vector<ObjectRef> LastScanned(Lanes, NullRef);
   std::vector<std::vector<ObjectRef>> Regrayed(Lanes);
   scanDirtyCards(
-      H, Pool, Config.CardSummaryScan, SummaryClear::Uncontended, LaneStats,
+      H, Pool, Obs, Config.CardSummaryScan, SummaryClear::Uncontended,
+      LaneStats,
       [&](unsigned Lane, size_t CardIdx) {
         CardScanStats &S = LaneStats[Lane];
         ++S.DirtyCards;
@@ -306,7 +310,7 @@ void GenerationalCollector::clearCardsAging(CycleStats &Cycle) {
   std::vector<CardScanStats> LaneStats(Lanes);
   std::vector<ObjectRef> LastCounted(Lanes, NullRef);
   scanDirtyCards(
-      H, Pool, Config.CardSummaryScan, SummaryClear::Acquire, LaneStats,
+      H, Pool, Obs, Config.CardSummaryScan, SummaryClear::Acquire, LaneStats,
       [&](unsigned Lane, size_t CardIdx) {
         CardScanStats &S = LaneStats[Lane];
         ++S.DirtyCards;
@@ -436,7 +440,7 @@ CycleStats GenerationalCollector::runCycle(CycleRequest Kind) {
                  H, State, Pool,
                  Config.Aging ? SweepMode::GenerationalAging
                               : SweepMode::GenerationalSimple,
-                 Config.OldestAge);
+                 Config.OldestAge, &Obs);
              C.ObjectsFreed = SweepResult.Total.ObjectsFreed;
              C.BytesFreed = SweepResult.Total.BytesFreed;
              C.LiveObjectsAfter = SweepResult.Total.LiveObjectsAfter;
@@ -446,6 +450,6 @@ CycleStats GenerationalCollector::runCycle(CycleRequest Kind) {
              C.SweepWorkerNanos = std::move(SweepResult.WorkerNanos);
            }},
       },
-      Cycle);
+      Cycle, Obs.laneRing(0));
   return Cycle;
 }

@@ -23,6 +23,12 @@ void ParallelTracer::setAgingThreshold(uint8_t OldestAge) {
     Engine->setAgingThreshold(OldestAge);
 }
 
+void ParallelTracer::setObs(ObsRegistry *Registry) {
+  Obs = Registry;
+  for (unsigned Lane = 0; Lane < Pool.lanes(); ++Lane)
+    Engines[Lane]->setObsRing(Registry ? Registry->laneRing(Lane) : nullptr);
+}
+
 ParallelTracer::Result ParallelTracer::trace(Color BlackColor,
                                              GrayCounters &Counters) {
   unsigned Lanes = Pool.lanes();
@@ -38,6 +44,9 @@ ParallelTracer::Result ParallelTracer::trace(Color BlackColor,
     R.ObjectsTraced = Single.ObjectsTraced;
     R.BytesTraced = Single.BytesTraced;
     R.Passes = Single.Passes;
+    if (EventRing *Ring = Obs ? Obs->laneRing(0) : nullptr)
+      Ring->emit(ObsEventKind::TraceSpan, Start, R.WorkerNanos[0],
+                 R.ObjectsTraced);
     return R;
   }
 
@@ -64,7 +73,11 @@ ParallelTracer::Result ParallelTracer::trace(Color BlackColor,
         uint64_t Start = nowNanos();
         Engines[Lane]->drainShared(Shared, NumIdle, Lanes, BlackColor,
                                    Counters, LaneResults[Lane]);
-        R.WorkerNanos[Lane] += nowNanos() - Start;
+        uint64_t Duration = nowNanos() - Start;
+        R.WorkerNanos[Lane] += Duration;
+        if (EventRing *Ring = Obs ? Obs->laneRing(Lane) : nullptr)
+          Ring->emit(ObsEventKind::TraceSpan, Start, Duration,
+                     LaneResults[Lane].ObjectsTraced);
       });
       for (const Tracer::Result &LR : LaneResults) {
         R.ObjectsTraced += LR.ObjectsTraced;

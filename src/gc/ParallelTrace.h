@@ -29,6 +29,7 @@
 
 #include "gc/Tracer.h"
 #include "gc/WorkerPool.h"
+#include "obs/ObsRegistry.h"
 
 namespace gengc {
 
@@ -106,6 +107,10 @@ public:
   /// See Tracer::setAgingThreshold; forwarded to every lane engine.
   void setAgingThreshold(uint8_t OldestAge);
 
+  /// Routes per-lane trace events (TraceSpan, TraceSteal) to \p Registry's
+  /// lane rings.  Called once at collector construction.
+  void setObs(ObsRegistry *Registry);
+
   /// Traces to completion (see Tracer::trace for the color contract).
   Result trace(Color BlackColor, GrayCounters &Counters);
 
@@ -113,6 +118,7 @@ private:
   Heap &H;
   CollectorState &State;
   GcWorkerPool &Pool;
+  ObsRegistry *Obs = nullptr;
   /// One engine per lane; unique_ptr keeps them stable and non-movable.
   std::vector<std::unique_ptr<Tracer>> Engines;
 };

@@ -87,7 +87,7 @@ CycleStats StwCollector::runCycle(CycleRequest Kind) {
           {GcPhase::Sweep, &CycleStats::SweepNanos,
            [&](CycleStats &C) {
              ParallelSweepResult SweepResult = sweepParallel(
-                 H, State, Pool, SweepMode::NonGenerational, 0);
+                 H, State, Pool, SweepMode::NonGenerational, 0, &Obs);
              C.ObjectsFreed = SweepResult.Total.ObjectsFreed;
              C.BytesFreed = SweepResult.Total.BytesFreed;
              C.LiveObjectsAfter = SweepResult.Total.LiveObjectsAfter;
@@ -95,7 +95,7 @@ CycleStats StwCollector::runCycle(CycleRequest Kind) {
              C.SweepWorkerNanos = std::move(SweepResult.WorkerNanos);
            }},
       },
-      Cycle);
+      Cycle, Obs.laneRing(0));
 
   // runCyclePhases already published Idle; resume the world after it.
   State.StopWorld.store(false, std::memory_order_seq_cst);

@@ -117,7 +117,8 @@ Sweeper::Result Sweeper::sweep(SweepMode Mode, uint8_t OldestAge) {
 
 ParallelSweepResult gengc::sweepParallel(Heap &H, CollectorState &S,
                                          GcWorkerPool &Pool, SweepMode Mode,
-                                         uint8_t OldestAge) {
+                                         uint8_t OldestAge,
+                                         ObsRegistry *Obs) {
   unsigned Lanes = Pool.lanes();
   size_t NumBlocks = H.numBlocks();
   // Coarse enough that a lane amortizes its claims, fine enough that an
@@ -136,18 +137,27 @@ ParallelSweepResult gengc::sweepParallel(Heap &H, CollectorState &S,
   // run a per-lane epilogue (flush its chains) after its last chunk.
   std::atomic<size_t> Cursor{0};
   Pool.run([&](unsigned Lane) {
+    EventRing *Ring = Obs ? Obs->laneRing(Lane) : nullptr;
     uint64_t Start = nowNanos();
     Sweeper &Engine = Engines[Lane];
+    uint64_t BlocksSwept = 0;
     for (;;) {
       size_t Begin = Cursor.fetch_add(Chunk, std::memory_order_relaxed);
       if (Begin >= NumBlocks)
         break;
-      Engine.sweepBlockRange(Mode, OldestAge, Begin,
-                             std::min(Begin + Chunk, NumBlocks),
-                             LaneResults[Lane]);
+      size_t End = std::min(Begin + Chunk, NumBlocks);
+      uint64_t ChunkStart = Ring ? nowNanos() : 0;
+      Engine.sweepBlockRange(Mode, OldestAge, Begin, End, LaneResults[Lane]);
+      BlocksSwept += End - Begin;
+      if (Ring)
+        Ring->emit(ObsEventKind::SweepChunk, ChunkStart,
+                   nowNanos() - ChunkStart, Begin, End - Begin);
     }
     Engine.flushChains();
     R.WorkerNanos[Lane] = nowNanos() - Start;
+    if (Ring)
+      Ring->emit(ObsEventKind::SweepSpan, Start, R.WorkerNanos[Lane],
+                 LaneResults[Lane].ObjectsFreed, BlocksSwept);
   });
 
   for (const Sweeper::Result &LR : LaneResults)

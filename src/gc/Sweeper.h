@@ -38,6 +38,7 @@
 
 #include "gc/WorkerPool.h"
 #include "heap/Heap.h"
+#include "obs/ObsRegistry.h"
 #include "runtime/CollectorState.h"
 
 namespace gengc {
@@ -113,9 +114,12 @@ struct ParallelSweepResult {
 /// claimed dynamically, each lane sweeping with a private engine.  With one
 /// lane this degenerates to the exact sequential sweep (ascending block
 /// order, identical chain batching), which the determinism tests rely on.
+/// With \p Obs set and tracing enabled, each lane emits one SweepSpan for
+/// its share plus a SweepChunk span per claimed block range.
 ParallelSweepResult sweepParallel(Heap &H, CollectorState &S,
                                   GcWorkerPool &Pool, SweepMode Mode,
-                                  uint8_t OldestAge);
+                                  uint8_t OldestAge,
+                                  ObsRegistry *Obs = nullptr);
 
 } // namespace gengc
 

@@ -10,6 +10,7 @@
 
 #include "gc/ParallelTrace.h"
 #include "runtime/ObjectModel.h"
+#include "support/Timer.h"
 
 using namespace gengc;
 
@@ -80,8 +81,11 @@ void Tracer::drainShared(TraceWorkList &Shared, std::atomic<unsigned> &NumIdle,
       Stack.pop_back();
       markBlack(Ref, BlackColor, Counters, R);
     }
-    if (Shared.steal(Stack))
+    if (Shared.steal(Stack)) {
+      if (Obs)
+        Obs->instant(ObsEventKind::TraceSteal, nowNanos(), Stack.size());
       continue;
+    }
     // Idle consensus: a lane deposits chunks only while it is active, so
     // once every lane has voted idle the shared list cannot refill — the
     // last voter's failed steal saw it empty and no active lane remains.

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "heap/Heap.h"
+#include "obs/EventRing.h"
 #include "runtime/CollectorState.h"
 #include "runtime/WriteBarrier.h"
 
@@ -66,6 +67,10 @@ public:
   /// disable (simple promotion and the DLG baseline).
   void setAgingThreshold(uint8_t OldestAge) { AgingOldestAge = OldestAge; }
 
+  /// Routes this engine's TraceSteal events to \p Ring (its lane's event
+  /// ring; null disables emission).
+  void setObsRing(EventRing *Ring) { Obs = Ring; }
+
   /// Traces to completion.  \p BlackColor is the color that marks a fully
   /// traced object: Color::Black for the generational collectors, the
   /// current allocation color for the non-generational baseline (black and
@@ -95,6 +100,7 @@ private:
 
   Heap &H;
   CollectorState &State;
+  EventRing *Obs = nullptr;
   std::vector<ObjectRef> Stack;
   uint8_t AgingOldestAge = 0;
 };

@@ -1,10 +1,10 @@
-//===- gc/CycleStats.cpp - Per-cycle and per-run GC statistics ------------===//
+//===- obs/CycleStats.cpp - Per-cycle and per-run GC statistics -----------===//
 //
 // Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
 //
 //===----------------------------------------------------------------------===//
 
-#include "gc/CycleStats.h"
+#include "obs/CycleStats.h"
 
 using namespace gengc;
 

@@ -1,0 +1,162 @@
+//===- obs/EventRing.h - Lock-free per-actor event ring ---------*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A fixed-capacity, single-producer event ring.  The producer (the actor
+/// that owns the ring) appends with plain relaxed stores — no locks, no
+/// read-modify-write, no fences on x86 — and overwrites the oldest slot
+/// when the ring is full; the number of overwritten (dropped) events is
+/// Written - Capacity.  The aggregator may snapshot the ring at any time,
+/// concurrently with the producer.
+///
+/// Memory-ordering rationale (see DESIGN.md "Observability"):
+///
+///  - Each slot is a seqlock: the producer bumps the slot's sequence to odd
+///    (release of nothing — relaxed), stores the payload fields as relaxed
+///    atomics, then publishes the even sequence with a release store.  A
+///    reader acquires the sequence, copies the payload, and re-checks the
+///    sequence; a torn slot (odd, or changed between the reads) is simply
+///    discarded — observability data is advisory, losing one in-flight
+///    event beats adding synchronization to the producer.
+///  - Payload fields are relaxed std::atomic<uint64_t>, which compile to
+///    the same plain MOVs as non-atomic stores on every mainstream ISA but
+///    keep the concurrent snapshot free of C++ data races (and of TSan
+///    reports — the TSan suite runs with tracing enabled).
+///  - Head is published with a release store after the slot, so a reader
+///    that observes Head >= N can read slots [Head - Capacity, N) and rely
+///    on the per-slot sequence alone to reject the (at most one) slot the
+///    producer is mid-write in.
+///
+/// Slots are cache-line sized and the ring's hot members (Head) live on the
+/// producer's line; an idle ring costs the producer nothing, an active one
+/// costs ~6 relaxed stores per event.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_OBS_EVENTRING_H
+#define GENGC_OBS_EVENTRING_H
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "obs/Event.h"
+#include "support/MathExtras.h"
+
+namespace gengc {
+
+/// One single-producer, drop-oldest event ring.
+class EventRing {
+public:
+  /// Creates a ring of at least \p Capacity slots (rounded up to a power
+  /// of two, minimum 64) owned by the actor \p Source / \p SourceId.
+  EventRing(ObsSource Source, uint32_t SourceId, uint32_t Capacity)
+      : Source(Source), SourceId(SourceId),
+        CapacityMask(slotCount(Capacity) - 1),
+        Slots(new Slot[slotCount(Capacity)]) {}
+
+  EventRing(const EventRing &) = delete;
+  EventRing &operator=(const EventRing &) = delete;
+
+  ObsSource source() const { return Source; }
+  uint32_t sourceId() const { return SourceId; }
+  size_t capacity() const { return CapacityMask + 1; }
+
+  /// Producer side: appends one event.  Never blocks; overwrites the
+  /// oldest event when full.
+  void emit(ObsEventKind Kind, uint64_t StartNanos, uint64_t DurationNanos,
+            uint64_t Arg0 = 0, uint64_t Arg1 = 0) {
+    uint64_t H = Head.load(std::memory_order_relaxed);
+    Slot &S = Slots[H & CapacityMask];
+    // Seqlock write: odd marks the slot in flight for concurrent readers.
+    uint64_t Seq = S.Seq.load(std::memory_order_relaxed);
+    S.Seq.store(Seq + 1, std::memory_order_relaxed);
+    S.StartNanos.store(StartNanos, std::memory_order_relaxed);
+    S.DurationNanos.store(DurationNanos, std::memory_order_relaxed);
+    S.Arg0.store(Arg0, std::memory_order_relaxed);
+    S.Arg1.store(Arg1, std::memory_order_relaxed);
+    S.Kind.store(uint8_t(Kind), std::memory_order_relaxed);
+    S.Seq.store(Seq + 2, std::memory_order_release);
+    Head.store(H + 1, std::memory_order_release);
+  }
+
+  /// Convenience: an instant event (duration 0) stamped with \p AtNanos.
+  void instant(ObsEventKind Kind, uint64_t AtNanos, uint64_t Arg0 = 0,
+               uint64_t Arg1 = 0) {
+    emit(Kind, AtNanos, 0, Arg0, Arg1);
+  }
+
+  /// Total events ever emitted.
+  uint64_t written() const { return Head.load(std::memory_order_acquire); }
+
+  /// Events lost to drop-oldest overwriting.
+  uint64_t dropped() const {
+    uint64_t W = written();
+    return W > capacity() ? W - capacity() : 0;
+  }
+
+  /// Reader side: copies the retained events, oldest first, into \p Out.
+  /// Safe concurrently with the producer; slots the producer is mid-write
+  /// in (at most one, plus any overwritten while we read) are skipped.
+  /// \returns the number of events appended to \p Out.
+  size_t snapshot(std::vector<ObsEvent> &Out) const {
+    uint64_t H = Head.load(std::memory_order_acquire);
+    uint64_t Begin = H > capacity() ? H - capacity() : 0;
+    size_t Appended = 0;
+    for (uint64_t I = Begin; I < H; ++I) {
+      const Slot &S = Slots[I & CapacityMask];
+      uint64_t SeqBefore = S.Seq.load(std::memory_order_acquire);
+      if (SeqBefore & 1)
+        continue; // mid-write
+      ObsEvent E;
+      E.StartNanos = S.StartNanos.load(std::memory_order_relaxed);
+      E.DurationNanos = S.DurationNanos.load(std::memory_order_relaxed);
+      E.Arg0 = S.Arg0.load(std::memory_order_relaxed);
+      E.Arg1 = S.Arg1.load(std::memory_order_relaxed);
+      E.Kind = ObsEventKind(S.Kind.load(std::memory_order_relaxed));
+      // Acquire reload instead of the textbook fence: TSan cannot
+      // instrument atomic_thread_fence, and the payload fields are
+      // individually atomic, so a missed tear costs one inconsistent
+      // advisory event rather than undefined behavior.
+      if (S.Seq.load(std::memory_order_acquire) != SeqBefore)
+        continue; // overwritten while copying
+      Out.push_back(E);
+      ++Appended;
+    }
+    return Appended;
+  }
+
+private:
+  /// One cache-line-sized seqlocked slot.
+  struct alignas(64) Slot {
+    std::atomic<uint64_t> Seq{0};
+    std::atomic<uint64_t> StartNanos{0};
+    std::atomic<uint64_t> DurationNanos{0};
+    std::atomic<uint64_t> Arg0{0};
+    std::atomic<uint64_t> Arg1{0};
+    std::atomic<uint8_t> Kind{0};
+  };
+
+  static size_t slotCount(uint32_t Capacity) {
+    return size_t(1) << log2Ceil(std::max<uint32_t>(Capacity, 64));
+  }
+
+  const ObsSource Source;
+  const uint32_t SourceId;
+  const size_t CapacityMask;
+
+  /// Producer-owned write cursor; padded so snapshots do not bounce the
+  /// producer's line.
+  alignas(64) std::atomic<uint64_t> Head{0};
+
+  std::unique_ptr<Slot[]> Slots;
+};
+
+} // namespace gengc
+
+#endif // GENGC_OBS_EVENTRING_H

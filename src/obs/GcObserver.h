@@ -1,0 +1,51 @@
+//===- obs/GcObserver.h - Embedder GC callback API --------------*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The embedder-facing observer callback: register one through
+/// Runtime::addGcObserver and the collector invokes it once per completed
+/// collection cycle.
+///
+/// Contract:
+///  - Callbacks run on the collector thread, after the cycle's statistics
+///    are final and before any thread waiting for that cycle's completion
+///    (collectSync and friends) is released — so by the time a synchronous
+///    collection request returns, every observer has seen the cycle.
+///  - Callbacks for one collector are serialized and ordered by cycle
+///    index.
+///  - No collector lock is held during the callback: observers may call
+///    statsSnapshot(), metrics() or requestCycle() freely.  They must not
+///    block for long — the collector cannot start the next cycle until
+///    they return — must not call collectSync (it would wait on the thread
+///    it runs on), and must not add or remove observers (registration is
+///    serialized with the callbacks themselves).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_OBS_GCOBSERVER_H
+#define GENGC_OBS_GCOBSERVER_H
+
+#include <cstdint>
+
+#include "obs/CycleStats.h"
+
+namespace gengc {
+
+/// Interface for per-cycle notifications.
+class GcObserver {
+public:
+  virtual ~GcObserver();
+
+  /// One collection cycle completed.  \p Cycle is the cycle's final
+  /// statistics record; \p CycleIndex counts completed cycles from 0 for
+  /// this collector (so after the callback, completedCycles() returns at
+  /// least CycleIndex + 1).
+  virtual void onGcCycleEnd(const CycleStats &Cycle, uint64_t CycleIndex) = 0;
+};
+
+} // namespace gengc
+
+#endif // GENGC_OBS_GCOBSERVER_H

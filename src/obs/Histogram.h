@@ -1,0 +1,117 @@
+//===- obs/Histogram.h - Fixed log-scale latency histogram ------*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A latency histogram with fixed power-of-two nanosecond buckets: bucket i
+/// counts samples in [2^i, 2^(i+1)) nanoseconds (bucket 0 also takes 0).
+/// Recording is one relaxed fetch_add — safe from any thread, cheap enough
+/// to stay always-on — and snapshots are plain copies whose counts are
+/// monotonically approximate, exactly like the other statistics counters.
+///
+/// 64 buckets cover every representable u64 nanosecond value, so there is
+/// no clamping or overflow bucket to reason about.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_OBS_HISTOGRAM_H
+#define GENGC_OBS_HISTOGRAM_H
+
+#include <atomic>
+#include <cstdint>
+
+#include "support/MathExtras.h"
+
+namespace gengc {
+
+/// Concurrent recording side of the histogram.
+class LogHistogram {
+public:
+  static constexpr unsigned NumBuckets = 64;
+
+  /// Bucket index for \p Nanos: floor(log2), with 0 mapping to bucket 0.
+  static unsigned bucketFor(uint64_t Nanos) {
+    return Nanos == 0 ? 0 : log2Floor(Nanos);
+  }
+
+  /// Lower bound of bucket \p Index in nanoseconds.
+  static uint64_t bucketLowNanos(unsigned Index) {
+    return Index == 0 ? 0 : (1ull << Index);
+  }
+
+  /// Records one sample.
+  void record(uint64_t Nanos) {
+    Buckets[bucketFor(Nanos)].fetch_add(1, std::memory_order_relaxed);
+    TotalNanos.fetch_add(Nanos, std::memory_order_relaxed);
+  }
+
+  uint64_t bucketCount(unsigned Index) const {
+    return Buckets[Index].load(std::memory_order_relaxed);
+  }
+
+  uint64_t count() const {
+    uint64_t N = 0;
+    for (const auto &B : Buckets)
+      N += B.load(std::memory_order_relaxed);
+    return N;
+  }
+
+  uint64_t totalNanos() const {
+    return TotalNanos.load(std::memory_order_relaxed);
+  }
+
+private:
+  std::atomic<uint64_t> Buckets[NumBuckets]{};
+  std::atomic<uint64_t> TotalNanos{0};
+};
+
+/// A plain-value copy of a LogHistogram, as carried by MetricsSnapshot.
+struct HistogramSnapshot {
+  uint64_t Buckets[LogHistogram::NumBuckets] = {};
+  uint64_t TotalNanos = 0;
+
+  /// Copies the live histogram's current counts.
+  static HistogramSnapshot of(const LogHistogram &H) {
+    HistogramSnapshot S;
+    for (unsigned I = 0; I < LogHistogram::NumBuckets; ++I)
+      S.Buckets[I] = H.bucketCount(I);
+    S.TotalNanos = H.totalNanos();
+    return S;
+  }
+
+  uint64_t count() const {
+    uint64_t N = 0;
+    for (uint64_t B : Buckets)
+      N += B;
+    return N;
+  }
+
+  double meanNanos() const {
+    uint64_t N = count();
+    return N == 0 ? 0.0 : double(TotalNanos) / double(N);
+  }
+
+  /// Lower bound of the bucket holding the \p Q quantile (0 < Q <= 1),
+  /// e.g. 0.99 for "p99 is at least this".  0 when empty.
+  uint64_t quantileLowNanos(double Q) const {
+    uint64_t N = count();
+    if (N == 0)
+      return 0;
+    uint64_t Rank = uint64_t(Q * double(N));
+    if (Rank >= N)
+      Rank = N - 1;
+    uint64_t Seen = 0;
+    for (unsigned I = 0; I < LogHistogram::NumBuckets; ++I) {
+      Seen += Buckets[I];
+      if (Seen > Rank)
+        return LogHistogram::bucketLowNanos(I);
+    }
+    return LogHistogram::bucketLowNanos(LogHistogram::NumBuckets - 1);
+  }
+};
+
+} // namespace gengc
+
+#endif // GENGC_OBS_HISTOGRAM_H

@@ -1,0 +1,112 @@
+//===- obs/Metrics.h - Compact metrics snapshot -----------------*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compact, copyable metrics view of a runtime: per-kind cycle
+/// aggregates, latency histograms (stalls, stop-the-world pauses,
+/// handshake response latency) and point-in-time gauges.  Built on demand
+/// by Runtime::metrics() from the collector's run statistics and the
+/// ObsRegistry's always-on histograms; the figure benches read their
+/// numbers from this snapshot instead of hand-rolling counters on top of
+/// raw CycleStats vectors.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_OBS_METRICS_H
+#define GENGC_OBS_METRICS_H
+
+#include "obs/CycleStats.h"
+#include "obs/Histogram.h"
+
+namespace gengc {
+
+/// A point-in-time copy of every metric the subsystem keeps.
+struct MetricsSnapshot {
+  static constexpr unsigned NumKinds = 3; // CycleKind values
+
+  /// Per-cycle-kind aggregates, indexed by CycleKind.
+  struct KindAggregate {
+    uint64_t Count = 0;
+    uint64_t TotalDurationNanos = 0;
+    uint64_t ObjectsFreed = 0;
+    uint64_t BytesFreed = 0;
+    uint64_t ObjectsTraced = 0;
+  };
+  KindAggregate Kinds[NumKinds];
+
+  /// Total time a cycle was in progress (the Figure 10 stopwatch).
+  uint64_t GcActiveNanos = 0;
+
+  //===-- Gauges (state after the most recent cycle) ----------------------===
+  uint64_t HeapBytes = 0;
+  uint64_t LiveBytesAfterLastCycle = 0;
+  uint64_t DirtyCardsAtLastCycleStart = 0;
+
+  //===-- Event-ring accounting (0 with tracing off) ----------------------===
+  uint64_t EventsWritten = 0;
+  uint64_t EventsDropped = 0;
+
+  //===-- Latency histograms (always on) ----------------------------------===
+  /// Voluntary allocation stalls (throttle + out-of-memory waits).
+  HistogramSnapshot StallNanos;
+  /// True stop-the-world parks (StwCollector only; empty for the paper's
+  /// on-the-fly collectors — their headline property).
+  HistogramSnapshot StwPauseNanos;
+  /// Handshake request-to-response latency, one sample per mutator per
+  /// handshake.
+  HistogramSnapshot HandshakeNanos;
+
+  //===-- Accessors mirroring GcRunStats ----------------------------------===
+  const KindAggregate &kind(CycleKind Kind) const {
+    return Kinds[unsigned(Kind)];
+  }
+
+  uint64_t count(CycleKind Kind) const { return kind(Kind).Count; }
+
+  uint64_t cyclesTotal() const {
+    uint64_t N = 0;
+    for (const KindAggregate &K : Kinds)
+      N += K.Count;
+    return N;
+  }
+
+  /// Mean cycle wall time of \p Kind in nanoseconds (0 when none ran).
+  double meanCycleNanos(CycleKind Kind) const {
+    const KindAggregate &K = kind(Kind);
+    return K.Count == 0 ? 0.0
+                        : double(K.TotalDurationNanos) / double(K.Count);
+  }
+
+  /// GC-active time as a percentage of \p ElapsedNanos (Figure 10).
+  double percentActive(uint64_t ElapsedNanos) const {
+    if (ElapsedNanos == 0)
+      return 0.0;
+    return 100.0 * double(GcActiveNanos) / double(ElapsedNanos);
+  }
+
+  /// Aggregates \p Stats into the per-kind slots (used by the builder;
+  /// gauges and histograms are filled separately).
+  void addCycles(const GcRunStats &Stats) {
+    for (const CycleStats &C : Stats.Cycles) {
+      KindAggregate &K = Kinds[unsigned(C.Kind)];
+      ++K.Count;
+      K.TotalDurationNanos += C.DurationNanos;
+      K.ObjectsFreed += C.ObjectsFreed;
+      K.BytesFreed += C.BytesFreed;
+      K.ObjectsTraced += C.ObjectsTraced;
+    }
+    GcActiveNanos += Stats.GcActiveNanos;
+    if (!Stats.Cycles.empty()) {
+      const CycleStats &Last = Stats.Cycles.back();
+      LiveBytesAfterLastCycle = Last.LiveBytesAfter;
+      DirtyCardsAtLastCycleStart = Last.DirtyCardsAtStart;
+    }
+  }
+};
+
+} // namespace gengc
+
+#endif // GENGC_OBS_METRICS_H

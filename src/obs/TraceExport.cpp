@@ -1,0 +1,125 @@
+//===- obs/TraceExport.cpp - Trace aggregation and exporters --------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "obs/TraceExport.h"
+
+#include <algorithm>
+#include <ostream>
+
+#include "obs/ObsRegistry.h"
+
+using namespace gengc;
+
+TraceSnapshot TraceSnapshot::of(const ObsRegistry &Registry) {
+  TraceSnapshot Snap;
+  std::vector<ObsEvent> Scratch;
+  Registry.forEachRing([&](const EventRing &Ring) {
+    uint32_t Index = uint32_t(Snap.Tracks.size());
+    Track T;
+    T.Source = Ring.source();
+    T.SourceId = Ring.sourceId();
+    T.Written = Ring.written();
+    T.Dropped = Ring.dropped();
+    Snap.Tracks.push_back(T);
+
+    Scratch.clear();
+    Ring.snapshot(Scratch);
+    for (const ObsEvent &E : Scratch) {
+      TraceEvent TE;
+      static_cast<ObsEvent &>(TE) = E;
+      TE.TrackIndex = Index;
+      Snap.Events.push_back(TE);
+    }
+  });
+  std::stable_sort(Snap.Events.begin(), Snap.Events.end(),
+                   [](const TraceEvent &A, const TraceEvent &B) {
+                     return A.StartNanos < B.StartNanos;
+                   });
+  return Snap;
+}
+
+namespace {
+
+/// A printable per-track thread name ("collector", "gc-lane-3",
+/// "mutator-7").
+void printTrackName(std::ostream &Os, const TraceSnapshot::Track &T) {
+  switch (T.Source) {
+  case ObsSource::Collector:
+    Os << "collector";
+    return;
+  case ObsSource::GcLane:
+    Os << "gc-lane-" << T.SourceId;
+    return;
+  case ObsSource::Mutator:
+    Os << "mutator-" << T.SourceId;
+    return;
+  }
+  Os << "unknown";
+}
+
+/// Chrome numbers virtual threads from 1; track index maps 1:1.
+unsigned chromeTid(uint32_t TrackIndex) { return TrackIndex + 1; }
+
+/// Chrome trace timestamps are microseconds; keep sub-microsecond precision
+/// by emitting a decimal fraction.
+void printMicros(std::ostream &Os, uint64_t Nanos) {
+  Os << Nanos / 1000 << '.' << Nanos % 1000 / 100 << Nanos % 100 / 10
+     << Nanos % 10;
+}
+
+} // namespace
+
+void gengc::writeChromeTrace(std::ostream &Os, const TraceSnapshot &Trace) {
+  Os << "{\"traceEvents\":[";
+  bool First = true;
+  auto Comma = [&] {
+    if (!First)
+      Os << ",\n";
+    First = false;
+  };
+
+  // Thread-name metadata so Perfetto labels each track.
+  for (uint32_t I = 0; I < Trace.Tracks.size(); ++I) {
+    Comma();
+    Os << "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":"
+       << chromeTid(I) << ",\"args\":{\"name\":\"";
+    printTrackName(Os, Trace.Tracks[I]);
+    Os << "\"}}";
+  }
+
+  for (const TraceSnapshot::TraceEvent &E : Trace.Events) {
+    Comma();
+    Os << "{\"name\":\"" << obsEventKindName(E.Kind)
+       << "\",\"cat\":\"" << obsSourceName(Trace.Tracks[E.TrackIndex].Source)
+       << "\",\"ph\":\"" << (E.DurationNanos != 0 ? 'X' : 'i')
+       << "\",\"pid\":1,\"tid\":" << chromeTid(E.TrackIndex) << ",\"ts\":";
+    printMicros(Os, E.StartNanos);
+    if (E.DurationNanos != 0) {
+      Os << ",\"dur\":";
+      printMicros(Os, E.DurationNanos);
+    } else {
+      Os << ",\"s\":\"t\"";
+    }
+    Os << ",\"args\":{\"arg0\":" << E.Arg0 << ",\"arg1\":" << E.Arg1 << "}}";
+  }
+  Os << "]}\n";
+}
+
+void gengc::writeJsonLines(std::ostream &Os, const TraceSnapshot &Trace) {
+  for (const TraceSnapshot::Track &T : Trace.Tracks) {
+    Os << "{\"track\":\"";
+    printTrackName(Os, T);
+    Os << "\",\"src\":\"" << obsSourceName(T.Source) << "\",\"id\":"
+       << T.SourceId << ",\"written\":" << T.Written
+       << ",\"dropped\":" << T.Dropped << "}\n";
+  }
+  for (const TraceSnapshot::TraceEvent &E : Trace.Events) {
+    Os << "{\"kind\":\"" << obsEventKindName(E.Kind) << "\",\"track\":\"";
+    printTrackName(Os, Trace.Tracks[E.TrackIndex]);
+    Os << "\",\"start\":" << E.StartNanos << ",\"dur\":" << E.DurationNanos
+       << ",\"arg0\":" << E.Arg0 << ",\"arg1\":" << E.Arg1 << "}\n";
+  }
+}

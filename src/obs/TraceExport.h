@@ -1,0 +1,89 @@
+//===- obs/TraceExport.h - Trace aggregation and exporters ------*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The read side of the tracing subsystem: TraceSnapshot merges every ring
+/// of an ObsRegistry into one timestamp-ordered event sequence with track
+/// (actor) metadata, and the two exporters serialize a snapshot as
+///
+///  - Chrome trace_event JSON ("X" span / "i" instant events, one virtual
+///    thread per ring), loadable in Perfetto or chrome://tracing, and
+///  - line-JSON (one self-describing object per line), the storage format
+///    of the gengc_trace tool.
+///
+/// Snapshots may be taken while the runtime is live; torn slots are
+/// skipped by the ring reader (see obs/EventRing.h).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_OBS_TRACEEXPORT_H
+#define GENGC_OBS_TRACEEXPORT_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <vector>
+
+#include "obs/Event.h"
+
+namespace gengc {
+
+class ObsRegistry;
+
+/// A merged, timestamp-sorted copy of every event retained in a registry's
+/// rings, plus per-ring accounting.
+struct TraceSnapshot {
+  /// One ring's identity and drop accounting.
+  struct Track {
+    ObsSource Source = ObsSource::Collector;
+    uint32_t SourceId = 0;
+    /// Events ever written to the ring (snapshot holds at most the last
+    /// capacity of them).
+    uint64_t Written = 0;
+    /// Events lost to drop-oldest overwriting.
+    uint64_t Dropped = 0;
+  };
+
+  /// One event, tagged with the track it came from.
+  struct TraceEvent : ObsEvent {
+    uint32_t TrackIndex = 0;
+  };
+
+  std::vector<Track> Tracks;
+  /// All retained events, sorted by StartNanos (stable: events with equal
+  /// timestamps keep track order, which follows emission order within a
+  /// ring).
+  std::vector<TraceEvent> Events;
+
+  uint64_t eventsWritten() const {
+    uint64_t Sum = 0;
+    for (const Track &T : Tracks)
+      Sum += T.Written;
+    return Sum;
+  }
+
+  uint64_t eventsDropped() const {
+    uint64_t Sum = 0;
+    for (const Track &T : Tracks)
+      Sum += T.Dropped;
+    return Sum;
+  }
+
+  /// Drains \p Registry's rings into a snapshot.  Safe while producers are
+  /// still emitting (their in-flight slots are skipped).
+  static TraceSnapshot of(const ObsRegistry &Registry);
+};
+
+/// Writes \p Trace as a Chrome trace_event JSON document ({"traceEvents":
+/// [...]}).  Timestamps are emitted in microseconds as the format requires.
+void writeChromeTrace(std::ostream &Os, const TraceSnapshot &Trace);
+
+/// Writes \p Trace as line-JSON: one track-metadata object per ring
+/// followed by one object per event, in timestamp order.
+void writeJsonLines(std::ostream &Os, const TraceSnapshot &Trace);
+
+} // namespace gengc
+
+#endif // GENGC_OBS_TRACEEXPORT_H

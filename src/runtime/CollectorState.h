@@ -62,6 +62,15 @@ enum class BarrierKind : uint8_t {
 /// Shared collector/mutator coordination state.
 struct CollectorState {
   std::atomic<HandshakeStatus> StatusC{HandshakeStatus::Async};
+
+  /// nowNanos() at the most recent handshake post, stored (relaxed) just
+  /// before StatusC.  A mutator that adopts the posted status reads this to
+  /// compute its request-to-response latency: the seq_cst StatusC load that
+  /// revealed the new status orders the relaxed timestamp store before the
+  /// read, so the latency can only be over-estimated by the gap between the
+  /// two collector stores.  Purely observational — nothing in the protocol
+  /// reads it.
+  std::atomic<uint64_t> StatusPostNanos{0};
   std::atomic<Color> AllocationColor{Color::White};
   std::atomic<Color> ClearColor{Color::Yellow};
   std::atomic<GcPhase> Phase{GcPhase::Idle};

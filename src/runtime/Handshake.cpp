@@ -8,10 +8,19 @@
 
 #include <thread>
 
+#include "support/Timer.h"
+
 using namespace gengc;
 
 void HandshakeDriver::post(HandshakeStatus Status) {
+  // The timestamp rides ahead of the status store (see StatusPostNanos);
+  // mutators subtract it from their adoption time for the handshake-latency
+  // histogram.
+  uint64_t Now = nowNanos();
+  State.StatusPostNanos.store(Now, std::memory_order_relaxed);
   State.StatusC.store(Status, std::memory_order_seq_cst);
+  if (Obs)
+    Obs->instant(ObsEventKind::HandshakeReq, Now, uint64_t(Status));
 }
 
 void HandshakeDriver::wait() {

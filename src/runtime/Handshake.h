@@ -18,6 +18,7 @@
 #ifndef GENGC_RUNTIME_HANDSHAKE_H
 #define GENGC_RUNTIME_HANDSHAKE_H
 
+#include "obs/EventRing.h"
 #include "runtime/CollectorState.h"
 #include "runtime/MutatorRegistry.h"
 
@@ -28,6 +29,10 @@ class HandshakeDriver {
 public:
   HandshakeDriver(CollectorState &S, MutatorRegistry &Registry)
       : State(S), Registry(Registry) {}
+
+  /// Routes HandshakeReq events to \p Ring (the collector's event ring;
+  /// null disables emission).  Called once at collector construction.
+  void setObsRing(EventRing *Ring) { Obs = Ring; }
 
   /// Publishes \p Status as the collector status (postHandshake).
   void post(HandshakeStatus Status);
@@ -44,6 +49,7 @@ public:
 private:
   CollectorState &State;
   MutatorRegistry &Registry;
+  EventRing *Obs = nullptr;
 };
 
 } // namespace gengc

@@ -37,6 +37,9 @@ Mutator::~Mutator() {
 //===----------------------------------------------------------------------===//
 
 void Mutator::recordPause(uint64_t Nanos, bool StopTheWorld) {
+  if (Obs)
+    (StopTheWorld ? Obs->stwPauseHistogram() : Obs->stallHistogram())
+        .record(Nanos);
   PauseCount.fetch_add(1, std::memory_order_relaxed);
   PauseTotalNanos.fetch_add(Nanos, std::memory_order_relaxed);
   uint64_t Max = PauseMaxNanos.load(std::memory_order_relaxed);
@@ -62,13 +65,18 @@ void Mutator::maybeThrottleAllocation() {
   uint64_t Limit = State.ThrottleBytes.load(std::memory_order_relaxed);
   if (!State.isCollecting() || H.allocatedSinceGcBytes() < Limit)
     return;
+  uint64_t AllocatedAtStall = H.allocatedSinceGcBytes();
   uint64_t Start = nowNanos();
   while (State.isCollecting() &&
          H.allocatedSinceGcBytes() >= Limit) {
     cooperate();
     std::this_thread::sleep_for(std::chrono::microseconds(20));
   }
-  recordPause(nowNanos() - Start);
+  uint64_t Stalled = nowNanos() - Start;
+  if (Ring)
+    Ring->emit(ObsEventKind::AllocStall, Start, Stalled,
+               uint64_t(StallCause::Throttle), AllocatedAtStall);
+  recordPause(Stalled);
 }
 
 void Mutator::refillCache(unsigned ClassIdx) {
@@ -82,7 +90,11 @@ void Mutator::refillCache(unsigned ClassIdx) {
     if (!Waiter)
       fatalError("heap exhausted and no memory waiter installed", __FILE__,
                  __LINE__);
+    uint64_t Start = Ring ? nowNanos() : 0;
     Waiter->waitForMemory(*this);
+    if (Ring)
+      Ring->emit(ObsEventKind::AllocStall, Start, nowNanos() - Start,
+                 uint64_t(StallCause::OutOfMemory));
   }
   fatalError("heap exhausted: collections reclaimed no memory", __FILE__,
              __LINE__);
@@ -97,7 +109,11 @@ ObjectRef Mutator::allocateLarge(uint32_t Bytes) {
     if (!Waiter)
       fatalError("heap exhausted (large) and no memory waiter installed",
                  __FILE__, __LINE__);
+    uint64_t Start = Ring ? nowNanos() : 0;
     Waiter->waitForMemory(*this);
+    if (Ring)
+      Ring->emit(ObsEventKind::AllocStall, Start, nowNanos() - Start,
+                 uint64_t(StallCause::OutOfMemory));
   }
   fatalError("heap exhausted: no block run for a large object", __FILE__,
              __LINE__);
@@ -160,7 +176,7 @@ void Mutator::markOwnRootsForStw() {
     markGrayForStw(H, State, Root, Grays);
 }
 
-void Mutator::cooperateLocked() {
+void Mutator::cooperateLocked(bool Helped) {
   HandshakeStatus SC = State.StatusC.load(std::memory_order_acquire);
   HandshakeStatus SM = StatusM.load(std::memory_order_relaxed);
   if (SM == SC)
@@ -168,6 +184,18 @@ void Mutator::cooperateLocked() {
   if (SM == HandshakeStatus::Sync2)
     markOwnRoots();
   StatusM.store(SC, std::memory_order_release);
+  if (Obs) {
+    // Handshake response latency: from the collector's post (whose
+    // timestamp store precedes the status store we just observed) to this
+    // response.  Always-on histogram sample; span event with tracing.
+    uint64_t Post = State.StatusPostNanos.load(std::memory_order_relaxed);
+    uint64_t Now = nowNanos();
+    uint64_t Latency = Now > Post ? Now - Post : 0;
+    Obs->handshakeHistogram().record(Latency);
+    if (Ring)
+      Ring->emit(ObsEventKind::HandshakeAck, Post, Latency, uint64_t(SC),
+                 Helped ? 1 : 0);
+  }
 }
 
 void Mutator::cooperate() {
@@ -236,5 +264,5 @@ void Mutator::exitBlocked() {
 void Mutator::helpIfBlocked() {
   std::scoped_lock Locked(CoopMutex);
   if (Blocked)
-    cooperateLocked();
+    cooperateLocked(/*Helped=*/true);
 }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "heap/Heap.h"
+#include "obs/ObsRegistry.h"
 #include "runtime/CollectorState.h"
 #include "runtime/ObjectModel.h"
 #include "runtime/WriteBarrier.h"
@@ -72,6 +73,17 @@ public:
 
   /// Installs the back-pressure hook (done by core/Runtime).
   void setMemoryWaiter(MemoryWaiter *Waiter) { this->Waiter = Waiter; }
+
+  /// Connects this mutator to the observability subsystem (done by
+  /// core/Runtime): latency samples go to \p Registry's histograms, and —
+  /// with tracing enabled — a per-mutator event ring is created for
+  /// HandshakeAck and AllocStall events.  Must be called before the first
+  /// handshake response if events are to be complete; safe to skip (unit
+  /// tests construct bare mutators).
+  void setObsRegistry(ObsRegistry *Registry) {
+    Obs = Registry;
+    Ring = Registry ? Registry->addMutatorRing() : nullptr;
+  }
 
   //===--------------------------------------------------------------------===
   // Heap accesses.
@@ -189,7 +201,9 @@ public:
 
 private:
   /// Responds to the pending handshake.  CoopMutex must be held.
-  void cooperateLocked();
+  /// \p Helped marks a response made by the collector on this thread's
+  /// behalf (observability only).
+  void cooperateLocked(bool Helped = false);
 
   /// Marks every shadow-stack entry gray (response to the 3rd handshake).
   void markOwnRoots();
@@ -212,6 +226,14 @@ private:
   CollectorState &State;
   MutatorRegistry &Registry;
   MemoryWaiter *Waiter = nullptr;
+
+  /// Observability hookup (see setObsRegistry); null for bare mutators.
+  /// Ring is single-producer by protocol: this thread emits while running
+  /// (allocation stalls) or under CoopMutex (handshake responses), the
+  /// collector emits only under CoopMutex while this thread is Blocked,
+  /// and the Blocked transitions themselves happen under CoopMutex.
+  ObsRegistry *Obs = nullptr;
+  EventRing *Ring = nullptr;
 
   std::atomic<HandshakeStatus> StatusM{HandshakeStatus::Async};
 

@@ -1,0 +1,79 @@
+//===- runtime/RootScope.h - Scoped local roots -----------------*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RAII management of a mutator's shadow stack.  A RootScope remembers the
+/// stack depth at construction and pops everything pushed through (or
+/// below) it on destruction, so early returns and exceptions cannot leak
+/// roots — the raw pushRoot/popRoots pair on Mutator remains available as
+/// an escape hatch for code with non-scoped root lifetimes.
+///
+/// \code
+///   gengc::RootScope Scope(*M);
+///   gengc::ObjectRef List = Scope.add(M->allocate(2, 0));
+///   buildList(*M, List);              // may push more roots, may throw
+/// \endcode                            // all of them popped here
+///
+/// Scopes nest like the call stack they shadow: an inner scope must be
+/// destroyed before an outer one (guaranteed when they are locals).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_RUNTIME_ROOTSCOPE_H
+#define GENGC_RUNTIME_ROOTSCOPE_H
+
+#include "runtime/Mutator.h"
+
+namespace gengc {
+
+/// Pops every root pushed while this scope is alive.
+class RootScope {
+public:
+  explicit RootScope(Mutator &M) : M(M), Base(M.numRoots()) {}
+
+  ~RootScope() {
+    GENGC_ASSERT(M.numRoots() >= Base,
+                 "roots below this scope were popped while it was alive");
+    M.popRoots(M.numRoots() - Base);
+  }
+
+  RootScope(const RootScope &) = delete;
+  RootScope &operator=(const RootScope &) = delete;
+
+  /// Pushes \p Ref as a local root for the lifetime of this scope and
+  /// returns it, so allocations can be rooted inline:
+  /// `ObjectRef N = Scope.add(M->allocate(...))`.
+  ObjectRef add(ObjectRef Ref) {
+    M.pushRoot(Ref);
+    return Ref;
+  }
+
+  /// Pushes \p Ref and returns a handle that stays valid as the scope
+  /// grows (an index into the shadow stack, not a pointer).
+  size_t addSlot(ObjectRef Ref) { return M.pushRoot(Ref); }
+
+  /// Re-points the root at \p Slot (an index returned by addSlot, or any
+  /// slot at or above this scope's base).
+  void set(size_t Slot, ObjectRef Ref) {
+    GENGC_ASSERT(Slot >= Base, "slot belongs to an enclosing scope");
+    M.setRoot(Slot, Ref);
+  }
+
+  ObjectRef get(size_t Slot) const { return M.root(Slot); }
+
+  /// Number of roots this scope currently holds.
+  size_t size() const { return M.numRoots() - Base; }
+
+  Mutator &mutator() { return M; }
+
+private:
+  Mutator &M;
+  const size_t Base;
+};
+
+} // namespace gengc
+
+#endif // GENGC_RUNTIME_ROOTSCOPE_H

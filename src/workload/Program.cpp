@@ -6,6 +6,7 @@
 
 #include "workload/Program.h"
 
+#include "runtime/RootScope.h"
 #include "support/MathExtras.h"
 #include "support/Random.h"
 
@@ -28,8 +29,8 @@ LongLivedTable::LongLivedTable(Runtime &RT, Mutator &M, size_t Slots)
   // Build the directory first and root it, so the leaves become reachable
   // the moment they are linked in; no window where a collection could
   // reclaim a half-built table.
-  ObjectRef Dir = M.allocate(uint32_t(NumLeaves), 0, TagDirectory);
-  size_t DirRoot = M.pushRoot(Dir);
+  RootScope Roots(M);
+  ObjectRef Dir = Roots.add(M.allocate(uint32_t(NumLeaves), 0, TagDirectory));
   RT.globalRoots().addRoot(Dir);
 
   Anchors.reserve(Slots);
@@ -42,7 +43,6 @@ LongLivedTable::LongLivedTable(Runtime &RT, Mutator &M, size_t Slots)
       Anchors.push_back(Anchor);
     }
   }
-  M.popRoots(M.numRoots() - DirRoot);
 }
 
 void LongLivedTable::put(Mutator &M, size_t Index, ObjectRef Value) {
@@ -77,8 +77,9 @@ ThreadResult gengc::workload::runMutatorProgram(Runtime &RT, const Profile &P,
   // The young window lives in the shadow stack: stack slot writes are
   // barrier-free, exactly like Java locals in the paper's JVM.
   uint32_t Window = P.YoungWindow ? P.YoungWindow : 1;
+  RootScope Roots(*M);
   for (uint32_t I = 0; I < Window; ++I)
-    M->pushRoot(NullRef);
+    Roots.add(NullRef);
 
   uint64_t Budget = uint64_t(double(P.AllocBytesPerThread) * Scale);
   uint64_t Allocated = 0;
@@ -147,7 +148,6 @@ ThreadResult gengc::workload::runMutatorProgram(Runtime &RT, const Profile &P,
     }
   }
 
-  M->popRoots(M->numRoots());
   Result.Pauses = M->pauseStats();
   return Result;
 }

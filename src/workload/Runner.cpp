@@ -66,6 +66,8 @@ RunResult gengc::workload::runWorkload(const Profile &P,
   }
 
   Result.Gc = RT.gcStats();
+  Result.Metrics = RT.metrics();
+  Result.Trace = RT.traceSnapshot();
   Result.SoftLimitBytes = RT.collector().trigger().softLimitBytes();
   return Result;
 }

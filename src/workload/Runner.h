@@ -26,6 +26,12 @@ namespace gengc::workload {
 struct RunResult {
   double ElapsedSeconds = 0.0;
   GcRunStats Gc;
+  /// The runtime's metrics snapshot, taken after the timed phase: the same
+  /// cycle aggregates as Gc plus latency histograms and gauges.  The figure
+  /// benches read their numbers from here.
+  MetricsSnapshot Metrics;
+  /// All recorded events (empty unless Config.Collector.Obs.Tracing).
+  TraceSnapshot Trace;
   uint64_t AllocatedObjects = 0;
   uint64_t AllocatedBytes = 0;
   uint64_t Checksum = 0;
@@ -34,7 +40,7 @@ struct RunResult {
 
   /// Percent of elapsed time a collection cycle was active (Figure 10).
   double percentGcActive() const {
-    return Gc.percentActive(uint64_t(ElapsedSeconds * 1e9));
+    return Metrics.percentActive(uint64_t(ElapsedSeconds * 1e9));
   }
 };
 

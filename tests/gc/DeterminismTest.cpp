@@ -40,8 +40,11 @@ RuntimeConfig deterministicConfig(CollectorChoice Choice, bool Aging) {
 /// with collections requested at fixed operation counts.  The mutator does
 /// not allocate while a cycle runs (collectSyncCooperating only polls), so
 /// the object graph at each cycle is a pure function of the seed.
-GcRunStats runWorkload(CollectorChoice Choice, bool Aging) {
-  Runtime RT(deterministicConfig(Choice, Aging));
+GcRunStats runWorkload(CollectorChoice Choice, bool Aging,
+                       bool Tracing = false) {
+  RuntimeConfig Config = deterministicConfig(Choice, Aging);
+  Config.Collector.Obs.Tracing = Tracing;
+  Runtime RT(Config);
   auto M = RT.attachMutator();
   Rng Rand(0xD37E12);
   constexpr unsigned Ring = 48;
@@ -89,10 +92,10 @@ struct DeterminismParam {
 
 class DeterminismTest : public ::testing::TestWithParam<DeterminismParam> {};
 
-TEST_P(DeterminismTest, IdenticalStatsAcrossRunsAtOneGcThread) {
-  GcRunStats First = runWorkload(GetParam().Choice, GetParam().Aging);
-  GcRunStats Second = runWorkload(GetParam().Choice, GetParam().Aging);
-
+/// Every per-cycle statistic that reflects what the collector *did* must
+/// match exactly between \p First and \p Second.
+void expectIdenticalCollectionStats(const GcRunStats &First,
+                                    const GcRunStats &Second) {
   ASSERT_EQ(First.Cycles.size(), Second.Cycles.size());
   ASSERT_EQ(First.Cycles.size(), 6u);
   for (size_t I = 0; I < First.Cycles.size(); ++I) {
@@ -119,6 +122,22 @@ TEST_P(DeterminismTest, IdenticalStatsAcrossRunsAtOneGcThread) {
     EXPECT_EQ(A.TraceSteals, 0u);
     EXPECT_EQ(B.TraceSteals, 0u);
   }
+}
+
+TEST_P(DeterminismTest, IdenticalStatsAcrossRunsAtOneGcThread) {
+  GcRunStats First = runWorkload(GetParam().Choice, GetParam().Aging);
+  GcRunStats Second = runWorkload(GetParam().Choice, GetParam().Aging);
+  expectIdenticalCollectionStats(First, Second);
+}
+
+TEST_P(DeterminismTest, TracingDoesNotPerturbCollection) {
+  // Event tracing must be purely observational: the same workload with the
+  // rings enabled produces bit-identical collection statistics.
+  GcRunStats Off = runWorkload(GetParam().Choice, GetParam().Aging,
+                               /*Tracing=*/false);
+  GcRunStats On = runWorkload(GetParam().Choice, GetParam().Aging,
+                              /*Tracing=*/true);
+  expectIdenticalCollectionStats(Off, On);
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -16,7 +16,7 @@
 
 #include <thread>
 
-#include "core/Runtime.h"
+#include "core/GenGc.h"
 #include "support/Random.h"
 
 using namespace gengc;
@@ -47,8 +47,9 @@ void stressThread(Runtime &RT, unsigned Idx, uint64_t Ops) {
   Rng Rand(0xABCD + Idx);
   auto M = RT.attachMutator();
   constexpr unsigned Ring = 64;
+  RootScope Roots(*M);
   for (unsigned I = 0; I < Ring; ++I)
-    M->pushRoot(NullRef);
+    Roots.add(NullRef);
 
   for (uint64_t Op = 0; Op < Ops; ++Op) {
     M->cooperate();
@@ -84,7 +85,6 @@ void stressThread(Runtime &RT, unsigned Idx, uint64_t Ops) {
     }
     }
   }
-  M->popRoots(M->numRoots());
 }
 
 struct StressParam {

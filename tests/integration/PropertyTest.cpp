@@ -23,7 +23,7 @@
 #include <map>
 #include <set>
 
-#include "core/Runtime.h"
+#include "core/GenGc.h"
 #include "support/Random.h"
 
 using namespace gengc;
@@ -101,8 +101,9 @@ TEST_P(GcPropertyTest, SoundnessAndCompletenessOnRandomGraphs) {
   Rng Rand(GetParam().Seed);
 
   constexpr unsigned Roots = 24;
+  RootScope Scope(*M);
   for (unsigned I = 0; I < Roots; ++I)
-    M->pushRoot(NullRef);
+    Scope.add(NullRef);
 
   // Every object ever allocated, so completeness can be checked.
   std::vector<ObjectRef> Everything;
@@ -199,7 +200,6 @@ TEST_P(GcPropertyTest, SoundnessAndCompletenessOnRandomGraphs) {
       return RT.heap().loadColor(Ref) == Color::Blue;
     });
   }
-  M->popRoots(M->numRoots());
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -68,7 +68,6 @@ struct TableTest : ::testing::Test {
     M = RT->attachMutator();
   }
   ~TableTest() override {
-    M->popRoots(M->numRoots());
     M.reset();
     RT.reset();
   }

@@ -1,0 +1,126 @@
+//===- tests/obs/AggregatorTest.cpp ----------------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+// TraceSnapshot aggregation: track enumeration order (lanes first, then
+// mutators in attach order), timestamp-sorted event merging with stable
+// within-ring order, and drop accounting across rings.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "obs/ObsRegistry.h"
+#include "obs/TraceExport.h"
+
+using namespace gengc;
+
+namespace {
+
+ObsConfig tracingConfig(uint32_t RingEvents = 64) {
+  ObsConfig Config;
+  Config.Tracing = true;
+  Config.RingEvents = RingEvents;
+  return Config;
+}
+
+TEST(AggregatorTest, TracksEnumerateLanesThenMutatorsInAttachOrder) {
+  ObsRegistry Registry(tracingConfig(), /*GcLanes=*/3);
+  Registry.addMutatorRing();
+  Registry.addMutatorRing();
+
+  TraceSnapshot Snap = TraceSnapshot::of(Registry);
+  ASSERT_EQ(Snap.Tracks.size(), 5u);
+  EXPECT_EQ(Snap.Tracks[0].Source, ObsSource::Collector);
+  EXPECT_EQ(Snap.Tracks[1].Source, ObsSource::GcLane);
+  EXPECT_EQ(Snap.Tracks[1].SourceId, 1u);
+  EXPECT_EQ(Snap.Tracks[2].Source, ObsSource::GcLane);
+  EXPECT_EQ(Snap.Tracks[2].SourceId, 2u);
+  EXPECT_EQ(Snap.Tracks[3].Source, ObsSource::Mutator);
+  EXPECT_EQ(Snap.Tracks[3].SourceId, 0u);
+  EXPECT_EQ(Snap.Tracks[4].Source, ObsSource::Mutator);
+  EXPECT_EQ(Snap.Tracks[4].SourceId, 1u);
+}
+
+TEST(AggregatorTest, EventsMergeSortedByStartTimeAcrossRings) {
+  ObsRegistry Registry(tracingConfig(), /*GcLanes=*/2);
+  EventRing *Lane0 = Registry.laneRing(0);
+  EventRing *Lane1 = Registry.laneRing(1);
+  EventRing *Mut = Registry.addMutatorRing();
+  ASSERT_NE(Lane0, nullptr);
+  ASSERT_NE(Lane1, nullptr);
+  ASSERT_NE(Mut, nullptr);
+
+  // Interleaved timestamps across three rings; within a ring timestamps
+  // ascend, across rings they alternate.
+  Lane0->instant(ObsEventKind::CycleBegin, 10);
+  Lane1->emit(ObsEventKind::TraceSpan, 20, 5);
+  Mut->instant(ObsEventKind::HandshakeAck, 15);
+  Lane0->instant(ObsEventKind::CycleEnd, 40);
+  Mut->emit(ObsEventKind::AllocStall, 30, 2);
+
+  TraceSnapshot Snap = TraceSnapshot::of(Registry);
+  ASSERT_EQ(Snap.Events.size(), 5u);
+  uint64_t Expected[] = {10, 15, 20, 30, 40};
+  ObsEventKind Kinds[] = {ObsEventKind::CycleBegin, ObsEventKind::HandshakeAck,
+                          ObsEventKind::TraceSpan, ObsEventKind::AllocStall,
+                          ObsEventKind::CycleEnd};
+  for (size_t I = 0; I < 5; ++I) {
+    EXPECT_EQ(Snap.Events[I].StartNanos, Expected[I]) << "event " << I;
+    EXPECT_EQ(Snap.Events[I].Kind, Kinds[I]) << "event " << I;
+  }
+}
+
+TEST(AggregatorTest, EqualTimestampsKeepTrackOrderStable) {
+  ObsRegistry Registry(tracingConfig(), /*GcLanes=*/2);
+  EventRing *Lane0 = Registry.laneRing(0);
+  EventRing *Lane1 = Registry.laneRing(1);
+  ASSERT_NE(Lane0, nullptr);
+  ASSERT_NE(Lane1, nullptr);
+  // Same timestamp on both rings: the merge must keep lane 0 before lane 1
+  // (track enumeration order), per the stable-sort contract.
+  Lane1->instant(ObsEventKind::TraceSteal, 100, 7);
+  Lane0->instant(ObsEventKind::Phase, 100, 1);
+
+  TraceSnapshot Snap = TraceSnapshot::of(Registry);
+  ASSERT_EQ(Snap.Events.size(), 2u);
+  EXPECT_EQ(Snap.Events[0].TrackIndex, 0u);
+  EXPECT_EQ(Snap.Events[0].Kind, ObsEventKind::Phase);
+  EXPECT_EQ(Snap.Events[1].TrackIndex, 1u);
+  EXPECT_EQ(Snap.Events[1].Kind, ObsEventKind::TraceSteal);
+}
+
+TEST(AggregatorTest, DropAccountingSpansRings) {
+  ObsRegistry Registry(tracingConfig(/*RingEvents=*/64), /*GcLanes=*/1);
+  EventRing *Lane0 = Registry.laneRing(0);
+  EventRing *Mut = Registry.addMutatorRing();
+  ASSERT_NE(Lane0, nullptr);
+  ASSERT_NE(Mut, nullptr);
+  for (uint64_t I = 0; I < 100; ++I) // 36 dropped
+    Mut->instant(ObsEventKind::HandshakeAck, I);
+  Lane0->instant(ObsEventKind::CycleBegin, 0);
+
+  EXPECT_EQ(Registry.eventsWritten(), 101u);
+  EXPECT_EQ(Registry.eventsDropped(), 36u);
+
+  TraceSnapshot Snap = TraceSnapshot::of(Registry);
+  EXPECT_EQ(Snap.eventsWritten(), 101u);
+  EXPECT_EQ(Snap.eventsDropped(), 36u);
+  // Retained: 64 newest mutator events + 1 lane event.
+  EXPECT_EQ(Snap.Events.size(), 65u);
+}
+
+TEST(AggregatorTest, TracingOffRegistryHasNoRings) {
+  ObsConfig Off; // Tracing defaults to false
+  ObsRegistry Registry(Off, /*GcLanes=*/4);
+  EXPECT_EQ(Registry.laneRing(0), nullptr);
+  EXPECT_EQ(Registry.laneRing(3), nullptr);
+  EXPECT_EQ(Registry.addMutatorRing(), nullptr);
+  EXPECT_EQ(Registry.eventsWritten(), 0u);
+
+  TraceSnapshot Snap = TraceSnapshot::of(Registry);
+  EXPECT_TRUE(Snap.Tracks.empty());
+  EXPECT_TRUE(Snap.Events.empty());
+}
+
+} // namespace

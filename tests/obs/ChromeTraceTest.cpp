@@ -1,0 +1,96 @@
+//===- tests/obs/ChromeTraceTest.cpp ---------------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+// Golden tests for the two exporters: a small hand-built snapshot must
+// serialize to exactly the expected Chrome trace_event JSON and line-JSON.
+// The golden strings pin the external format — changing them is an
+// interface break for every tool that parses recorded traces.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "obs/ObsRegistry.h"
+#include "obs/TraceExport.h"
+#include "support/Assert.h"
+
+using namespace gengc;
+
+namespace {
+
+/// Two tracks (collector + one mutator), one span and one instant.
+TraceSnapshot makeGoldenSnapshot() {
+  ObsConfig Config;
+  Config.Tracing = true;
+  Config.RingEvents = 64;
+  ObsRegistry Registry(Config, /*GcLanes=*/1);
+  EventRing *Lane0 = Registry.laneRing(0);
+  EventRing *Mut = Registry.addMutatorRing();
+  GENGC_ASSERT(Lane0 && Mut, "tracing is on, the rings must exist");
+
+  // 1234567 ns span: ts 1234.567 us, dur 1.5 us.
+  Lane0->emit(ObsEventKind::Phase, 1234567, 1500, /*Arg0=*/2, /*Arg1=*/0);
+  Mut->instant(ObsEventKind::HandshakeAck, 2000000, /*Arg0=*/1, /*Arg1=*/0);
+  return TraceSnapshot::of(Registry);
+}
+
+TEST(ChromeTraceTest, GoldenChromeJson) {
+  std::ostringstream Os;
+  writeChromeTrace(Os, makeGoldenSnapshot());
+  EXPECT_EQ(
+      Os.str(),
+      "{\"traceEvents\":["
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,"
+      "\"args\":{\"name\":\"collector\"}},\n"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":2,"
+      "\"args\":{\"name\":\"mutator-0\"}},\n"
+      "{\"name\":\"Phase\",\"cat\":\"collector\",\"ph\":\"X\",\"pid\":1,"
+      "\"tid\":1,\"ts\":1234.567,\"dur\":1.500,"
+      "\"args\":{\"arg0\":2,\"arg1\":0}},\n"
+      "{\"name\":\"HandshakeAck\",\"cat\":\"mutator\",\"ph\":\"i\","
+      "\"pid\":1,\"tid\":2,\"ts\":2000.000,\"s\":\"t\","
+      "\"args\":{\"arg0\":1,\"arg1\":0}}"
+      "]}\n");
+}
+
+TEST(ChromeTraceTest, GoldenJsonLines) {
+  std::ostringstream Os;
+  writeJsonLines(Os, makeGoldenSnapshot());
+  EXPECT_EQ(
+      Os.str(),
+      "{\"track\":\"collector\",\"src\":\"collector\",\"id\":0,"
+      "\"written\":1,\"dropped\":0}\n"
+      "{\"track\":\"mutator-0\",\"src\":\"mutator\",\"id\":0,"
+      "\"written\":1,\"dropped\":0}\n"
+      "{\"kind\":\"Phase\",\"track\":\"collector\",\"start\":1234567,"
+      "\"dur\":1500,\"arg0\":2,\"arg1\":0}\n"
+      "{\"kind\":\"HandshakeAck\",\"track\":\"mutator-0\",\"start\":2000000,"
+      "\"dur\":0,\"arg0\":1,\"arg1\":0}\n");
+}
+
+TEST(ChromeTraceTest, EmptySnapshotIsAValidDocument) {
+  std::ostringstream Os;
+  writeChromeTrace(Os, TraceSnapshot());
+  EXPECT_EQ(Os.str(), "{\"traceEvents\":[]}\n");
+}
+
+TEST(ChromeTraceTest, EventKindNamesAreStable) {
+  // The exporters spell kinds with these exact names; tools match on them.
+  EXPECT_STREQ(obsEventKindName(ObsEventKind::CycleBegin), "CycleBegin");
+  EXPECT_STREQ(obsEventKindName(ObsEventKind::CycleEnd), "CycleEnd");
+  EXPECT_STREQ(obsEventKindName(ObsEventKind::Phase), "Phase");
+  EXPECT_STREQ(obsEventKindName(ObsEventKind::HandshakeReq), "HandshakeReq");
+  EXPECT_STREQ(obsEventKindName(ObsEventKind::HandshakeAck), "HandshakeAck");
+  EXPECT_STREQ(obsEventKindName(ObsEventKind::AllocStall), "AllocStall");
+  EXPECT_STREQ(obsEventKindName(ObsEventKind::TraceSpan), "TraceSpan");
+  EXPECT_STREQ(obsEventKindName(ObsEventKind::TraceSteal), "TraceSteal");
+  EXPECT_STREQ(obsEventKindName(ObsEventKind::SweepSpan), "SweepSpan");
+  EXPECT_STREQ(obsEventKindName(ObsEventKind::SweepChunk), "SweepChunk");
+  EXPECT_STREQ(obsEventKindName(ObsEventKind::CardChunkOpen),
+               "CardChunkOpen");
+}
+
+} // namespace

@@ -1,0 +1,138 @@
+//===- tests/obs/ObsRuntimeTest.cpp ----------------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+// End-to-end observability through a live Runtime: with tracing enabled a
+// mutator-driven workload must leave the expected event kinds in the trace
+// snapshot, and the metrics snapshot must agree with the collector's own
+// statistics.  With tracing off (the default), the trace is empty but the
+// always-on metrics still report.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/GenGc.h"
+
+using namespace gengc;
+
+namespace {
+
+RuntimeConfig runtimeConfig(bool Tracing) {
+  RuntimeConfig Config;
+  Config.Heap.HeapBytes = 8ull << 20;
+  Config.Heap.CardBytes = 16;
+  Config.Choice = CollectorChoice::Generational;
+  Config.Collector.Obs.Tracing = Tracing;
+  Config.Collector.Obs.RingEvents = 4096;
+  Config.Collector.Trigger.YoungBytes = 1ull << 40; // manual cycles only
+  Config.Collector.Trigger.InitialSoftBytes = 8ull << 20;
+  Config.Collector.Trigger.FullFraction = 1.1;
+  return Config;
+}
+
+/// Allocates a linked chain with some garbage, runs one full and one
+/// partial cycle with the mutator cooperating.
+void churn(Runtime &RT, Mutator &M) {
+  RootScope Roots(M);
+  size_t Head = Roots.addSlot(NullRef);
+  for (int I = 0; I < 2000; ++I) {
+    ObjectRef Node = M.allocate(1, 24);
+    M.writeRef(Node, 0, Roots.get(Head));
+    if (I % 3 == 0)
+      Roots.set(Head, Node); // two of three nodes become garbage
+  }
+  RT.collector().collectSyncCooperating(CycleRequest::Full, M);
+  for (int I = 0; I < 500; ++I)
+    M.allocate(0, 16);
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, M);
+}
+
+TEST(ObsRuntimeTest, TracingCapturesTheCycleAnatomy) {
+  Runtime RT(runtimeConfig(/*Tracing=*/true));
+  auto M = RT.attachMutator();
+  churn(RT, *M);
+
+  TraceSnapshot Snap = RT.traceSnapshot();
+  ASSERT_FALSE(Snap.Events.empty());
+  EXPECT_GE(Snap.Tracks.size(), 2u); // collector + this mutator
+
+  std::set<ObsEventKind> Kinds;
+  for (const ObsEvent &E : Snap.Events)
+    Kinds.insert(E.Kind);
+
+  // The anatomy every traced cycle must leave behind.
+  EXPECT_TRUE(Kinds.count(ObsEventKind::CycleBegin));
+  EXPECT_TRUE(Kinds.count(ObsEventKind::CycleEnd));
+  EXPECT_TRUE(Kinds.count(ObsEventKind::Phase));
+  EXPECT_TRUE(Kinds.count(ObsEventKind::TraceSpan));
+  EXPECT_TRUE(Kinds.count(ObsEventKind::SweepSpan));
+  // The cooperating mutator answered soft handshakes.
+  EXPECT_TRUE(Kinds.count(ObsEventKind::HandshakeReq));
+  EXPECT_TRUE(Kinds.count(ObsEventKind::HandshakeAck));
+
+  // One CycleBegin/CycleEnd pair per completed cycle.
+  GcRunStats Stats = RT.gcStats();
+  size_t Begins = 0, Ends = 0;
+  for (const ObsEvent &E : Snap.Events) {
+    Begins += E.Kind == ObsEventKind::CycleBegin;
+    Ends += E.Kind == ObsEventKind::CycleEnd;
+  }
+  EXPECT_EQ(Begins, Stats.Cycles.size());
+  EXPECT_EQ(Ends, Stats.Cycles.size());
+}
+
+TEST(ObsRuntimeTest, MetricsAgreeWithCollectorStats) {
+  Runtime RT(runtimeConfig(/*Tracing=*/true));
+  auto M = RT.attachMutator();
+  churn(RT, *M);
+
+  GcRunStats Stats = RT.gcStats();
+  MetricsSnapshot Metrics = RT.metrics();
+
+  EXPECT_EQ(Metrics.cyclesTotal(), Stats.Cycles.size());
+  EXPECT_EQ(Metrics.count(CycleKind::Full), 1u);
+  EXPECT_EQ(Metrics.count(CycleKind::Partial), 1u);
+  EXPECT_EQ(Metrics.GcActiveNanos, Stats.GcActiveNanos);
+  EXPECT_EQ(Metrics.HeapBytes, RT.config().Heap.HeapBytes);
+  EXPECT_EQ(Metrics.LiveBytesAfterLastCycle,
+            Stats.Cycles.back().LiveBytesAfter);
+  EXPECT_GT(Metrics.EventsWritten, 0u);
+  // The paper's collectors never park the world.
+  EXPECT_EQ(Metrics.StwPauseNanos.count(), 0u);
+  // Each cycle's handshakes left latency samples.
+  EXPECT_GT(Metrics.HandshakeNanos.count(), 0u);
+}
+
+TEST(ObsRuntimeTest, TracingOffLeavesNoTraceButMetricsStillReport) {
+  Runtime RT(runtimeConfig(/*Tracing=*/false));
+  auto M = RT.attachMutator();
+  churn(RT, *M);
+
+  TraceSnapshot Snap = RT.traceSnapshot();
+  EXPECT_TRUE(Snap.Tracks.empty());
+  EXPECT_TRUE(Snap.Events.empty());
+
+  MetricsSnapshot Metrics = RT.metrics();
+  EXPECT_EQ(Metrics.cyclesTotal(), 2u);
+  EXPECT_EQ(Metrics.EventsWritten, 0u);
+  EXPECT_EQ(Metrics.EventsDropped, 0u);
+  // Histograms are always on, independent of tracing.
+  EXPECT_GT(Metrics.HandshakeNanos.count(), 0u);
+}
+
+TEST(ObsRuntimeTest, SweepReclaimsTheGarbageTheWorkloadMade) {
+  // Sanity that the metrics carry real collection results, not zeros.
+  Runtime RT(runtimeConfig(/*Tracing=*/true));
+  auto M = RT.attachMutator();
+  churn(RT, *M);
+
+  MetricsSnapshot Metrics = RT.metrics();
+  EXPECT_GT(Metrics.kind(CycleKind::Full).ObjectsTraced, 0u);
+  EXPECT_GT(Metrics.kind(CycleKind::Full).ObjectsFreed, 0u);
+  EXPECT_GT(Metrics.kind(CycleKind::Full).BytesFreed, 0u);
+}
+
+} // namespace

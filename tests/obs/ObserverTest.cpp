@@ -1,0 +1,134 @@
+//===- tests/obs/ObserverTest.cpp ------------------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+// The GcObserver contract: callbacks arrive once per cycle in index order,
+// strictly before the synchronous requester is released, with the cycle's
+// statistics already published (statsSnapshot contains the cycle), and
+// removeObserver guarantees no callback after it returns.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "core/GenGc.h"
+
+using namespace gengc;
+
+namespace {
+
+RuntimeConfig observerConfig() {
+  RuntimeConfig Config;
+  Config.Heap.HeapBytes = 8ull << 20;
+  Config.Choice = CollectorChoice::Generational;
+  Config.Collector.Trigger.YoungBytes = 1ull << 40; // manual cycles only
+  Config.Collector.Trigger.InitialSoftBytes = 8ull << 20;
+  Config.Collector.Trigger.FullFraction = 1.1;
+  return Config;
+}
+
+struct RecordingObserver : GcObserver {
+  std::vector<uint64_t> Indices;
+  std::vector<CycleKind> Kinds;
+  void onGcCycleEnd(const CycleStats &Cycle, uint64_t CycleIndex) override {
+    Indices.push_back(CycleIndex);
+    Kinds.push_back(Cycle.Kind);
+  }
+};
+
+TEST(ObserverTest, CallbackPerCycleInIndexOrder) {
+  Runtime RT(observerConfig());
+  RecordingObserver Observer;
+  RT.addGcObserver(Observer);
+
+  auto M = RT.attachMutator();
+  RT.collector().collectSyncCooperating(CycleRequest::Full, *M);
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  RT.collector().collectSyncCooperating(CycleRequest::Full, *M);
+
+  ASSERT_EQ(Observer.Indices.size(), 3u);
+  EXPECT_EQ(Observer.Indices, (std::vector<uint64_t>{0, 1, 2}));
+  EXPECT_EQ(Observer.Kinds[0], CycleKind::Full);
+  EXPECT_EQ(Observer.Kinds[1], CycleKind::Partial);
+  EXPECT_EQ(Observer.Kinds[2], CycleKind::Full);
+
+  RT.removeGcObserver(Observer);
+}
+
+TEST(ObserverTest, CallbackRunsBeforeSyncRequesterIsReleased) {
+  // collectSync must not return before every observer has seen the cycle:
+  // the callback count is read right after the sync call, with no other
+  // synchronization.
+  Runtime RT(observerConfig());
+  struct CountingObserver : GcObserver {
+    std::atomic<uint64_t> Calls{0};
+    void onGcCycleEnd(const CycleStats &, uint64_t) override {
+      Calls.fetch_add(1, std::memory_order_relaxed);
+    }
+  } Observer;
+  RT.addGcObserver(Observer);
+
+  auto M = RT.attachMutator();
+  for (uint64_t I = 1; I <= 5; ++I) {
+    RT.collector().collectSyncCooperating(CycleRequest::Full, *M);
+    EXPECT_EQ(Observer.Calls.load(std::memory_order_relaxed), I);
+  }
+  RT.removeGcObserver(Observer);
+}
+
+TEST(ObserverTest, StatsArePublishedWhenCallbackRuns) {
+  // From inside the callback, statsSnapshot() must already contain the
+  // cycle being reported (the cycle-publication ordering guarantee).
+  Runtime RT(observerConfig());
+  struct SnapshotObserver : GcObserver {
+    Runtime *RT = nullptr;
+    bool SawOwnCycle = true;
+    void onGcCycleEnd(const CycleStats &Cycle, uint64_t CycleIndex) override {
+      GcRunStats Snap = RT->gcStats();
+      SawOwnCycle = SawOwnCycle && Snap.Cycles.size() >= CycleIndex + 1 &&
+                    Snap.Cycles[size_t(CycleIndex)].DurationNanos ==
+                        Cycle.DurationNanos;
+    }
+  } Observer;
+  Observer.RT = &RT;
+  RT.addGcObserver(Observer);
+
+  auto M = RT.attachMutator();
+  RT.collector().collectSyncCooperating(CycleRequest::Full, *M);
+  RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+  EXPECT_TRUE(Observer.SawOwnCycle);
+  RT.removeGcObserver(Observer);
+}
+
+TEST(ObserverTest, RemoveStopsCallbacks) {
+  Runtime RT(observerConfig());
+  RecordingObserver Observer;
+  RT.addGcObserver(Observer);
+
+  auto M = RT.attachMutator();
+  RT.collector().collectSyncCooperating(CycleRequest::Full, *M);
+  RT.removeGcObserver(Observer);
+  RT.collector().collectSyncCooperating(CycleRequest::Full, *M);
+
+  EXPECT_EQ(Observer.Indices.size(), 1u);
+}
+
+TEST(ObserverTest, MultipleObserversAllNotified) {
+  Runtime RT(observerConfig());
+  RecordingObserver A, B;
+  RT.addGcObserver(A);
+  RT.addGcObserver(B);
+
+  auto M = RT.attachMutator();
+  RT.collector().collectSyncCooperating(CycleRequest::Full, *M);
+
+  EXPECT_EQ(A.Indices.size(), 1u);
+  EXPECT_EQ(B.Indices.size(), 1u);
+  RT.removeGcObserver(A);
+  RT.removeGcObserver(B);
+}
+
+} // namespace

@@ -1,0 +1,248 @@
+//===- tools/gengc_trace.cpp - GC trace recorder / summarizer --------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+// Records a GC event trace while running a benchmark profile, or summarizes
+// a previously recorded line-JSON trace.
+//
+//   gengc-trace record [options]
+//     --profile NAME      anagram|mtrt|raytracer|...   (default raytracer)
+//     --collector KIND    gen|dlg|stw                  (default gen)
+//     --out FILE          Chrome trace_event JSON      (default trace.json)
+//     --jsonl FILE        also write line-JSON (gengc-trace's own format)
+//     --threads N         override profile thread count
+//     --gc-threads N      GC worker lanes              (default 2)
+//     --scale F           allocation budget multiplier (default 1.0)
+//     --young MB          young generation size        (default 4)
+//     --ring N            per-actor ring capacity      (default 8192)
+//
+//   gengc-trace summarize FILE.jsonl
+//     Prints per-kind and per-track event counts and total span time.
+//
+// Open the Chrome JSON in Perfetto (ui.perfetto.dev) or chrome://tracing:
+// one row per actor (collector, GC lanes, mutators), spans for cycles,
+// phases, per-lane trace/sweep work, instants for handshakes and steals.
+//
+//===----------------------------------------------------------------------===//
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "support/Table.h"
+#include "workload/Runner.h"
+
+using namespace gengc;
+using namespace gengc::workload;
+
+namespace {
+
+[[noreturn]] void usage(const char *Argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s record [--profile NAME] [--collector gen|dlg|stw]\n"
+      "          [--out FILE] [--jsonl FILE] [--threads N] [--gc-threads N]\n"
+      "          [--scale F] [--young MB] [--ring N]\n"
+      "       %s summarize FILE.jsonl\n",
+      Argv0, Argv0);
+  std::exit(2);
+}
+
+int record(int Argc, char **Argv) {
+  std::string ProfileName = "raytracer";
+  std::string CollectorName = "gen";
+  std::string OutPath = "trace.json";
+  std::string JsonlPath;
+  unsigned ThreadOverride = 0, GcThreads = 2;
+  uint64_t YoungMb = 4;
+  uint32_t RingEvents = 8192;
+  double Scale = 1.0;
+
+  for (int I = 2; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    auto Next = [&]() -> const char * {
+      if (I + 1 >= Argc)
+        usage(Argv[0]);
+      return Argv[++I];
+    };
+    if (Arg == "--profile")
+      ProfileName = Next();
+    else if (Arg == "--collector")
+      CollectorName = Next();
+    else if (Arg == "--out")
+      OutPath = Next();
+    else if (Arg == "--jsonl")
+      JsonlPath = Next();
+    else if (Arg == "--threads")
+      ThreadOverride = unsigned(std::strtoul(Next(), nullptr, 10));
+    else if (Arg == "--gc-threads")
+      GcThreads = unsigned(std::strtoul(Next(), nullptr, 10));
+    else if (Arg == "--scale")
+      Scale = std::strtod(Next(), nullptr);
+    else if (Arg == "--young")
+      YoungMb = std::strtoull(Next(), nullptr, 10);
+    else if (Arg == "--ring")
+      RingEvents = uint32_t(std::strtoul(Next(), nullptr, 10));
+    else
+      usage(Argv[0]);
+  }
+
+  Profile P = profileByName(ProfileName);
+  if (ThreadOverride)
+    P.Threads = ThreadOverride;
+
+  RuntimeConfig Config = makeConfig(CollectorChoice::Generational,
+                                    YoungMb << 20, /*CardBytes=*/16);
+  if (CollectorName == "gen")
+    Config.Choice = CollectorChoice::Generational;
+  else if (CollectorName == "dlg")
+    Config.Choice = CollectorChoice::NonGenerational;
+  else if (CollectorName == "stw")
+    Config.Choice = CollectorChoice::StopTheWorld;
+  else
+    usage(Argv[0]);
+  Config.Collector.GcThreads = GcThreads;
+  Config.Collector.Obs.Tracing = true;
+  Config.Collector.Obs.RingEvents = RingEvents;
+
+  std::printf("recording: profile=%s collector=%s threads=%u gc-threads=%u "
+              "scale=%.2f ring=%u\n",
+              P.Name.c_str(), CollectorName.c_str(), P.Threads, GcThreads,
+              Scale, RingEvents);
+
+  RunResult R = runWorkload(P, Config, Scale);
+
+  std::ofstream Out(OutPath);
+  if (!Out) {
+    std::fprintf(stderr, "error: cannot write %s\n", OutPath.c_str());
+    return 1;
+  }
+  writeChromeTrace(Out, R.Trace);
+  Out.close();
+  std::printf("wrote %s: %zu events on %zu tracks (%llu written, "
+              "%llu dropped)\n",
+              OutPath.c_str(), R.Trace.Events.size(), R.Trace.Tracks.size(),
+              (unsigned long long)R.Trace.eventsWritten(),
+              (unsigned long long)R.Trace.eventsDropped());
+
+  if (!JsonlPath.empty()) {
+    std::ofstream Jsonl(JsonlPath);
+    if (!Jsonl) {
+      std::fprintf(stderr, "error: cannot write %s\n", JsonlPath.c_str());
+      return 1;
+    }
+    writeJsonLines(Jsonl, R.Trace);
+    std::printf("wrote %s\n", JsonlPath.c_str());
+  }
+
+  std::printf("run: %.3f s elapsed, %zu cycles, GC active %.1f%%\n",
+              R.ElapsedSeconds, size_t(R.Metrics.cyclesTotal()),
+              R.percentGcActive());
+  return 0;
+}
+
+/// Minimal extractor for the flat one-line objects writeJsonLines emits:
+/// finds `"key":` and parses the value as an unquoted token or quoted
+/// string.  Not a general JSON parser; it only reads what we write.
+bool jsonField(const std::string &Line, const std::string &Key,
+               std::string &Value) {
+  std::string Needle = "\"" + Key + "\":";
+  size_t At = Line.find(Needle);
+  if (At == std::string::npos)
+    return false;
+  size_t Begin = At + Needle.size();
+  if (Begin < Line.size() && Line[Begin] == '"') {
+    size_t End = Line.find('"', Begin + 1);
+    if (End == std::string::npos)
+      return false;
+    Value = Line.substr(Begin + 1, End - Begin - 1);
+    return true;
+  }
+  size_t End = Line.find_first_of(",}", Begin);
+  if (End == std::string::npos)
+    return false;
+  Value = Line.substr(Begin, End - Begin);
+  return true;
+}
+
+int summarize(const char *Argv0, const char *Path) {
+  std::ifstream In(Path);
+  if (!In) {
+    std::fprintf(stderr, "error: cannot read %s\n", Path);
+    return 1;
+  }
+
+  struct KindAgg {
+    uint64_t Count = 0;
+    uint64_t SpanNanos = 0;
+  };
+  std::map<std::string, KindAgg> Kinds;
+  std::map<std::string, uint64_t> Tracks;
+  uint64_t Written = 0, Dropped = 0;
+  uint64_t MinStart = UINT64_MAX, MaxEnd = 0;
+
+  std::string Line;
+  while (std::getline(In, Line)) {
+    std::string V;
+    if (jsonField(Line, "written", V)) {
+      // Track-metadata line ("track" holds the display name).
+      Written += std::strtoull(V.c_str(), nullptr, 10);
+      if (jsonField(Line, "dropped", V))
+        Dropped += std::strtoull(V.c_str(), nullptr, 10);
+      continue;
+    }
+    if (!jsonField(Line, "kind", V))
+      continue;
+    KindAgg &K = Kinds[V];
+    ++K.Count;
+    uint64_t Start = 0, Dur = 0;
+    std::string N;
+    if (jsonField(Line, "start", N))
+      Start = std::strtoull(N.c_str(), nullptr, 10);
+    if (jsonField(Line, "dur", N))
+      Dur = std::strtoull(N.c_str(), nullptr, 10);
+    K.SpanNanos += Dur;
+    MinStart = Start < MinStart ? Start : MinStart;
+    MaxEnd = Start + Dur > MaxEnd ? Start + Dur : MaxEnd;
+    if (jsonField(Line, "track", N))
+      ++Tracks[N];
+  }
+
+  if (Kinds.empty()) {
+    std::fprintf(stderr, "%s: no events found in %s\n", Argv0, Path);
+    return 1;
+  }
+
+  std::printf("%s: %llu events written, %llu dropped, span %.3f s\n", Path,
+              (unsigned long long)Written, (unsigned long long)Dropped,
+              MaxEnd > MinStart ? double(MaxEnd - MinStart) * 1e-9 : 0.0);
+
+  Table ByKind({"event kind", "count", "total span ms"});
+  for (const auto &[Kind, Agg] : Kinds)
+    ByKind.addRow({Kind, Table::count(Agg.Count),
+                   Table::number(double(Agg.SpanNanos) * 1e-6, 2)});
+  ByKind.print(stdout);
+
+  std::printf("\n");
+  Table ByTrack({"track", "events"});
+  for (const auto &[Name, Count] : Tracks)
+    ByTrack.addRow({Name, Table::count(Count)});
+  ByTrack.print(stdout);
+  return 0;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  if (Argc < 2)
+    usage(Argv[0]);
+  std::string Cmd = Argv[1];
+  if (Cmd == "record")
+    return record(Argc, Argv);
+  if (Cmd == "summarize" && Argc == 3)
+    return summarize(Argv[0], Argv[2]);
+  usage(Argv[0]);
+}
