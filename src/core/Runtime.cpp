@@ -64,6 +64,19 @@ std::string RuntimeConfig::validate() const {
 
   if (Collector.Obs.RingEvents == 0)
     return "Obs.RingEvents must be positive when tracing can be enabled";
+
+  // Out-of-memory ladder: zero retries would turn every transient
+  // exhaustion into an instant handler call (or abort) without ever waiting
+  // for the collection that would have fixed it.
+  if (Oom.RetryAttempts < 1)
+    return "Oom.RetryAttempts must be at least 1 (each attempt waits for "
+           "one full collection)";
+
+  // Watchdog: the Callback policy with no callback would silently swallow
+  // every stall report.
+  if (Collector.Watchdog.Policy == WatchdogPolicy::Callback &&
+      !Collector.Watchdog.OnStall)
+    return "Watchdog.Policy is Callback but Watchdog.OnStall is empty";
   return std::string();
 }
 
@@ -121,6 +134,7 @@ std::unique_ptr<Mutator> Runtime::attachMutator() {
   auto M = std::make_unique<Mutator>(TheHeap, State, Registry);
   M->setMemoryWaiter(Gc.get());
   M->setObsRegistry(&Gc->obs());
+  M->setOomConfig(&Config.Oom);
   return M;
 }
 

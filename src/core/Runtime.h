@@ -62,6 +62,11 @@ struct RuntimeConfig {
   CollectorConfig Collector;
   CollectorChoice Choice = CollectorChoice::Generational;
 
+  /// Out-of-memory policy installed into every mutator attachMutator
+  /// creates: the retry budget, the emergency cache-flush point, and the
+  /// optional last-resort OomHandler (see runtime/Mutator.h).
+  OomConfig Oom;
+
   /// Start the collector thread in the constructor.  Tests that drive
   /// cycles manually can defer via start().
   bool StartCollector = true;

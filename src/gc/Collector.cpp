@@ -7,7 +7,10 @@
 #include "gc/Collector.h"
 
 #include <algorithm>
+#include <cstdio>
+#include <cstdlib>
 
+#include "support/Backoff.h"
 #include "support/Timer.h"
 
 using namespace gengc;
@@ -19,7 +22,14 @@ Collector::Collector(Heap &H, CollectorState &S, MutatorRegistry &Registry,
       Handshakes(S, Registry), Pool(Config.GcThreads),
       TraceEngine(H, S, Pool), Trig(Config.Trigger, H.heapBytes()) {
   Handshakes.setObsRing(Obs.laneRing(0));
+  // The watchdog pointer must outlive the driver; the member copy of the
+  // config does, the constructor parameter may not.
+  Handshakes.setWatchdog(&this->Config.Watchdog);
   TraceEngine.setObs(&Obs);
+  if (Config.VerifyHeap || std::getenv("GENGC_VERIFY_HEAP") != nullptr) {
+    this->Config.VerifyHeap = true;
+    Verifier = std::make_unique<HeapVerifier>(H, S);
+  }
   // During-cycle allocation budget: the trigger fires around YoungBytes of
   // allocation, so allowing another half generation during the cycle
   // bounds occupancy carry-over at 1.5 young generations — comfortably
@@ -74,9 +84,14 @@ void Collector::collectSyncCooperating(CycleRequest Kind, Mutator &M) {
   GENGC_ASSERT(Running, "collectSyncCooperating requires a started collector");
   uint64_t Before = completedCycles();
   requestCycle(Kind);
+  // Backoff instead of a fixed period: cycles span microseconds (idle young
+  // heap) to milliseconds (full trace), so a fixed sleep is wrong at one
+  // end or the other.  Cooperate before every sleep — the cycle we wait for
+  // cannot finish its handshakes otherwise.
+  Backoff Back(/*InitialNanos=*/10 * 1000, /*CapNanos=*/200 * 1000);
   while (completedCycles() <= Before) {
     M.cooperate();
-    std::this_thread::sleep_for(std::chrono::microseconds(20));
+    Back.pause();
   }
 }
 
@@ -111,6 +126,44 @@ void Collector::notifyObservers(const CycleStats &Cycle,
   std::scoped_lock Locked(ObserverMutex);
   for (GcObserver *Observer : Observers)
     Observer->onGcCycleEnd(Cycle, CycleIndex);
+}
+
+void Collector::runVerifier(VerifyScope Scope) {
+  if (!Verifier)
+    return;
+  HeapVerifier::Report R = Verifier->run(Scope, tracedBlackColor());
+  if (!R.clean()) {
+    std::fprintf(stderr,
+                 "gengc heap verifier: %zu violation(s) at the %s boundary\n",
+                 R.Violations.size() + size_t(R.Suppressed),
+                 verifyScopeName(Scope));
+    for (const std::string &V : R.Violations)
+      std::fprintf(stderr, "  %s\n", V.c_str());
+    if (R.Suppressed != 0)
+      std::fprintf(stderr, "  ... and %llu more\n",
+                   (unsigned long long)R.Suppressed);
+    fatalError("heap invariant violated", __FILE__, __LINE__);
+  }
+  if (EventRing *Ring = Obs.laneRing(0))
+    Ring->instant(ObsEventKind::VerifyPass, nowNanos(), uint64_t(Scope),
+                  R.ChecksRun);
+}
+
+std::function<void(GcPhase)> Collector::verifyHook(bool FullCycle) {
+  if (!Verifier)
+    return {};
+  return [this, FullCycle](GcPhase Phase) {
+    // One scope per boundary, keyed to what is sound there (the hook runs
+    // with the completed phase still published, so the write barrier still
+    // behaves as in that phase — the transient-window arguments rely on
+    // this).
+    VerifyScope Scope = VerifyScope::Concurrent;
+    if (Phase == GcPhase::Trace && FullCycle)
+      Scope = VerifyScope::PostTraceFull;
+    else if (Phase == GcPhase::Sweep)
+      Scope = VerifyScope::CycleEnd;
+    runVerifier(Scope);
+  };
 }
 
 void Collector::resetGrayCounters() {
@@ -148,6 +201,14 @@ void Collector::runOneCycle(CycleRequest Kind) {
   Cycle.DurationNanos = Watch.stop();
   Cycle.PagesTouched = H.pages().countTouched();
   sumGrayCounters(Cycle);
+
+  // Whole-cycle deadline: a cycle that ran far past its budget is reported
+  // through the same stall machinery as a wedged handshake.  (A cycle that
+  // never finishes surfaces as a handshake stall first — the per-wait
+  // deadline covers that.)
+  if (Config.Watchdog.CycleDeadlineNanos != 0 &&
+      Cycle.DurationNanos > Config.Watchdog.CycleDeadlineNanos)
+    Handshakes.fireStall("cycle", Cycle.DurationNanos);
 
   H.resetAllocatedSinceGc();
   Trig.afterCycle(Cycle.LiveEstimateBytes);

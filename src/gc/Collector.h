@@ -22,10 +22,12 @@
 #define GENGC_GC_COLLECTOR_H
 
 #include <condition_variable>
+#include <memory>
 #include <mutex>
 #include <thread>
 
 #include "gc/CycleStats.h"
+#include "gc/HeapVerifier.h"
 #include "gc/ParallelTrace.h"
 #include "obs/GcObserver.h"
 #include "obs/ObsRegistry.h"
@@ -80,6 +82,16 @@ struct CollectorConfig {
   /// always on; Obs.Tracing additionally records events into per-actor
   /// rings.
   ObsConfig Obs;
+
+  /// Stall watchdog: deadlines for handshake waits and whole cycles, plus
+  /// the expiry policy (see runtime/Watchdog.h).  Disabled by default.
+  WatchdogConfig Watchdog;
+
+  /// Run the heap-invariant verifier (gc/HeapVerifier.h) at every phase
+  /// boundary, aborting on a confirmed violation.  Also enabled by the
+  /// GENGC_VERIFY_HEAP environment variable; for debugging and the
+  /// hardening tests — each boundary pass scans the whole heap.
+  bool VerifyHeap = false;
 };
 
 /// Base class of both collectors.
@@ -133,6 +145,11 @@ public:
     return MemoryWaits.load(std::memory_order_relaxed);
   }
 
+  /// Number of watchdog deadline expirations (handshake or cycle) so far.
+  uint64_t watchdogFires() const {
+    return State.WatchdogFires.load(std::memory_order_relaxed);
+  }
+
   const Trigger &trigger() const { return Trig; }
   CollectorState &state() { return State; }
 
@@ -160,6 +177,25 @@ protected:
   /// Sums the per-cycle gray counters into \p Stats (young survivors).
   void sumGrayCounters(CycleStats &Stats);
 
+  /// The color that marks "traced by this cycle" for the verifier's
+  /// post-trace reachability check.  The DLG and STW collectors trace with
+  /// the allocation color; the generational collector overrides this with
+  /// Color::Black.
+  virtual Color tracedBlackColor() const { return State.allocationColor(); }
+
+  /// The AfterPhase callback for runCyclePhases: runs the verifier at every
+  /// phase boundary with the sound scope for that boundary.  Returns an
+  /// empty function when verification is off (the common case — the phase
+  /// runner then skips the hook entirely).  \p FullCycle enables the
+  /// post-trace tri-color check, which is only sound when this cycle traced
+  /// the whole heap.
+  std::function<void(GcPhase)> verifyHook(bool FullCycle);
+
+  /// Runs one verifier pass of \p Scope now; aborts with a full violation
+  /// dump if the heap is inconsistent, emits a VerifyPass event if clean.
+  /// No-op when verification is off.
+  void runVerifier(VerifyScope Scope);
+
   Heap &H;
   CollectorState &State;
   MutatorRegistry &Registry;
@@ -172,6 +208,9 @@ protected:
   ObsRegistry Obs;
 
   HandshakeDriver Handshakes;
+  /// The heap-invariant checker; non-null only when Config.VerifyHeap or
+  /// GENGC_VERIFY_HEAP enabled it at construction.
+  std::unique_ptr<HeapVerifier> Verifier;
   /// Worker lanes for the parallel cycle phases; sized by Config.GcThreads.
   /// Must be declared before the engines that capture it.
   GcWorkerPool Pool;

@@ -48,10 +48,15 @@ struct CyclePhase {
 /// GcPhase::Idle after the last phase.  With \p Obs set (the collector's
 /// event ring; tracing enabled), each phase is additionally emitted as a
 /// Phase span — reusing the timestamps the pipeline already takes, so
-/// tracing adds no clock reads here.
+/// tracing adds no clock reads here.  \p AfterPhase (when non-empty) runs
+/// after each phase body, outside its timed span, with the completed phase
+/// still published in CollectorState — the heap-verifier hook relies on the
+/// phase still being visible to the write barrier while it checks.
 inline void runCyclePhases(CollectorState &State,
                            std::initializer_list<CyclePhase> Phases,
-                           CycleStats &Cycle, EventRing *Obs = nullptr) {
+                           CycleStats &Cycle, EventRing *Obs = nullptr,
+                           const std::function<void(GcPhase)> &AfterPhase =
+                               {}) {
   for (const CyclePhase &P : Phases) {
     State.Phase.store(P.Phase, std::memory_order_release);
     uint64_t Start = nowNanos();
@@ -60,6 +65,8 @@ inline void runCyclePhases(CollectorState &State,
     Cycle.*(P.DurationField) += Duration;
     if (Obs)
       Obs->emit(ObsEventKind::Phase, Start, Duration, uint64_t(P.Phase));
+    if (AfterPhase)
+      AfterPhase(P.Phase);
   }
   State.Phase.store(GcPhase::Idle, std::memory_order_release);
 }

@@ -74,6 +74,6 @@ CycleStats DlgCollector::runCycle(CycleRequest Kind) {
              C.SweepWorkerNanos = std::move(SweepResult.WorkerNanos);
            }},
       },
-      Cycle, Obs.laneRing(0));
+      Cycle, Obs.laneRing(0), verifyHook(/*FullCycle=*/true));
   return Cycle;
 }

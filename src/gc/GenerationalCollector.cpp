@@ -10,6 +10,7 @@
 
 #include "gc/CyclePhase.h"
 #include "runtime/ObjectModel.h"
+#include "support/FaultInjector.h"
 #include "support/Timer.h"
 
 using namespace gengc;
@@ -123,6 +124,9 @@ void scanDirtyCards(Heap &H, GcWorkerPool &Pool, ObsRegistry &Obs,
           ++S.SummaryChunksScanned;
           if (Ring)
             Ring->instant(ObsEventKind::CardChunkOpen, nowNanos(), Chunk);
+          // Fault site: delay one summary-chunk open, widening the card
+          // scan's race windows for the stress tests.
+          FaultInjector::fire(FaultSite::CardScanDelay);
           // Chunk-level Section 7.2 step 1: clear the summary before
           // reading the cards it covers.  Any mutator mark that lands
           // after this re-sets the byte for the next collection; step 3 is
@@ -450,6 +454,6 @@ CycleStats GenerationalCollector::runCycle(CycleRequest Kind) {
              C.SweepWorkerNanos = std::move(SweepResult.WorkerNanos);
            }},
       },
-      Cycle, Obs.laneRing(0));
+      Cycle, Obs.laneRing(0), verifyHook(Full));
   return Cycle;
 }

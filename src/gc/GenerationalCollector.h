@@ -38,6 +38,11 @@ public:
 protected:
   CycleStats runCycle(CycleRequest Kind) override;
 
+  /// Both generational variants trace with Black (promoted/old objects), so
+  /// the verifier's post-trace check keys on Black, not the allocation
+  /// color.
+  Color tracedBlackColor() const override { return Color::Black; }
+
 private:
   /// Figure 3 InitFullCollection: recolor black/gray objects to the
   /// (pre-toggle) allocation color and clear every card mark.

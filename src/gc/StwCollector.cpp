@@ -95,7 +95,7 @@ CycleStats StwCollector::runCycle(CycleRequest Kind) {
              C.SweepWorkerNanos = std::move(SweepResult.WorkerNanos);
            }},
       },
-      Cycle, Obs.laneRing(0));
+      Cycle, Obs.laneRing(0), verifyHook(/*FullCycle=*/true));
 
   // runCyclePhases already published Idle; resume the world after it.
   State.StopWorld.store(false, std::memory_order_seq_cst);

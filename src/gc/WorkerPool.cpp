@@ -6,6 +6,8 @@
 
 #include "gc/WorkerPool.h"
 
+#include "support/FaultInjector.h"
+
 using namespace gengc;
 
 GcWorkerPool::GcWorkerPool(unsigned Lanes) : NumLanes(Lanes < 1 ? 1 : Lanes) {
@@ -47,6 +49,9 @@ void GcWorkerPool::threadLoop(unsigned Lane) {
       MyJob = Job;
     }
     std::exception_ptr Error;
+    // Fault site: stall this lane at job start — the slow-worker scenario
+    // the phase barriers and the steal protocol must absorb.
+    FaultInjector::fire(FaultSite::WorkerLaneStall);
     try {
       (*MyJob)(Lane);
     } catch (...) {

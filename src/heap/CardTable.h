@@ -191,10 +191,16 @@ public:
   }
 
   /// Clears every card and every summary byte (used when initiating a full
-  /// collection).
+  /// collection).  May race with mutator marking (the simple collector's
+  /// InitFullCollection runs before the first handshake), so the SUMMARY
+  /// level clears first: a concurrent markCard (card byte, then summary
+  /// byte) whose card store survives our card sweep made its summary store
+  /// after our summary sweep too, leaving summary-set/card-clean — the
+  /// conservative direction.  The reverse order could strand a dirty card
+  /// under a clean summary, invisible to every future summary-guided scan.
   void clearAll() {
-    Table.clearAll();
     Summary.clearAll();
+    Table.clearAll();
   }
 
   //===--------------------------------------------------------------------===

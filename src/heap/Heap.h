@@ -292,6 +292,35 @@ public:
     return FreeBlockCount.load(std::memory_order_relaxed);
   }
 
+  //===--------------------------------------------------------------------===
+  // Verifier access.  The heap-invariant verifier (gc/HeapVerifier) needs
+  // consistent views of structures whose racy reads are fine for the
+  // collector but not for an invariant check.
+  //===--------------------------------------------------------------------===
+
+  /// Runs \p Callback with the block-structure lock held, freezing carving,
+  /// free-block accounting and large-run placement for its duration.  The
+  /// callback must not allocate from this heap (lock order: the central
+  /// list mutexes come BEFORE BlockMutex, see popFreeChain).
+  template <typename Fn> void withBlocksLocked(Fn Callback) const {
+    std::scoped_lock Locked(BlockMutex);
+    Callback();
+  }
+
+  /// Runs \p Callback(ClassIdx, Chain) for every chain parked in the
+  /// central free list of every size class, holding that class's list
+  /// mutex for the duration of its chains.  Cell links may be chased
+  /// through chainNext — a parked chain cannot change while its list is
+  /// locked.  The callback must not touch the lists themselves.
+  template <typename Fn> void forEachFreeChain(Fn Callback) const {
+    for (unsigned ClassIdx = 0; ClassIdx < NumSizeClasses; ++ClassIdx) {
+      const CentralList &List = Lists[ClassIdx];
+      std::scoped_lock Locked(List.Mutex);
+      for (const CellChain &Chain : List.Chains)
+        Callback(ClassIdx, Chain);
+    }
+  }
+
 private:
   /// Carves a free block for \p ClassIdx and queues its cells as chains.
   /// Returns false when no free block remains.  BlockMutex must be held.
@@ -309,12 +338,13 @@ private:
   std::vector<BlockDescriptor> Blocks;
 
   /// Guards block carving, the free-block list and large-run placement.
-  std::mutex BlockMutex;
+  /// Mutable so the verifier's const freeze (withBlocksLocked) can lock it.
+  mutable std::mutex BlockMutex;
   std::vector<uint32_t> FreeBlocks;
 
   /// One central free list per size class.
   struct CentralList {
-    std::mutex Mutex;
+    mutable std::mutex Mutex;
     std::vector<CellChain> Chains;
   };
   CentralList Lists[NumSizeClasses];

@@ -47,6 +47,12 @@ const char *gengc::obsEventKindName(ObsEventKind Kind) {
     return "SweepChunk";
   case ObsEventKind::CardChunkOpen:
     return "CardChunkOpen";
+  case ObsEventKind::OomEscalation:
+    return "OomEscalation";
+  case ObsEventKind::WatchdogFire:
+    return "WatchdogFire";
+  case ObsEventKind::VerifyPass:
+    return "VerifyPass";
   }
   return "invalid";
 }

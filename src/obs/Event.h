@@ -77,11 +77,22 @@ enum class ObsEventKind : uint8_t {
   /// Instant, lane ring: the two-level card scan opened a dirty summary
   /// chunk.  Arg0 = summary chunk index.
   CardChunkOpen,
+  /// Instant, mutator ring: the out-of-memory escalation ladder advanced a
+  /// step (see OomEscalationStep).  Arg0 = OomEscalationStep, Arg1 = the
+  /// failed attempt count when the step was taken.
+  OomEscalation,
+  /// Instant, collector ring: a watchdog deadline expired (handshake wait
+  /// or whole-cycle).  Arg0 = HandshakeStatus posted when it fired,
+  /// Arg1 = nanoseconds waited.
+  WatchdogFire,
+  /// Instant, collector ring: a heap-verifier pass completed cleanly.
+  /// Arg0 = VerifyScope, Arg1 = number of checks run.
+  VerifyPass,
 };
 
 /// Number of distinct ObsEventKind values (array sizing).
 constexpr unsigned NumObsEventKinds =
-    unsigned(ObsEventKind::CardChunkOpen) + 1;
+    unsigned(ObsEventKind::VerifyPass) + 1;
 
 /// Returns a printable name for \p Kind (stable; the exporters and the
 /// gengc_trace summarizer both key on it).
@@ -94,6 +105,21 @@ enum class StallCause : uint8_t {
   Throttle = 0,
   /// The heap was exhausted and the thread waited inside waitForMemory.
   OutOfMemory = 1,
+};
+
+/// Which rung of the out-of-memory escalation ladder was taken
+/// (OomEscalation's Arg0).  See Mutator::allocate for the ladder itself.
+enum class OomEscalationStep : uint8_t {
+  /// An ordinary waitForMemory round: wait for a full collection, retry.
+  Wait = 0,
+  /// The emergency rung: the mutator returned its other thread-local cache
+  /// chains to the heap before waiting, so hoarded free memory becomes
+  /// allocatable again.
+  Emergency = 1,
+  /// The ladder was exhausted and the installed OomHandler was invoked.
+  Handler = 2,
+  /// The handler chose GiveUp; the allocation returns NullRef.
+  GaveUp = 3,
 };
 
 /// One recorded event, as read out of a ring.

@@ -120,6 +120,11 @@ struct CollectorState {
   /// comparisons stay fair); UINT64_MAX disables throttling.
   std::atomic<uint64_t> ThrottleBytes{~0ull};
 
+  /// Number of watchdog deadline expirations so far (handshake waits plus
+  /// whole-cycle deadlines).  Bumped by the firing thread, read by tests
+  /// and the stats report.
+  std::atomic<uint64_t> WatchdogFires{0};
+
   /// Swaps the allocation and clear colors (Section 5's toggle).  Only the
   /// collector calls this, at most once per cycle, so plain exchanged
   /// stores on the two atomics suffice.

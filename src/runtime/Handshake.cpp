@@ -8,6 +8,8 @@
 
 #include <thread>
 
+#include "runtime/Mutator.h"
+#include "support/Assert.h"
 #include "support/Timer.h"
 
 using namespace gengc;
@@ -25,15 +27,61 @@ void HandshakeDriver::post(HandshakeStatus Status) {
 
 void HandshakeDriver::wait() {
   HandshakeStatus Status = State.StatusC.load(std::memory_order_relaxed);
+  uint64_t Deadline = Watchdog ? Watchdog->DeadlineNanos : 0;
+  uint64_t Begin = Deadline ? nowNanos() : 0;
+  bool Fired = false;
   // Mutators respond at their own pace; poll, helping blocked threads.
   // The paper's collector behaves the same way ("the collector considers a
   // handshake complete after all mutators have responded").
   for (unsigned Spin = 0;; ++Spin) {
     if (Registry.countLaggingAndHelp(Status) == 0)
       return;
+    if (Deadline && !Fired) {
+      uint64_t Waited = nowNanos() - Begin;
+      if (Waited >= Deadline) {
+        // Fire at most once per wait: the report is the diagnosis, and a
+        // wedged mutator would otherwise flood stderr at poll frequency.
+        Fired = true;
+        fireStall("handshake", Waited);
+      }
+    }
     if (Spin < 64)
       std::this_thread::yield();
     else
       std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+void HandshakeDriver::fireStall(const char *What, uint64_t WaitedNanos) {
+  if (!Watchdog)
+    return;
+  StallReport Report;
+  Report.What = What;
+  Report.Posted = State.StatusC.load(std::memory_order_relaxed);
+  Report.WaitedNanos = WaitedNanos;
+  Report.NowNanos = nowNanos();
+  // Snapshot every registered mutator.  forEach holds the registry lock;
+  // diag() reads only atomics plus the CoopMutex-free racy Blocked flag, so
+  // the callback stays short and never blocks on a wedged thread.
+  Registry.forEach(
+      [&Report](Mutator &M) { Report.Mutators.push_back(M.diag()); });
+
+  State.WatchdogFires.fetch_add(1, std::memory_order_relaxed);
+  if (Obs)
+    Obs->instant(ObsEventKind::WatchdogFire, Report.NowNanos,
+                 uint64_t(Report.Posted), WaitedNanos);
+
+  switch (Watchdog->Policy) {
+  case WatchdogPolicy::Log:
+    dumpStallReport(Report);
+    break;
+  case WatchdogPolicy::Callback:
+    if (Watchdog->OnStall)
+      Watchdog->OnStall(Report);
+    break;
+  case WatchdogPolicy::Abort:
+    dumpStallReport(Report);
+    fatalError("watchdog deadline expired (policy abort)", __FILE__,
+               __LINE__);
   }
 }

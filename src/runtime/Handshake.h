@@ -21,6 +21,7 @@
 #include "obs/EventRing.h"
 #include "runtime/CollectorState.h"
 #include "runtime/MutatorRegistry.h"
+#include "runtime/Watchdog.h"
 
 namespace gengc {
 
@@ -34,10 +35,17 @@ public:
   /// null disables emission).  Called once at collector construction.
   void setObsRing(EventRing *Ring) { Obs = Ring; }
 
+  /// Installs the stall watchdog (null disables it).  Called once at
+  /// collector construction; the config must outlive the driver.
+  void setWatchdog(const WatchdogConfig *Config) { Watchdog = Config; }
+
   /// Publishes \p Status as the collector status (postHandshake).
   void post(HandshakeStatus Status);
 
   /// Spins until every mutator matches the posted status (waitHandshake).
+  /// If a watchdog is installed with a nonzero DeadlineNanos and some
+  /// mutator is still lagging past it, fires the stall policy once and
+  /// keeps waiting (unless the policy aborted).
   void wait();
 
   /// post + wait.
@@ -46,10 +54,17 @@ public:
     wait();
   }
 
+  /// Assembles a StallReport (snapshotting every registered mutator) and
+  /// applies the watchdog policy.  Public so the collector can report
+  /// whole-cycle deadline overruns through the same machinery; no-op when
+  /// no watchdog is installed.
+  void fireStall(const char *What, uint64_t WaitedNanos);
+
 private:
   CollectorState &State;
   MutatorRegistry &Registry;
   EventRing *Obs = nullptr;
+  const WatchdogConfig *Watchdog = nullptr;
 };
 
 } // namespace gengc

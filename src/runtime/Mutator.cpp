@@ -9,6 +9,8 @@
 #include <thread>
 
 #include "runtime/MutatorRegistry.h"
+#include "support/Backoff.h"
+#include "support/FaultInjector.h"
 #include "support/Timer.h"
 
 using namespace gengc;
@@ -67,10 +69,16 @@ void Mutator::maybeThrottleAllocation() {
     return;
   uint64_t AllocatedAtStall = H.allocatedSinceGcBytes();
   uint64_t Start = nowNanos();
+  // Capped exponential backoff: short sleeps while the stall is young (the
+  // collector usually finishes within tens of microseconds of the budget
+  // clearing), longer ones once it clearly is not, so a fleet of throttled
+  // mutators does not spin the scheduler.  Cooperate before every sleep or
+  // the cycle we are waiting out could not finish its handshakes.
+  Backoff Back(/*InitialNanos=*/5 * 1000, /*CapNanos=*/200 * 1000);
   while (State.isCollecting() &&
          H.allocatedSinceGcBytes() >= Limit) {
     cooperate();
-    std::this_thread::sleep_for(std::chrono::microseconds(20));
+    Back.pause();
   }
   uint64_t Stalled = nowNanos() - Start;
   if (Ring)
@@ -79,58 +87,133 @@ void Mutator::maybeThrottleAllocation() {
   recordPause(Stalled);
 }
 
-void Mutator::refillCache(unsigned ClassIdx) {
-  maybeThrottleAllocation();
-  for (unsigned Attempt = 0; Attempt < 1000; ++Attempt) {
-    Heap::CellChain Chain = H.popFreeChain(ClassIdx);
-    if (Chain.Count != 0) {
-      Cache[ClassIdx] = Chain;
-      return;
-    }
-    if (!Waiter)
-      fatalError("heap exhausted and no memory waiter installed", __FILE__,
-                 __LINE__);
-    uint64_t Start = Ring ? nowNanos() : 0;
-    Waiter->waitForMemory(*this);
-    if (Ring)
-      Ring->emit(ObsEventKind::AllocStall, Start, nowNanos() - Start,
-                 uint64_t(StallCause::OutOfMemory));
+void Mutator::flushLocalCaches(unsigned ExceptClass) {
+  // Emergency rung: memory parked in this thread's caches is invisible to
+  // every other allocator (and to ourselves for other size classes).
+  // Returning it to the central lists costs one mutex round per non-empty
+  // class and can be the difference between recovery and abort when the
+  // heap is fragmented across caches.
+  for (unsigned Class = 0; Class < NumSizeClasses; ++Class) {
+    if (Class == ExceptClass || Cache[Class].Count == 0)
+      continue;
+    H.pushFreeChain(Class, Cache[Class]);
+    Cache[Class] = Heap::CellChain();
   }
-  fatalError("heap exhausted: collections reclaimed no memory", __FILE__,
-             __LINE__);
 }
 
-ObjectRef Mutator::allocateLarge(uint32_t Bytes) {
-  maybeThrottleAllocation();
-  for (unsigned Attempt = 0; Attempt < 1000; ++Attempt) {
-    ObjectRef Ref = H.allocateLarge(Bytes);
-    if (Ref != NullRef)
-      return Ref;
-    if (!Waiter)
-      fatalError("heap exhausted (large) and no memory waiter installed",
-                 __FILE__, __LINE__);
-    uint64_t Start = Ring ? nowNanos() : 0;
-    Waiter->waitForMemory(*this);
+template <typename TryFn>
+bool Mutator::runOomLadder(bool MayBlock, bool Large, uint64_t RequestBytes,
+                           unsigned ExceptClass, TryFn TryOnce,
+                           const char *NoWaiterMsg, const char *ExhaustedMsg) {
+  static const OomConfig DefaultOom;
+  const OomConfig &Cfg = Oom ? *Oom : DefaultOom;
+  unsigned TotalAttempts = 0;
+  for (;;) {
+    // Short pause between futile rounds: waitForMemory already blocks for
+    // a full collection, but when collections reclaim nothing the rounds
+    // degenerate into a tight retry loop racing other starved threads.
+    Backoff Back(/*InitialNanos=*/10 * 1000, /*CapNanos=*/1000 * 1000);
+    for (unsigned Attempt = 0; Attempt < Cfg.RetryAttempts; ++Attempt) {
+      if (TryOnce())
+        return true;
+      if (!MayBlock)
+        return false;
+      if (!Waiter)
+        fatalError(NoWaiterMsg, __FILE__, __LINE__);
+      OomEscalationStep Step = OomEscalationStep::Wait;
+      if (Attempt == Cfg.EmergencyAfter) {
+        flushLocalCaches(ExceptClass);
+        Step = OomEscalationStep::Emergency;
+      }
+      if (Ring)
+        Ring->instant(ObsEventKind::OomEscalation, nowNanos(),
+                      uint64_t(Step), TotalAttempts);
+      uint64_t Start = Ring ? nowNanos() : 0;
+      Waiter->waitForMemory(*this);
+      if (Ring)
+        Ring->emit(ObsEventKind::AllocStall, Start, nowNanos() - Start,
+                   uint64_t(StallCause::OutOfMemory));
+      ++TotalAttempts;
+      if (Attempt > 0)
+        Back.pause();
+    }
+    if (!Cfg.Handler)
+      fatalError(ExhaustedMsg, __FILE__, __LINE__);
     if (Ring)
-      Ring->emit(ObsEventKind::AllocStall, Start, nowNanos() - Start,
-                 uint64_t(StallCause::OutOfMemory));
+      Ring->instant(ObsEventKind::OomEscalation, nowNanos(),
+                    uint64_t(OomEscalationStep::Handler), TotalAttempts);
+    OomInfo Info;
+    Info.RequestBytes = RequestBytes;
+    Info.Attempts = TotalAttempts;
+    Info.LargeObject = Large;
+    if (Cfg.Handler(*this, Info) == OomAction::Retry)
+      continue;
+    if (Ring)
+      Ring->instant(ObsEventKind::OomEscalation, nowNanos(),
+                    uint64_t(OomEscalationStep::GaveUp), TotalAttempts);
+    return false;
   }
-  fatalError("heap exhausted: no block run for a large object", __FILE__,
-             __LINE__);
+}
+
+bool Mutator::refillCache(unsigned ClassIdx, bool MayBlock) {
+  if (MayBlock)
+    maybeThrottleAllocation();
+  return runOomLadder(
+      MayBlock, /*Large=*/false, sizeClassBytes(ClassIdx), ClassIdx,
+      [this, ClassIdx] {
+        if (FaultInjector::fire(FaultSite::AllocFail))
+          return false;
+        Heap::CellChain Chain = H.popFreeChain(ClassIdx);
+        if (Chain.Count == 0)
+          return false;
+        Cache[ClassIdx] = Chain;
+        return true;
+      },
+      "heap exhausted and no memory waiter installed",
+      "heap exhausted: collections reclaimed no memory");
+}
+
+ObjectRef Mutator::allocateLarge(uint32_t Bytes, bool MayBlock) {
+  if (MayBlock)
+    maybeThrottleAllocation();
+  ObjectRef Ref = NullRef;
+  runOomLadder(
+      MayBlock, /*Large=*/true, Bytes, /*ExceptClass=*/NumSizeClasses,
+      [this, Bytes, &Ref] {
+        if (FaultInjector::fire(FaultSite::AllocFail))
+          return false;
+        Ref = H.allocateLarge(Bytes);
+        return Ref != NullRef;
+      },
+      "heap exhausted (large) and no memory waiter installed",
+      "heap exhausted: no block run for a large object");
+  return Ref;
 }
 
 ObjectRef Mutator::allocate(uint32_t RefSlots, uint32_t DataBytes,
                             uint16_t Tag) {
+  return allocateImpl(RefSlots, DataBytes, Tag, /*MayBlock=*/true);
+}
+
+ObjectRef Mutator::tryAllocate(uint32_t RefSlots, uint32_t DataBytes,
+                               uint16_t Tag) {
+  return allocateImpl(RefSlots, DataBytes, Tag, /*MayBlock=*/false);
+}
+
+ObjectRef Mutator::allocateImpl(uint32_t RefSlots, uint32_t DataBytes,
+                                uint16_t Tag, bool MayBlock) {
   uint32_t Bytes = objectBytesFor(RefSlots, DataBytes);
   unsigned ClassIdx = sizeClassFor(Bytes);
 
   ObjectRef Ref;
   if (ClassIdx == NumSizeClasses) {
-    Ref = allocateLarge(Bytes);
+    Ref = allocateLarge(Bytes, MayBlock);
+    if (Ref == NullRef)
+      return NullRef;
   } else {
     Heap::CellChain &Chain = Cache[ClassIdx];
-    if (Chain.Head == NullRef)
-      refillCache(ClassIdx);
+    if (Chain.Head == NullRef && !refillCache(ClassIdx, MayBlock))
+      return NullRef;
     Ref = Cache[ClassIdx].Head;
     Cache[ClassIdx].Head = H.chainNext(Ref);
     --Cache[ClassIdx].Count;
@@ -184,6 +267,7 @@ void Mutator::cooperateLocked(bool Helped) {
   if (SM == HandshakeStatus::Sync2)
     markOwnRoots();
   StatusM.store(SC, std::memory_order_release);
+  LastResponseNanos.store(nowNanos(), std::memory_order_relaxed);
   if (Obs) {
     // Handshake response latency: from the collector's post (whose
     // timestamp store precedes the status store we just observed) to this
@@ -204,6 +288,9 @@ void Mutator::cooperate() {
   if (StatusM.load(std::memory_order_relaxed) ==
       State.StatusC.load(std::memory_order_acquire))
     return;
+  // Fault site: delay the response while a handshake is actually pending —
+  // the unresponsive-mutator scenario the watchdog exists to diagnose.
+  FaultInjector::fire(FaultSite::HandshakeDelay);
   std::scoped_lock Locked(CoopMutex);
   cooperateLocked();
 }
@@ -217,6 +304,7 @@ void Mutator::parkForStopTheWorld() {
   State.ParkedMutators.fetch_add(1, std::memory_order_acq_rel);
   uint64_t Start = nowNanos();
   uint64_t ShadedFor = 0;
+  Backoff Back(/*InitialNanos=*/5 * 1000, /*CapNanos=*/100 * 1000);
   while (State.StopWorld.load(std::memory_order_acquire)) {
     uint64_t Epoch = State.StopEpoch.load(std::memory_order_acquire);
     if (Epoch != ShadedFor) {
@@ -226,8 +314,12 @@ void Mutator::parkForStopTheWorld() {
       }
       ShadedFor = Epoch;
       StwParkedEpoch.store(Epoch, std::memory_order_release);
+      // A new epoch means a new pause just began: resume short sleeps so
+      // the resume latency of this pause is not inflated by the backoff
+      // state of the previous one.
+      Back.reset();
     }
-    std::this_thread::sleep_for(std::chrono::microseconds(10));
+    Back.pause();
   }
   StwParkedEpoch.store(0, std::memory_order_release);
   recordPause(nowNanos() - Start, /*StopTheWorld=*/true);
@@ -236,7 +328,7 @@ void Mutator::parkForStopTheWorld() {
 
 bool Mutator::markRootsIfBlockedForStw() {
   std::scoped_lock Locked(CoopMutex);
-  if (!Blocked)
+  if (!Blocked.load(std::memory_order_relaxed))
     return false;
   markOwnRootsForStw();
   return true;
@@ -245,14 +337,16 @@ bool Mutator::markRootsIfBlockedForStw() {
 void Mutator::enterBlocked() {
   std::scoped_lock Locked(CoopMutex);
   cooperateLocked();
-  Blocked = true;
+  Blocked.store(true, std::memory_order_relaxed);
+  LastResponseNanos.store(nowNanos(), std::memory_order_relaxed);
 }
 
 void Mutator::exitBlocked() {
   {
     std::scoped_lock Locked(CoopMutex);
-    Blocked = false;
+    Blocked.store(false, std::memory_order_relaxed);
     cooperateLocked();
+    LastResponseNanos.store(nowNanos(), std::memory_order_relaxed);
   }
   // A stop-the-world pause may be in progress: this thread must not
   // resume mutating until it ends (its roots were already shaded by the
@@ -263,6 +357,6 @@ void Mutator::exitBlocked() {
 
 void Mutator::helpIfBlocked() {
   std::scoped_lock Locked(CoopMutex);
-  if (Blocked)
+  if (Blocked.load(std::memory_order_relaxed))
     cooperateLocked(/*Helped=*/true);
 }

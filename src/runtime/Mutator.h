@@ -21,6 +21,7 @@
 #define GENGC_RUNTIME_MUTATOR_H
 
 #include <atomic>
+#include <functional>
 #include <mutex>
 #include <vector>
 
@@ -28,6 +29,7 @@
 #include "obs/ObsRegistry.h"
 #include "runtime/CollectorState.h"
 #include "runtime/ObjectModel.h"
+#include "runtime/Watchdog.h"
 #include "runtime/WriteBarrier.h"
 
 namespace gengc {
@@ -44,6 +46,47 @@ public:
   virtual ~MemoryWaiter();
   /// Blocks until a collection has plausibly freed memory.
   virtual void waitForMemory(Mutator &M) = 0;
+};
+
+/// What an OomHandler tells the allocator to do.
+enum class OomAction : uint8_t {
+  /// The handler freed memory (dropped roots, shrank a structure); run the
+  /// whole wait-and-retry ladder again.
+  Retry,
+  /// Give up: the allocation returns NullRef to the caller.
+  GiveUp,
+};
+
+/// What the allocator knows when it invokes the OomHandler.
+struct OomInfo {
+  /// Size of the allocation that cannot be satisfied, in bytes.
+  uint64_t RequestBytes = 0;
+  /// Failed attempts (each one a full collection wait) before the handler
+  /// was consulted.
+  unsigned Attempts = 0;
+  /// True for a large-object (block-run) allocation.
+  bool LargeObject = false;
+};
+
+/// Last-resort out-of-memory hook, invoked on the allocating thread after
+/// the retry ladder is exhausted.  The mutator is live: the handler may
+/// drop roots, walk its own data structures, even allocate (small amounts —
+/// the heap is exhausted).  It must not deregister the mutator.
+using OomHandler = std::function<OomAction(Mutator &M, const OomInfo &Info)>;
+
+/// Policy for the out-of-memory escalation ladder (part of RuntimeConfig).
+struct OomConfig {
+  /// Wait-for-collection attempts before the ladder is exhausted and the
+  /// handler (or fatalError) is reached.  Must be >= 1.
+  unsigned RetryAttempts = 1000;
+  /// After this many futile waits, the mutator returns its thread-local
+  /// cache chains to the heap before the next wait, so memory hoarded in
+  /// per-thread caches becomes allocatable by anyone.  0 flushes before
+  /// the first wait.
+  unsigned EmergencyAfter = 3;
+  /// Last-resort hook; when absent, an exhausted ladder aborts the process
+  /// (the pre-hardening behavior).
+  OomHandler Handler;
 };
 
 /// One registered program thread.
@@ -66,13 +109,27 @@ public:
   /// Allocates an object with \p RefSlots cleared pointer fields and
   /// \p DataBytes of uninitialized scalar payload.  The object is created
   /// with the current allocation color (Section 5: there is no create/sweep
-  /// race to resolve).  Never returns NullRef: on heap exhaustion it waits
-  /// for collections via the MemoryWaiter and aborts the process if that
-  /// cannot help.
+  /// race to resolve).  On heap exhaustion it runs the escalation ladder:
+  /// wait for collections via the MemoryWaiter (with the configured retry
+  /// budget), flush the thread-local caches after a few futile waits, and
+  /// finally consult the installed OomHandler.  Returns NullRef only if the
+  /// handler chose GiveUp; with no handler an exhausted ladder aborts the
+  /// process (the classic behavior).
   ObjectRef allocate(uint32_t RefSlots, uint32_t DataBytes, uint16_t Tag = 0);
+
+  /// Non-blocking variant of allocate: a single pass over the thread cache
+  /// and the shared heap, returning NullRef on exhaustion instead of
+  /// waiting, escalating or aborting.  For embedders that prefer to handle
+  /// memory pressure at the call site.
+  ObjectRef tryAllocate(uint32_t RefSlots, uint32_t DataBytes,
+                        uint16_t Tag = 0);
 
   /// Installs the back-pressure hook (done by core/Runtime).
   void setMemoryWaiter(MemoryWaiter *Waiter) { this->Waiter = Waiter; }
+
+  /// Installs the out-of-memory policy (done by core/Runtime; the config
+  /// must outlive the mutator).  Null restores the built-in defaults.
+  void setOomConfig(const OomConfig *Config) { Oom = Config; }
 
   /// Connects this mutator to the observability subsystem (done by
   /// core/Runtime): latency samples go to \p Registry's histograms, and —
@@ -149,6 +206,17 @@ public:
   /// Called with the registry lock held while waiting out a handshake.
   void helpIfBlocked();
 
+  /// Watchdog side: snapshots this mutator's responsiveness state for a
+  /// stall report.  All reads are relaxed — the snapshot is advisory.
+  MutatorDiag diag() const {
+    MutatorDiag D;
+    D.Adopted = StatusM.load(std::memory_order_relaxed);
+    D.Blocked = Blocked.load(std::memory_order_relaxed);
+    D.LastResponseNanos = LastResponseNanos.load(std::memory_order_relaxed);
+    D.AllocatedObjects = AllocObjects.load(std::memory_order_relaxed);
+    return D;
+  }
+
   //===--------------------------------------------------------------------===
   // Statistics.
   //===--------------------------------------------------------------------===
@@ -216,16 +284,40 @@ private:
   /// allocation budget is exhausted (see CollectorState::ThrottleBytes).
   void maybeThrottleAllocation();
 
-  /// Refills the cache of \p ClassIdx, waiting for collections if needed.
-  void refillCache(unsigned ClassIdx);
+  /// Shared body of allocate / tryAllocate; \p MayBlock selects between the
+  /// escalation ladder and the single-pass NullRef-on-exhaustion contract.
+  ObjectRef allocateImpl(uint32_t RefSlots, uint32_t DataBytes, uint16_t Tag,
+                         bool MayBlock);
 
-  /// Allocation slow path for objects above MaxSmallObjectBytes.
-  ObjectRef allocateLarge(uint32_t Bytes);
+  /// Refills the cache of \p ClassIdx; \returns false on exhaustion (only
+  /// possible when \p MayBlock is false or the OomHandler gave up).
+  bool refillCache(unsigned ClassIdx, bool MayBlock);
+
+  /// Allocation slow path for objects above MaxSmallObjectBytes; NullRef on
+  /// exhaustion under the same contract as refillCache.
+  ObjectRef allocateLarge(uint32_t Bytes, bool MayBlock);
+
+  /// The out-of-memory escalation ladder shared by the two slow paths.
+  /// Calls \p TryOnce() until it succeeds, interleaving waitForMemory
+  /// rounds, a cache flush (sparing \p ExceptClass) on the emergency rung
+  /// and finally the OomHandler.  Defined in Mutator.cpp; both callers live
+  /// there.
+  template <typename TryFn>
+  bool runOomLadder(bool MayBlock, bool Large, uint64_t RequestBytes,
+                    unsigned ExceptClass, TryFn TryOnce,
+                    const char *NoWaiterMsg, const char *ExhaustedMsg);
+
+  /// Returns every thread-local cache chain except \p ExceptClass to the
+  /// heap (the emergency rung of the ladder).
+  void flushLocalCaches(unsigned ExceptClass);
 
   Heap &H;
   CollectorState &State;
   MutatorRegistry &Registry;
   MemoryWaiter *Waiter = nullptr;
+
+  /// Out-of-memory policy; null means built-in defaults (see OomConfig).
+  const OomConfig *Oom = nullptr;
 
   /// Observability hookup (see setObsRegistry); null for bare mutators.
   /// Ring is single-producer by protocol: this thread emits while running
@@ -240,7 +332,16 @@ private:
   /// Serializes handshake responses between the mutator and a helping
   /// collector (when blocked).
   std::mutex CoopMutex;
-  bool Blocked = false;
+
+  /// Whether this thread has declared itself blocked.  Written under
+  /// CoopMutex (the protocol reads are all lock-protected too); atomic so
+  /// the watchdog's diag() snapshot can read it without taking the mutex
+  /// of a possibly-wedged thread.
+  std::atomic<bool> Blocked{false};
+
+  /// nowNanos() of this thread's most recent handshake response or blocked
+  /// transition; 0 until the first one.  Watchdog diagnostics only.
+  std::atomic<uint64_t> LastResponseNanos{0};
 
   /// The CollectorState::StopEpoch this thread last parked-and-shaded for;
   /// 0 while not parked (epochs start at 1).

@@ -1,0 +1,45 @@
+//===- runtime/Watchdog.cpp - Handshake/cycle stall detection --------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "runtime/Watchdog.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+using namespace gengc;
+
+const char *gengc::handshakeStatusName(HandshakeStatus Status) {
+  switch (Status) {
+  case HandshakeStatus::Async:
+    return "async";
+  case HandshakeStatus::Sync1:
+    return "sync1";
+  case HandshakeStatus::Sync2:
+    return "sync2";
+  }
+  return "invalid";
+}
+
+void gengc::dumpStallReport(const StallReport &Report) {
+  std::fprintf(stderr,
+               "gengc watchdog: %s stalled for %.1f ms (posted status %s, "
+               "%zu mutators)\n",
+               Report.What, double(Report.WaitedNanos) / 1e6,
+               handshakeStatusName(Report.Posted), Report.Mutators.size());
+  for (size_t I = 0; I < Report.Mutators.size(); ++I) {
+    const MutatorDiag &D = Report.Mutators[I];
+    double SinceMs =
+        D.LastResponseNanos == 0 || D.LastResponseNanos > Report.NowNanos
+            ? -1.0
+            : double(Report.NowNanos - D.LastResponseNanos) / 1e6;
+    std::fprintf(stderr,
+                 "  mutator %zu: adopted=%s blocked=%d allocated=%" PRIu64
+                 " last-response=%+.1f ms%s\n",
+                 I, handshakeStatusName(D.Adopted), int(D.Blocked),
+                 D.AllocatedObjects, SinceMs < 0 ? 0.0 : -SinceMs,
+                 SinceMs < 0 ? " (never)" : "");
+  }
+}

@@ -1,0 +1,104 @@
+//===- runtime/Watchdog.h - Handshake/cycle stall detection -----*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Stall detection for the on-the-fly protocol.  The soft handshake is the
+/// one place where the collector depends on every mutator: a thread that
+/// stops calling cooperate() without declaring itself blocked wedges
+/// waitHandshake() forever, and nothing in the paper's protocol can tell
+/// "slow" from "stuck".  The watchdog bounds that wait with a configurable
+/// deadline; on expiry it snapshots per-mutator diagnostics (posted vs.
+/// adopted status, blocked flag, time since the last handshake response)
+/// and applies a policy: log the report, hand it to an embedder callback,
+/// or abort.  A second, independent deadline covers the whole collection
+/// cycle, catching stalls inside the phases themselves.
+///
+/// Detection never unwedges the protocol — a stuck mutator stays stuck and
+/// the wait continues after the report — but it converts a silent hang into
+/// an actionable diagnosis, which is what an embedder's own supervisor
+/// needs to decide whether to kill the thread, the runtime, or the process.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_RUNTIME_WATCHDOG_H
+#define GENGC_RUNTIME_WATCHDOG_H
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "runtime/CollectorState.h"
+
+namespace gengc {
+
+/// Returns a printable name for \p Status (diagnostics).
+const char *handshakeStatusName(HandshakeStatus Status);
+
+/// What the watchdog does when a deadline expires.
+enum class WatchdogPolicy : uint8_t {
+  /// Print the stall report to stderr.
+  Log = 0,
+  /// Invoke WatchdogConfig::OnStall with the report (no stderr traffic).
+  Callback,
+  /// Print the report and abort the process — for deployments where a
+  /// wedged collector is worse than a dead one.
+  Abort,
+};
+
+/// Point-in-time diagnosis of one registered mutator, taken while a stall
+/// report is assembled.  All fields are racy snapshots of live state.
+struct MutatorDiag {
+  /// The handshake status this mutator has adopted.
+  HandshakeStatus Adopted = HandshakeStatus::Async;
+  /// Whether the thread has declared itself blocked (the collector responds
+  /// on its behalf, so a blocked thread cannot cause a stall).
+  bool Blocked = false;
+  /// nowNanos() of this thread's most recent handshake response (adoption,
+  /// enterBlocked or exitBlocked); 0 if it has never responded.
+  uint64_t LastResponseNanos = 0;
+  /// Objects this mutator has allocated so far (helps tell an idle thread
+  /// from a hot one in the dump).
+  uint64_t AllocatedObjects = 0;
+};
+
+/// Everything the watchdog knows when a deadline expires.
+struct StallReport {
+  /// What stalled: "handshake" or "cycle".
+  const char *What = "handshake";
+  /// The status the collector had posted when the watchdog fired.
+  HandshakeStatus Posted = HandshakeStatus::Async;
+  /// How long the collector had been waiting, in nanoseconds.
+  uint64_t WaitedNanos = 0;
+  /// nowNanos() when the report was assembled (compare against each
+  /// mutator's LastResponseNanos).
+  uint64_t NowNanos = 0;
+  /// One diagnosis per registered mutator, registry order.
+  std::vector<MutatorDiag> Mutators;
+};
+
+/// Static watchdog configuration (part of CollectorConfig).
+struct WatchdogConfig {
+  /// Deadline for one handshake wait, in nanoseconds; 0 disables the
+  /// handshake watchdog.  Fires at most once per wait.
+  uint64_t DeadlineNanos = 0;
+  /// Deadline for one whole collection cycle, in nanoseconds; 0 disables.
+  /// Checked when the cycle completes (a mid-cycle stall always surfaces
+  /// through a handshake wait first, which the deadline above covers).
+  uint64_t CycleDeadlineNanos = 0;
+  /// What to do on expiry.
+  WatchdogPolicy Policy = WatchdogPolicy::Log;
+  /// The embedder callback for WatchdogPolicy::Callback.  Runs on the
+  /// waiting (collector) thread; must not block on the GC or allocate
+  /// through a registered mutator.
+  std::function<void(const StallReport &)> OnStall;
+};
+
+/// Prints \p Report to stderr, one line per mutator.
+void dumpStallReport(const StallReport &Report);
+
+} // namespace gengc
+
+#endif // GENGC_RUNTIME_WATCHDOG_H

@@ -1,0 +1,59 @@
+//===- support/Backoff.h - Capped exponential backoff ----------*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small capped-exponential-backoff helper for the runtime's wait loops
+/// (allocation throttling, stop-the-world parking, out-of-memory waits,
+/// synchronous-cycle polling).  Fixed-period sleeps force a bad trade-off:
+/// a short period burns CPU for the whole (possibly long) wait, a long one
+/// adds latency to the (common) short wait.  Doubling the sleep from a
+/// fine-grained start up to a cap keeps short waits responsive and long
+/// waits cheap, without any shared state or configuration.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_SUPPORT_BACKOFF_H
+#define GENGC_SUPPORT_BACKOFF_H
+
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+namespace gengc {
+
+/// Capped exponential backoff: each pause() sleeps the current delay and
+/// doubles it, saturating at the cap.  Stateless apart from the current
+/// delay, so it is cheap to construct one per wait.
+class Backoff {
+public:
+  /// \p InitialNanos is the first pause length, \p CapNanos the saturation
+  /// point (both must be positive; Initial is clamped to the cap).
+  Backoff(uint64_t InitialNanos, uint64_t CapNanos)
+      : Current(InitialNanos < CapNanos ? InitialNanos : CapNanos),
+        Initial(Current), Cap(CapNanos) {}
+
+  /// Sleeps for the current delay, then doubles it up to the cap.
+  void pause() {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(Current));
+    Current = Current >= Cap / 2 ? Cap : Current * 2;
+  }
+
+  /// The delay the next pause() would sleep, in nanoseconds.
+  uint64_t currentNanos() const { return Current; }
+
+  /// Restarts the schedule from the initial delay (call when the awaited
+  /// condition made progress, so the next wait starts fine-grained again).
+  void reset() { Current = Initial; }
+
+private:
+  uint64_t Current;
+  uint64_t Initial;
+  uint64_t Cap;
+};
+
+} // namespace gengc
+
+#endif // GENGC_SUPPORT_BACKOFF_H

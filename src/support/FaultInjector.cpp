@@ -1,0 +1,103 @@
+//===- support/FaultInjector.cpp - Deterministic fault injection -----------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "support/FaultInjector.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "support/Random.h"
+
+using namespace gengc;
+
+namespace {
+/// Slow-path state of one site, touched only while the site is armed.
+struct SiteState {
+  std::mutex Mutex;
+  FaultConfig Config;
+  Rng Stream;
+  uint64_t Hits = 0;
+};
+
+SiteState &siteState(FaultSite Site) {
+  // Function-local so the registry needs no static-initialization ordering
+  // guarantees relative to tests that arm sites from global fixtures.
+  static SiteState States[NumFaultSites];
+  return States[unsigned(Site)];
+}
+} // namespace
+
+std::atomic<uint32_t> FaultInjector::ArmedMask{0};
+
+const char *gengc::faultSiteName(FaultSite Site) {
+  switch (Site) {
+  case FaultSite::AllocFail:
+    return "alloc-fail";
+  case FaultSite::HandshakeDelay:
+    return "handshake-delay";
+  case FaultSite::WorkerLaneStall:
+    return "worker-lane-stall";
+  case FaultSite::CardScanDelay:
+    return "card-scan-delay";
+  }
+  return "invalid";
+}
+
+void FaultInjector::arm(FaultSite Site, const FaultConfig &Config,
+                        uint64_t Seed) {
+  SiteState &S = siteState(Site);
+  {
+    std::scoped_lock Locked(S.Mutex);
+    S.Config = Config;
+    S.Stream.reseed(Seed);
+    S.Hits = 0;
+  }
+  ArmedMask.fetch_or(1u << unsigned(Site), std::memory_order_relaxed);
+}
+
+void FaultInjector::disarm(FaultSite Site) {
+  ArmedMask.fetch_and(~(1u << unsigned(Site)), std::memory_order_relaxed);
+}
+
+void FaultInjector::disarmAll() {
+  ArmedMask.store(0, std::memory_order_relaxed);
+  for (unsigned I = 0; I < NumFaultSites; ++I) {
+    SiteState &S = siteState(FaultSite(I));
+    std::scoped_lock Locked(S.Mutex);
+    S.Hits = 0;
+  }
+}
+
+uint64_t FaultInjector::hitCount(FaultSite Site) {
+  SiteState &S = siteState(Site);
+  std::scoped_lock Locked(S.Mutex);
+  return S.Hits;
+}
+
+bool FaultInjector::fireSlow(FaultSite Site) {
+  SiteState &S = siteState(Site);
+  uint64_t DelayNanos = 0;
+  {
+    std::scoped_lock Locked(S.Mutex);
+    // Re-check under the lock: a racing disarm between the fast-path load
+    // and here must not fire.
+    if ((ArmedMask.load(std::memory_order_relaxed) &
+         (1u << unsigned(Site))) == 0)
+      return false;
+    if (S.Config.MaxHits != 0 && S.Hits >= S.Config.MaxHits)
+      return false;
+    if (!S.Stream.nextBool(S.Config.Probability))
+      return false;
+    ++S.Hits;
+    DelayNanos = S.Config.DelayNanos;
+  }
+  // Sleep outside the lock so a delay site never serializes other threads
+  // consulting the same site.
+  if (DelayNanos != 0)
+    std::this_thread::sleep_for(std::chrono::nanoseconds(DelayNanos));
+  return true;
+}

@@ -1,0 +1,206 @@
+//===- tests/gc/HeapVerifierTest.cpp ---------------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// The heap-invariant verifier: a healthy heap passes every scope, each
+// class of induced corruption (wrong free-cell color, dirty card without a
+// summary, clear-colored survivors, clear-referencing traced objects) is
+// reported, and the collector-integrated mode (VerifyHeap /
+// GENGC_VERIFY_HEAP) runs clean at every phase boundary of real cycles.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/Runtime.h"
+#include "gc/HeapVerifier.h"
+
+using namespace gengc;
+
+namespace {
+
+bool anyViolationContains(const HeapVerifier::Report &R,
+                          const std::string &Needle) {
+  for (const std::string &V : R.Violations)
+    if (V.find(Needle) != std::string::npos)
+      return true;
+  return false;
+}
+
+struct HeapVerifierTest : ::testing::Test {
+  HeapVerifierTest()
+      : H(HeapConfig{.HeapBytes = 8 << 20}), Registry(State),
+        M(H, State, Registry), V(H, State) {}
+
+  Heap H;
+  CollectorState State;
+  MutatorRegistry Registry;
+  Mutator M;
+  HeapVerifier V;
+};
+
+TEST_F(HeapVerifierTest, CleanHeapPassesEveryScope) {
+  // A small object graph: parents pointing at sons, plus a large object.
+  for (int I = 0; I < 100; ++I) {
+    ObjectRef Parent = M.allocate(2, 8);
+    ObjectRef Son = M.allocate(0, 16);
+    M.writeRef(Parent, 0, Son);
+  }
+  M.allocate(1, 100 << 10);
+
+  for (VerifyScope Scope : {VerifyScope::Concurrent, VerifyScope::CycleEnd}) {
+    HeapVerifier::Report R = V.run(Scope, State.allocationColor());
+    EXPECT_TRUE(R.clean()) << verifyScopeName(Scope) << ": "
+                           << (R.Violations.empty() ? "" : R.Violations[0]);
+    EXPECT_GT(R.ChecksRun, 0u);
+  }
+  // Fresh allocations carry the allocation color and only reference other
+  // allocation-colored objects, so the post-trace check passes with the
+  // allocation color as "traced black".
+  HeapVerifier::Report R =
+      V.run(VerifyScope::PostTraceFull, State.allocationColor());
+  EXPECT_TRUE(R.clean()) << (R.Violations.empty() ? "" : R.Violations[0]);
+}
+
+TEST_F(HeapVerifierTest, ScopeNames) {
+  EXPECT_STREQ(verifyScopeName(VerifyScope::Concurrent), "concurrent");
+  EXPECT_STREQ(verifyScopeName(VerifyScope::PostTraceFull), "post-trace-full");
+  EXPECT_STREQ(verifyScopeName(VerifyScope::CycleEnd), "cycle-end");
+}
+
+TEST_F(HeapVerifierTest, DetectsNonBlueFreeCell) {
+  // Corrupt a parked central chain: free cells must be Blue.
+  Heap::CellChain Chain = H.popFreeChain(0);
+  ASSERT_GT(Chain.Count, 0u);
+  H.storeColor(Chain.Head, Color::Gray);
+  H.pushFreeChain(0, Chain);
+
+  HeapVerifier::Report R = V.run(VerifyScope::Concurrent);
+  EXPECT_FALSE(R.clean());
+  EXPECT_TRUE(anyViolationContains(R, "free"));
+
+  // Repair so the fixture's teardown leaves a sane heap.
+  H.storeColor(Chain.Head, Color::Blue);
+}
+
+TEST_F(HeapVerifierTest, DetectsDirtyCardWithoutSummary) {
+  ObjectRef Ref = M.allocate(1, 8);
+  size_t Card = H.cards().cardIndexFor(Ref);
+  H.cards().markCardIndex(Card);
+  H.cards().clearSummaryUncontended(H.cards().summaryChunkFor(Card));
+
+  HeapVerifier::Report R = V.run(VerifyScope::Concurrent);
+  EXPECT_FALSE(R.clean());
+  EXPECT_TRUE(anyViolationContains(R, "summary"));
+
+  H.cards().clearCardUncontended(Card);
+}
+
+TEST_F(HeapVerifierTest, DetectsClearColoredCellAtCycleEnd) {
+  ObjectRef Ref = M.allocate(1, 8);
+  H.storeColor(Ref, State.clearColor());
+
+  EXPECT_TRUE(V.run(VerifyScope::Concurrent).clean())
+      << "a clear-colored object is legal mid-cycle";
+  HeapVerifier::Report R = V.run(VerifyScope::CycleEnd);
+  EXPECT_FALSE(R.clean());
+  EXPECT_TRUE(anyViolationContains(R, "clear"));
+
+  H.storeColor(Ref, State.allocationColor());
+}
+
+TEST_F(HeapVerifierTest, DetectsTracedObjectReferencingClearObject) {
+  ObjectRef Parent = M.allocate(1, 8);
+  ObjectRef Son = M.allocate(0, 8);
+  M.writeRef(Parent, 0, Son);
+  H.storeColor(Son, State.clearColor());
+
+  HeapVerifier::Report R =
+      V.run(VerifyScope::PostTraceFull, State.allocationColor());
+  EXPECT_FALSE(R.clean());
+
+  H.storeColor(Son, State.allocationColor());
+}
+
+//===----------------------------------------------------------------------===//
+// Collector integration: VerifyHeap runs the verifier at every phase
+// boundary of real cycles without tripping (the checks must absorb every
+// transient the protocol permits), and emits VerifyPass events.
+//===----------------------------------------------------------------------===//
+
+RuntimeConfig verifyingConfig(CollectorChoice Choice) {
+  RuntimeConfig Config;
+  Config.Heap.HeapBytes = 8 << 20;
+  Config.Choice = Choice;
+  Config.Collector.Trigger.YoungBytes = 1ull << 40;
+  Config.Collector.Trigger.InitialSoftBytes = 8 << 20;
+  Config.Collector.Trigger.FullFraction = 100.0;
+  Config.Collector.VerifyHeap = true;
+  Config.Collector.Obs.Tracing = true;
+  return Config;
+}
+
+// Builds garbage and live structure, then runs partial and full cycles.
+// A confirmed violation would abort the process, so surviving with
+// VerifyPass events recorded is the assertion.
+void churnAndCollect(RuntimeConfig Config) {
+  Runtime RT(Config);
+  auto M = RT.attachMutator();
+  ObjectRef List = NullRef;
+  for (int Round = 0; Round < 3; ++Round) {
+    for (int I = 0; I < 2000; ++I) {
+      ObjectRef Node = M->allocate(2, 8);
+      M->writeRef(Node, 0, List);
+      if (I % 3 != 0)
+        List = Node; // two thirds stay live, one third is garbage
+      M->cooperate();
+    }
+    size_t Slot = M->pushRoot(List);
+    RT.collector().collectSyncCooperating(CycleRequest::Partial, *M);
+    RT.collector().collectSyncCooperating(CycleRequest::Full, *M);
+    List = M->root(Slot);
+    M->popRoots();
+  }
+
+  TraceSnapshot Snap = RT.traceSnapshot();
+  uint64_t Passes = 0;
+  bool SawPostTrace = false, SawCycleEnd = false;
+  for (const TraceSnapshot::TraceEvent &E : Snap.Events) {
+    if (E.Kind != ObsEventKind::VerifyPass)
+      continue;
+    ++Passes;
+    EXPECT_GT(E.Arg1, 0u) << "a pass runs a positive number of checks";
+    if (VerifyScope(E.Arg0) == VerifyScope::PostTraceFull)
+      SawPostTrace = true;
+    if (VerifyScope(E.Arg0) == VerifyScope::CycleEnd)
+      SawCycleEnd = true;
+  }
+  EXPECT_GT(Passes, 0u);
+  EXPECT_TRUE(SawPostTrace) << "full cycles run the tri-color check";
+  EXPECT_TRUE(SawCycleEnd) << "sweep boundaries run the clear-color check";
+}
+
+TEST(HeapVerifierRuntime, GenerationalCyclesVerifyClean) {
+  churnAndCollect(verifyingConfig(CollectorChoice::Generational));
+}
+
+TEST(HeapVerifierRuntime, AgingCyclesVerifyClean) {
+  RuntimeConfig Config = verifyingConfig(CollectorChoice::Generational);
+  Config.Collector.Aging = true;
+  Config.Collector.OldestAge = 2;
+  churnAndCollect(Config);
+}
+
+TEST(HeapVerifierRuntime, DlgCyclesVerifyClean) {
+  churnAndCollect(verifyingConfig(CollectorChoice::NonGenerational));
+}
+
+TEST(HeapVerifierRuntime, StwCyclesVerifyClean) {
+  churnAndCollect(verifyingConfig(CollectorChoice::StopTheWorld));
+}
+
+} // namespace

@@ -1,0 +1,210 @@
+//===- tests/runtime/OomTest.cpp -------------------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// The recoverable out-of-memory ladder: heap exhaustion escalates through
+// waitForMemory rounds, an emergency cache flush and the installed
+// OomHandler instead of aborting the process, tryAllocate reports
+// exhaustion as NullRef, and the classic no-handler abort behavior (with
+// its exact messages) is pinned by death tests.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "core/Runtime.h"
+
+using namespace gengc;
+
+namespace {
+
+// A deliberately tiny heap with automatic triggering disabled: cycles run
+// only when the OOM ladder (or the test) asks for them.
+RuntimeConfig tinyHeapConfig() {
+  RuntimeConfig Config;
+  Config.Heap.HeapBytes = 2 << 20;
+  Config.Choice = CollectorChoice::Generational;
+  Config.Collector.Trigger.YoungBytes = 1ull << 40;
+  Config.Collector.Trigger.InitialSoftBytes = 1ull << 40;
+  Config.Collector.Trigger.FullFraction = 100.0;
+  Config.Oom.RetryAttempts = 3;
+  Config.Oom.EmergencyAfter = 1;
+  return Config;
+}
+
+// Roots objects until tryAllocate reports exhaustion.  Returns the number
+// of objects rooted.
+size_t fillHeap(Mutator &M, uint32_t RefSlots = 1, uint32_t DataBytes = 24) {
+  size_t Rooted = 0;
+  for (;;) {
+    ObjectRef Ref = M.tryAllocate(RefSlots, DataBytes);
+    if (Ref == NullRef)
+      return Rooted;
+    M.pushRoot(Ref);
+    ++Rooted;
+  }
+}
+
+TEST(Oom, TryAllocateReturnsNullOnExhaustionAndRecovers) {
+  Runtime RT(tinyHeapConfig());
+  auto M = RT.attachMutator();
+
+  size_t Rooted = fillHeap(*M);
+  EXPECT_GT(Rooted, 1000u) << "a 2 MB heap holds many 32-byte cells";
+  EXPECT_EQ(M->tryAllocate(1, 24), NullRef) << "still exhausted";
+
+  // Drop everything and reclaim; tryAllocate works again.
+  M->popRoots(M->numRoots());
+  RT.collector().collectSyncCooperating(CycleRequest::Full, *M);
+  RT.collector().collectSyncCooperating(CycleRequest::Full, *M);
+  EXPECT_NE(M->tryAllocate(1, 24), NullRef);
+}
+
+TEST(Oom, HandlerRecoversSmallAllocation) {
+  RuntimeConfig Config = tinyHeapConfig();
+  std::atomic<unsigned> HandlerCalls{0};
+  Config.Oom.Handler = [&](Mutator &M, const OomInfo &Info) {
+    ++HandlerCalls;
+    EXPECT_FALSE(Info.LargeObject);
+    EXPECT_GE(Info.Attempts, 3u) << "the whole retry budget ran first";
+    EXPECT_GT(Info.RequestBytes, 0u);
+    M.popRoots(M.numRoots()); // free the world, then retry
+    return OomAction::Retry;
+  };
+  Runtime RT(Config);
+  auto M = RT.attachMutator();
+
+  fillHeap(*M);
+  // Everything is rooted, so the ladder's collections reclaim nothing until
+  // the handler drops the roots.
+  ObjectRef Ref = M->allocate(1, 24);
+  EXPECT_NE(Ref, NullRef);
+  EXPECT_GE(HandlerCalls.load(), 1u);
+  EXPECT_GT(RT.collector().memoryWaits(), 0u);
+  M->popRoots(M->numRoots());
+}
+
+TEST(Oom, HandlerRecoversLargeAllocation) {
+  RuntimeConfig Config = tinyHeapConfig();
+  std::atomic<unsigned> HandlerCalls{0};
+  Config.Oom.Handler = [&](Mutator &M, const OomInfo &Info) {
+    ++HandlerCalls;
+    EXPECT_TRUE(Info.LargeObject);
+    M.popRoots(M.numRoots());
+    return OomAction::Retry;
+  };
+  Runtime RT(Config);
+  auto M = RT.attachMutator();
+
+  // Fill with rooted large objects (block runs), then ask for one more.
+  fillHeap(*M, 2, 100 << 10);
+  ObjectRef Ref = M->allocate(2, 100 << 10);
+  EXPECT_NE(Ref, NullRef);
+  EXPECT_GE(HandlerCalls.load(), 1u);
+  M->popRoots(M->numRoots());
+}
+
+TEST(Oom, GiveUpMakesAllocateReturnNull) {
+  RuntimeConfig Config = tinyHeapConfig();
+  std::atomic<unsigned> HandlerCalls{0};
+  Config.Oom.Handler = [&](Mutator &, const OomInfo &) {
+    ++HandlerCalls;
+    return OomAction::GiveUp;
+  };
+  Runtime RT(Config);
+  auto M = RT.attachMutator();
+
+  fillHeap(*M);
+  EXPECT_EQ(M->allocate(1, 24), NullRef);
+  EXPECT_EQ(HandlerCalls.load(), 1u);
+
+  // The mutator is still usable: drop the roots and allocate again.
+  M->popRoots(M->numRoots());
+  RT.collector().collectSyncCooperating(CycleRequest::Full, *M);
+  RT.collector().collectSyncCooperating(CycleRequest::Full, *M);
+  EXPECT_NE(M->allocate(1, 24), NullRef);
+  M->popRoots(M->numRoots());
+}
+
+TEST(Oom, EscalationEventsAreEmitted) {
+  RuntimeConfig Config = tinyHeapConfig();
+  Config.Collector.Obs.Tracing = true;
+  Config.Oom.Handler = [](Mutator &, const OomInfo &) {
+    return OomAction::GiveUp;
+  };
+  Runtime RT(Config);
+  auto M = RT.attachMutator();
+
+  fillHeap(*M);
+  EXPECT_EQ(M->allocate(1, 24), NullRef);
+  M->popRoots(M->numRoots());
+
+  // The ladder emitted one OomEscalation per rung: Wait and Emergency
+  // rounds, the Handler consultation and the GaveUp verdict.
+  TraceSnapshot Snap = RT.traceSnapshot();
+  bool SawWait = false, SawEmergency = false, SawHandler = false,
+       SawGaveUp = false;
+  for (const TraceSnapshot::TraceEvent &E : Snap.Events) {
+    if (E.Kind != ObsEventKind::OomEscalation)
+      continue;
+    switch (OomEscalationStep(E.Arg0)) {
+    case OomEscalationStep::Wait:
+      SawWait = true;
+      break;
+    case OomEscalationStep::Emergency:
+      SawEmergency = true;
+      break;
+    case OomEscalationStep::Handler:
+      SawHandler = true;
+      break;
+    case OomEscalationStep::GaveUp:
+      SawGaveUp = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(SawWait);
+  EXPECT_TRUE(SawEmergency);
+  EXPECT_TRUE(SawHandler);
+  EXPECT_TRUE(SawGaveUp);
+}
+
+TEST(Oom, ValidateRejectsZeroRetryAttempts) {
+  RuntimeConfig Config = tinyHeapConfig();
+  Config.Oom.RetryAttempts = 0;
+  EXPECT_NE(Config.validate().find("RetryAttempts"), std::string::npos);
+}
+
+// The classic behavior is pinned: a bare mutator (no MemoryWaiter, the
+// unit-test construction) still aborts with the historical messages.
+TEST(OomDeathTest, NoWaiterAbortsOnSmallExhaustion) {
+  EXPECT_DEATH(
+      {
+        Heap H(HeapConfig{.HeapBytes = 2 << 20});
+        CollectorState State;
+        MutatorRegistry Registry(State);
+        Mutator M(H, State, Registry);
+        for (int I = 0; I < 200000; ++I)
+          M.allocate(1, 24);
+      },
+      "heap exhausted and no memory waiter installed");
+}
+
+TEST(OomDeathTest, NoWaiterAbortsOnLargeExhaustion) {
+  EXPECT_DEATH(
+      {
+        Heap H(HeapConfig{.HeapBytes = 2 << 20});
+        CollectorState State;
+        MutatorRegistry Registry(State);
+        Mutator M(H, State, Registry);
+        for (int I = 0; I < 64; ++I)
+          M.allocate(2, 200 << 10);
+      },
+      "heap exhausted \\(large\\) and no memory waiter installed");
+}
+
+} // namespace
