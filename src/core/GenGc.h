@@ -1,0 +1,20 @@
+//===- core/GenGc.h - Umbrella header for embedders -------------*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one include an embedding program needs: the Runtime (configuration,
+/// collector selection, mutator attachment, metrics) plus the RAII
+/// RootScope helper for shadow-stack roots.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_CORE_GENGC_H
+#define GENGC_CORE_GENGC_H
+
+#include "core/Runtime.h"
+#include "runtime/RootScope.h"
+
+#endif // GENGC_CORE_GENGC_H

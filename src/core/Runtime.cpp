@@ -28,6 +28,14 @@ std::string RuntimeConfig::validate() const {
   if (Heap.ChainCells == 0)
     return "ChainCells must be positive (free memory moves in chains)";
 
+  // Central free-list sharding.  Shard indices must fit the per-block
+  // HomeShard byte and the power-of-two mask arithmetic.
+  if (Heap.AllocShards != 0 &&
+      (!isPowerOf2(uint64_t(Heap.AllocShards)) || Heap.AllocShards > 256))
+    return "AllocShards must be 0 (auto) or a power of two in [1, 256]";
+  if (Heap.RefillBatchMax < 1)
+    return "RefillBatchMax must be at least 1 (1 disables batched refill)";
+
   // Trigger thresholds.  Values LARGER than the heap are deliberately
   // legal: "YoungBytes = 1 TB" / "FullFraction > 1" is the idiom for
   // disabling automatic triggering (tests drive cycles manually).  Only
@@ -148,5 +156,10 @@ MetricsSnapshot Runtime::metrics() const {
   M.StallNanos = HistogramSnapshot::of(Obs.stallHistogram());
   M.StwPauseNanos = HistogramSnapshot::of(Obs.stwPauseHistogram());
   M.HandshakeNanos = HistogramSnapshot::of(Obs.handshakeHistogram());
+  M.AllocRefills = TheHeap.refillCount();
+  M.AllocRefillSteals = TheHeap.refillStealCount();
+  M.AllocCarveFallbacks = TheHeap.carveFallbackCount();
+  M.AllocShardContentions = TheHeap.shardContentionCount();
+  M.AllocShardCount = TheHeap.allocShards();
   return M;
 }

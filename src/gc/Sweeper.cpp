@@ -66,6 +66,9 @@ void Sweeper::sweepBlockRange(SweepMode Mode, uint8_t OldestAge,
       continue;
 
     unsigned ClassIdx = Desc.SizeClassIdx;
+    // Freed cells return to the shard that carved this block, so the
+    // mutators hashed there get their recently-touched memory back.
+    Heap::CellChain &Chain = chainFor(ClassIdx, Desc.HomeShard);
     Pages.touchRange(Region::ColorTable, Base >> GranuleShift,
                      Heap::BlockBytes >> GranuleShift);
     for (uint32_t Cell = 0; Cell < Desc.NumCells; ++Cell) {
@@ -80,13 +83,13 @@ void Sweeper::sweepBlockRange(SweepMode Mode, uint8_t OldestAge,
           Pages.touch(Region::Arena, Ref);
           if (Mode == SweepMode::GenerationalAging)
             H.ages().setAge(Ref, 0);
-          H.setChainNext(Ref, Chains[ClassIdx].Head);
-          Chains[ClassIdx].Head = Ref;
+          H.setChainNext(Ref, Chain.Head);
+          Chain.Head = Ref;
           ++R.ObjectsFreed;
           R.BytesFreed += Desc.CellBytes;
-          if (++Chains[ClassIdx].Count == H.config().ChainCells) {
-            H.pushFreeChain(ClassIdx, Chains[ClassIdx]);
-            Chains[ClassIdx] = Heap::CellChain();
+          if (++Chain.Count == H.config().ChainCells) {
+            H.pushFreeChain(ClassIdx, Chain, Desc.HomeShard);
+            Chain = Heap::CellChain();
           }
           continue;
         }
@@ -100,10 +103,14 @@ void Sweeper::sweepBlockRange(SweepMode Mode, uint8_t OldestAge,
 }
 
 void Sweeper::flushChains() {
+  unsigned Shards = H.allocShards();
   for (unsigned ClassIdx = 0; ClassIdx < NumSizeClasses; ++ClassIdx) {
-    if (Chains[ClassIdx].Count != 0) {
-      H.pushFreeChain(ClassIdx, Chains[ClassIdx]);
-      Chains[ClassIdx] = Heap::CellChain();
+    for (unsigned Shard = 0; Shard < Shards; ++Shard) {
+      Heap::CellChain &Chain = chainFor(ClassIdx, Shard);
+      if (Chain.Count != 0) {
+        H.pushFreeChain(ClassIdx, Chain, Shard);
+        Chain = Heap::CellChain();
+      }
     }
   }
 }

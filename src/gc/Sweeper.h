@@ -75,7 +75,9 @@ public:
     }
   };
 
-  Sweeper(Heap &H, CollectorState &S) : H(H), State(S) {}
+  Sweeper(Heap &H, CollectorState &S)
+      : H(H), State(S),
+        Chains(size_t(NumSizeClasses) * H.allocShards()) {}
 
   /// Sweeps the whole heap.  \p OldestAge is the tenuring threshold (aging
   /// mode only).
@@ -87,7 +89,8 @@ public:
   void sweepBlockRange(SweepMode Mode, uint8_t OldestAge, size_t BlockBegin,
                        size_t BlockEnd, Result &R);
 
-  /// Returns all pending per-class chains to the heap's central lists.
+  /// Returns all pending chains to the heap's central lists, each to the
+  /// shard of the block it came from.
   void flushChains();
 
 private:
@@ -98,9 +101,16 @@ private:
 
   Heap &H;
   CollectorState &State;
-  /// Freed cells pending return to the central lists, one chain per size
+  /// Freed cells pending return to the central lists, one chain per
+  /// (size class, home shard) — freed cells go back to the shard that owns
+  /// their block (BlockDescriptor::HomeShard), keeping sweep-to-alloc
+  /// transfers with the mutators that populated the block.  Row-major by
   /// class; flushed whenever a chain reaches the heap's batch size.
-  Heap::CellChain Chains[NumSizeClasses];
+  std::vector<Heap::CellChain> Chains;
+
+  Heap::CellChain &chainFor(unsigned ClassIdx, unsigned Shard) {
+    return Chains[size_t(ClassIdx) * H.allocShards() + Shard];
+  }
 };
 
 /// A parallel sweep's merged result plus per-lane accounting.

@@ -34,6 +34,12 @@ enum class BlockState : uint8_t {
   LargeStart,
   /// Continuation block of a large-object run.
   LargeCont,
+  /// Transiently claimed by a carver or a large-run placement: the winner
+  /// of the CAS from Free owns the block and will publish SizeClass /
+  /// LargeStart / LargeCont (or roll back to Free).  Ownership of a free
+  /// block is decided by this CAS, not by membership in the free stack —
+  /// stack entries are hints that may go stale (see Heap).
+  Claimed,
 };
 
 /// Side metadata for one 64 KiB block.
@@ -63,6 +69,22 @@ struct BlockDescriptor {
   uint32_t RunBlocks = 0;
   /// Block index of the run's first block (State == LargeCont).
   uint32_t RunStart = 0;
+
+  /// Home shard of this block's cells (State == SizeClass): the central-
+  /// list shard carving deposited its chains into, and the shard sweep
+  /// returns freed cells to, so sweep-to-alloc transfers stay with the
+  /// mutators that populated the block.
+  uint8_t HomeShard = 0;
+
+  /// Intrusive link of the heap's lock-free free-block stack (the block
+  /// index below this one on the stack; 0 terminates, block 0 is
+  /// reserved).  Only meaningful while InStack is set.
+  std::atomic<uint32_t> NextFree{0};
+
+  /// Whether this block's index is currently linked into the free stack.
+  /// Guards against double-linking: a block claimed out from under a stale
+  /// stack entry keeps the entry until a pop consumes it.
+  std::atomic<uint8_t> InStack{0};
 
   /// True if this block contains allocatable objects.
   bool holdsObjects() const {

@@ -6,9 +6,28 @@
 
 #include "heap/Heap.h"
 
+#include <thread>
+
 #include "support/MathExtras.h"
 
 using namespace gengc;
+
+/// Resolves HeapConfig::AllocShards: 0 means "size from the machine",
+/// rounded up to a power of two and capped so HomeShard fits its byte.
+static unsigned resolveShardCount(uint32_t Configured) {
+  if (Configured != 0) {
+    GENGC_ASSERT(isPowerOf2(uint64_t(Configured)) && Configured <= 256,
+                 "AllocShards must be a power of two in [1, 256]");
+    return Configured;
+  }
+  unsigned Cores = std::thread::hardware_concurrency();
+  if (Cores < 2)
+    return 1;
+  unsigned Shards = 1;
+  while (Shards < Cores && Shards < 64)
+    Shards <<= 1;
+  return Shards;
+}
 
 Heap::Heap(const HeapConfig &Config)
     : Config(Config), Arena(new std::atomic<uint32_t>[Config.HeapBytes >> 2]),
@@ -21,20 +40,24 @@ Heap::Heap(const HeapConfig &Config)
   GENGC_ASSERT((Config.HeapBytes & (BlockBytes - 1)) == 0,
                "heap size must be a multiple of the block size");
 
+  NumShards = resolveShardCount(Config.AllocShards);
+  ShardShift = 64;
+  for (unsigned S = NumShards; S > 1; S >>= 1)
+    --ShardShift;
+  Shards.reset(new CentralShard[size_t(NumSizeClasses) * NumShards]);
+
   // The arena contents start undefined but the chain links are read with
   // plain loads, so scrub word 0 of every granule defensively in debug
   // builds only?  No: free-list links are always written before being read
-  // (carveBlockLocked below), so no arena initialization is required.
+  // (carveClaimedBlock below), so no arena initialization is required.
 
   // Block 0 is reserved so that arena offset 0 can act as the null
-  // reference.
+  // reference.  Push the rest highest-first so pops come out in ascending
+  // address order (low addresses used first, for determinism).
   Blocks[0].State = BlockState::Reserved;
-  for (uint32_t I = 1; I < Blocks.size(); ++I)
-    FreeBlocks.push_back(I);
-  // Pop from the back; keep low addresses used first for determinism.
-  for (size_t I = 0, J = FreeBlocks.size(); I + 1 < J; ++I, --J)
-    std::swap(FreeBlocks[I], FreeBlocks[J - 1]);
-  FreeBlockCount.store(FreeBlocks.size(), std::memory_order_relaxed);
+  for (uint32_t I = uint32_t(Blocks.size()); I-- > 1;)
+    pushFreeBlock(I);
+  FreeBlockCount.store(Blocks.size() - 1, std::memory_order_relaxed);
 
   Pages.registerRegion(Region::Arena, Config.HeapBytes);
   Pages.registerRegion(Region::ColorTable, Colors.size());
@@ -46,13 +69,81 @@ Heap::Heap(const HeapConfig &Config)
 
 Heap::~Heap() = default;
 
-bool Heap::carveBlockLocked(unsigned ClassIdx) {
-  if (FreeBlocks.empty())
-    return false;
-  uint32_t BlockIdx = FreeBlocks.back();
-  FreeBlocks.pop_back();
-  FreeBlockCount.fetch_sub(1, std::memory_order_relaxed);
+//===----------------------------------------------------------------------===//
+// Lock-free free-block stack.
+//===----------------------------------------------------------------------===//
 
+void Heap::pushFreeBlock(uint32_t BlockIdx) {
+  BlockDescriptor &Desc = Blocks[BlockIdx];
+  uint8_t NotLinked = 0;
+  // A stale entry (left behind by an in-place large-run claim) still names
+  // this block; one entry per block is enough for poppers to find it.
+  //
+  // The InStack handshake is seq_cst on both sides (here and in
+  // popFreeBlockIndex) to close a lost-block window: the pusher stores
+  // State=Free then reads InStack, the popper clears InStack then CASes
+  // State.  With weaker orders both could use stale values (store-load
+  // reordering) — push no-ops against an entry already unlinked AND the
+  // popper's claim misses the new Free state — stranding the block.  The
+  // single total order of seq_cst operations makes one side see the other.
+  if (!Desc.InStack.compare_exchange_strong(NotLinked, 1,
+                                            std::memory_order_seq_cst,
+                                            std::memory_order_seq_cst))
+    return;
+  uint64_t Head = FreeStackHead.load(std::memory_order_acquire);
+  for (;;) {
+    Desc.NextFree.store(uint32_t(Head), std::memory_order_relaxed);
+    uint64_t NewHead = ((Head >> 32) + 1) << 32 | BlockIdx;
+    if (FreeStackHead.compare_exchange_weak(Head, NewHead,
+                                            std::memory_order_release,
+                                            std::memory_order_acquire))
+      return;
+  }
+}
+
+uint32_t Heap::popFreeBlockIndex() {
+  uint64_t Head = FreeStackHead.load(std::memory_order_acquire);
+  for (;;) {
+    uint32_t Idx = uint32_t(Head);
+    if (Idx == 0)
+      return 0;
+    // The next link may be concurrently rewritten by a popper re-pushing
+    // the block; the tagged-head CAS below fails in that case, so a torn
+    // read is never installed.
+    uint32_t Next = Blocks[Idx].NextFree.load(std::memory_order_relaxed);
+    uint64_t NewHead = ((Head >> 32) + 1) << 32 | Next;
+    if (FreeStackHead.compare_exchange_weak(Head, NewHead,
+                                            std::memory_order_acq_rel,
+                                            std::memory_order_acquire)) {
+      Blocks[Idx].InStack.store(0, std::memory_order_seq_cst);
+      return Idx;
+    }
+  }
+}
+
+uint32_t Heap::claimFreeBlock() {
+  for (;;) {
+    uint32_t Idx = popFreeBlockIndex();
+    if (Idx == 0)
+      return 0;
+    BlockState Free = BlockState::Free;
+    if (Blocks[Idx].State.compare_exchange_strong(Free, BlockState::Claimed,
+                                                  std::memory_order_seq_cst,
+                                                  std::memory_order_seq_cst)) {
+      FreeBlockCount.fetch_sub(1, std::memory_order_relaxed);
+      return Idx;
+    }
+    // Stale entry: the block was claimed in place by large-run placement.
+    // Drop it and keep popping; its next free episode re-pushes it.
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Sharded central free lists.
+//===----------------------------------------------------------------------===//
+
+void Heap::carveClaimedBlock(uint32_t BlockIdx, unsigned ClassIdx,
+                             unsigned HomeShard) {
   BlockDescriptor &Desc = Blocks[BlockIdx];
   // Fields first, State last: GC lanes read descriptors lock-free and are
   // promised valid fields once they observe an object-holding State.
@@ -60,60 +151,130 @@ bool Heap::carveBlockLocked(unsigned ClassIdx) {
   Desc.CellBytes = sizeClassBytes(ClassIdx);
   Desc.CellRecip = uint32_t(divideCeil(1ull << 32, Desc.CellBytes));
   Desc.NumCells = uint32_t(BlockBytes / Desc.CellBytes);
+  Desc.HomeShard = uint8_t(HomeShard);
   Desc.State.store(BlockState::SizeClass, std::memory_order_release);
 
-  // Thread all cells into chains of at most ChainCells and queue them.
+  // Thread all cells into chains of at most ChainCells and queue them on
+  // the home shard (whose mutex the caller holds).
   uint64_t Base = uint64_t(BlockIdx) << BlockShift;
-  CentralList &List = Lists[ClassIdx];
+  CentralShard &Sh = shard(ClassIdx, HomeShard);
   CellChain Chain;
   for (uint32_t Cell = Desc.NumCells; Cell-- > 0;) {
     ObjectRef Ref = ObjectRef(Base + uint64_t(Cell) * Desc.CellBytes);
     setChainNext(Ref, Chain.Head);
     Chain.Head = Ref;
     if (++Chain.Count == Config.ChainCells) {
-      List.Chains.push_back(Chain);
+      Sh.Chains.push_back(Chain);
       Chain = CellChain();
     }
   }
   if (Chain.Count != 0)
-    List.Chains.push_back(Chain);
-  return true;
+    Sh.Chains.push_back(Chain);
 }
 
-Heap::CellChain Heap::popFreeChain(unsigned ClassIdx) {
-  GENGC_ASSERT(ClassIdx < NumSizeClasses, "size class out of range");
-  CentralList &List = Lists[ClassIdx];
+Heap::CellChain Heap::popFreeChain(unsigned ClassIdx, unsigned HomeShard) {
   CellChain Chain;
-  {
-    std::scoped_lock Locked(List.Mutex);
-    if (List.Chains.empty()) {
-      std::scoped_lock BlocksLocked(BlockMutex);
-      if (!carveBlockLocked(ClassIdx))
-        return CellChain();
-    }
-    Chain = List.Chains.back();
-    List.Chains.pop_back();
-  }
-  uint64_t Bytes = uint64_t(Chain.Count) * sizeClassBytes(ClassIdx);
-  UsedBytes.fetch_add(Bytes, std::memory_order_relaxed);
-  AllocSinceGc.fetch_add(Bytes, std::memory_order_relaxed);
+  popFreeChains(ClassIdx, HomeShard, 1, &Chain);
   return Chain;
 }
 
-void Heap::pushFreeChain(unsigned ClassIdx, CellChain Chain) {
+unsigned Heap::popFreeChains(unsigned ClassIdx, unsigned HomeShard,
+                             unsigned MaxChains, CellChain *Out,
+                             RefillStats *Stats) {
   GENGC_ASSERT(ClassIdx < NumSizeClasses, "size class out of range");
+  GENGC_ASSERT(HomeShard < NumShards && MaxChains >= 1,
+               "refill shard/batch out of range");
+  unsigned Taken = 0;
+
+  // Takes up to MaxChains - Taken chains from the back of Sh's inventory.
+  // The shard's mutex must be held.
+  auto TakeLocked = [&](CentralShard &Sh, unsigned Limit) {
+    while (Taken < Limit && !Sh.Chains.empty()) {
+      Out[Taken++] = Sh.Chains.back();
+      Sh.Chains.pop_back();
+    }
+  };
+
+  {
+    CentralShard &Home = shard(ClassIdx, HomeShard);
+    std::unique_lock Locked(Home.Mutex, std::try_to_lock);
+    if (!Locked.owns_lock()) {
+      if (Stats)
+        Stats->Contended = true;
+      Contentions.fetch_add(1, std::memory_order_relaxed);
+      Locked.lock();
+    }
+    TakeLocked(Home, MaxChains);
+  }
+
+  if (Taken == 0 && NumShards > 1) {
+    // Home shard dry: probe the neighbors in ring order.  Bounded steal —
+    // at most half a victim's inventory — so a refill storm from one dry
+    // shard cannot strip a busy neighbor bare.
+    for (unsigned Offset = 1; Offset < NumShards && Taken == 0; ++Offset) {
+      unsigned Victim = (HomeShard + Offset) & (NumShards - 1);
+      CentralShard &Sh = shard(ClassIdx, Victim);
+      std::scoped_lock Locked(Sh.Mutex);
+      if (Stats)
+        ++Stats->ShardsProbed;
+      unsigned Budget = unsigned(Sh.Chains.size() + 1) / 2;
+      TakeLocked(Sh, std::min(MaxChains, std::max(Budget, 1u)));
+      if (Taken != 0 && Stats)
+        Stats->StolenFrom = int32_t(Victim);
+    }
+    if (Taken != 0)
+      Steals.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  if (Taken == 0) {
+    // Every shard is empty: carve a fresh block into the home shard.  The
+    // shard lock is re-taken first and the inventory re-checked, so two
+    // racing refills of the same shard carve at most one block between
+    // them.  Block claim itself is lock-free (BlockMutex stays cold).
+    CentralShard &Home = shard(ClassIdx, HomeShard);
+    std::scoped_lock Locked(Home.Mutex);
+    if (Home.Chains.empty()) {
+      uint32_t BlockIdx = claimFreeBlock();
+      if (BlockIdx == 0)
+        return 0;
+      carveClaimedBlock(BlockIdx, ClassIdx, HomeShard);
+      Carves.fetch_add(1, std::memory_order_relaxed);
+      if (Stats)
+        Stats->Carved = true;
+    }
+    TakeLocked(Home, MaxChains);
+  }
+
+  uint64_t Cells = 0;
+  for (unsigned I = 0; I < Taken; ++I)
+    Cells += Out[I].Count;
+  uint64_t Bytes = Cells * sizeClassBytes(ClassIdx);
+  UsedBytes.fetch_add(Bytes, std::memory_order_relaxed);
+  AllocSinceGc.fetch_add(Bytes, std::memory_order_relaxed);
+  Refills.fetch_add(1, std::memory_order_relaxed);
+  return Taken;
+}
+
+void Heap::pushFreeChain(unsigned ClassIdx, CellChain Chain,
+                         unsigned HomeShard) {
+  GENGC_ASSERT(ClassIdx < NumSizeClasses, "size class out of range");
+  GENGC_ASSERT(HomeShard < NumShards, "shard out of range");
   if (Chain.Count == 0)
     return;
   uint64_t Bytes = uint64_t(Chain.Count) * sizeClassBytes(ClassIdx);
   {
-    CentralList &List = Lists[ClassIdx];
-    std::scoped_lock Locked(List.Mutex);
-    List.Chains.push_back(Chain);
+    CentralShard &Sh = shard(ClassIdx, HomeShard);
+    std::scoped_lock Locked(Sh.Mutex);
+    Sh.Chains.push_back(Chain);
   }
-  // UsedBytes can transiently underflow-race with popFreeChain only in the
+  // UsedBytes can transiently underflow-race with popFreeChains only in the
   // sense of ordinary relaxed-counter imprecision; totals stay consistent.
   UsedBytes.fetch_sub(Bytes, std::memory_order_relaxed);
 }
+
+//===----------------------------------------------------------------------===//
+// Large objects (whole-block runs).
+//===----------------------------------------------------------------------===//
 
 ObjectRef Heap::allocateLarge(uint32_t Bytes) {
   GENGC_ASSERT(Bytes > MaxSmallObjectBytes, "large alloc below threshold");
@@ -122,10 +283,28 @@ ObjectRef Heap::allocateLarge(uint32_t Bytes) {
 
   // First-fit scan for a contiguous run of free blocks.  Linear in the
   // number of blocks, but large allocations are rare in all workloads.
+  // BlockMutex serializes large allocations against each other; racing
+  // single-block carvers are excluded per block by the Free -> Claimed
+  // CAS: every block of the run is claimed in place (its free-stack entry
+  // goes stale) and rolled back if a later block of the run is lost.
   uint32_t RunStart = 0, RunLen = 0;
+  auto RollBack = [&] {
+    // Re-push after unclaiming: a popper may have consumed the block's
+    // stale stack entry (and given up) while we held it Claimed, so the
+    // entry cannot be assumed to still exist.  seq_cst store pairs with
+    // the popper-side handshake (see pushFreeBlock).
+    for (uint32_t I = RunStart; I < RunStart + RunLen; ++I) {
+      Blocks[I].State.store(BlockState::Free, std::memory_order_seq_cst);
+      pushFreeBlock(I);
+    }
+    RunLen = 0;
+  };
   for (uint32_t I = 1; I < Blocks.size(); ++I) {
-    if (Blocks[I].State != BlockState::Free) {
-      RunLen = 0;
+    BlockState Free = BlockState::Free;
+    if (!Blocks[I].State.compare_exchange_strong(Free, BlockState::Claimed,
+                                                 std::memory_order_seq_cst,
+                                                 std::memory_order_seq_cst)) {
+      RollBack();
       continue;
     }
     if (RunLen == 0)
@@ -133,8 +312,10 @@ ObjectRef Heap::allocateLarge(uint32_t Bytes) {
     if (++RunLen == Needed)
       break;
   }
-  if (RunLen < Needed)
+  if (RunLen < Needed) {
+    RollBack();
     return NullRef;
+  }
 
   for (uint32_t I = RunStart; I < RunStart + Needed; ++I) {
     BlockDescriptor &Desc = Blocks[I];
@@ -146,12 +327,7 @@ ObjectRef Heap::allocateLarge(uint32_t Bytes) {
                                    : BlockState::LargeCont,
                      std::memory_order_release);
   }
-
-  // Remove the run's blocks from the free list.
-  std::erase_if(FreeBlocks, [&](uint32_t B) {
-    return B >= RunStart && B < RunStart + Needed;
-  });
-  FreeBlockCount.store(FreeBlocks.size(), std::memory_order_relaxed);
+  FreeBlockCount.fetch_sub(Needed, std::memory_order_relaxed);
 
   uint64_t RunBytes = uint64_t(Needed) * BlockBytes;
   UsedBytes.fetch_add(RunBytes, std::memory_order_relaxed);
@@ -177,10 +353,10 @@ void Heap::freeLargeRun(uint32_t BlockIdx) {
     Desc.LargeBytes = 0;
     Desc.RunBlocks = 0;
     Desc.RunStart = 0;
-    Desc.State.store(BlockState::Free, std::memory_order_release);
-    FreeBlocks.push_back(I);
+    Desc.State.store(BlockState::Free, std::memory_order_seq_cst);
+    pushFreeBlock(I);
   }
-  FreeBlockCount.store(FreeBlocks.size(), std::memory_order_relaxed);
+  FreeBlockCount.fetch_add(Run, std::memory_order_relaxed);
   UsedBytes.fetch_sub(uint64_t(Run) * BlockBytes, std::memory_order_relaxed);
 }
 
@@ -194,6 +370,7 @@ uint32_t Heap::storageBytesOf(ObjectRef Ref) const {
   case BlockState::LargeCont:
   case BlockState::Free:
   case BlockState::Reserved:
+  case BlockState::Claimed:
     break;
   }
   GENGC_UNREACHABLE("storageBytesOf on a ref outside any object block");

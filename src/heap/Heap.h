@@ -63,6 +63,19 @@ struct HeapConfig {
   /// Maximum number of cells per free chain handed to a thread-local
   /// allocation cache.  Bounds how much memory an idle thread can hoard.
   uint32_t ChainCells = 256;
+
+  /// Number of central free-list shards per size class; a power of two, or
+  /// 0 to size from the hardware concurrency (rounded up to a power of
+  /// two, capped at 64).  Mutators hash to a home shard and steal from
+  /// neighbors when it runs dry, so thread-cache refills of independent
+  /// threads stop funneling through one mutex.  1 shard reproduces the
+  /// historical single-central-list behavior bit-identically.
+  uint32_t AllocShards = 0;
+
+  /// Upper bound on the chains a thread-cache refill may transfer under
+  /// one shard-lock acquisition.  The per-mutator batch size adapts within
+  /// [1, RefillBatchMax] from refill frequency; 1 disables batching.
+  uint32_t RefillBatchMax = 8;
 };
 
 /// The arena plus its side tables and free-memory bookkeeping.
@@ -152,18 +165,58 @@ public:
   PageTouchTracker &pages() { return Pages; }
 
   //===--------------------------------------------------------------------===
-  // Allocation and reclamation.
+  // Allocation and reclamation.  The central free lists are sharded: each
+  // size class owns allocShards() independent chain inventories, each
+  // behind its own mutex.  A refill serves from the caller's home shard,
+  // steals from neighbors when the home shard is dry, and falls back to
+  // carving a fresh block (claimed from a lock-free stack) when every
+  // shard is empty — so exhaustion is only declared after probing the
+  // whole heap.
   //===--------------------------------------------------------------------===
 
-  /// Pops one chain of free cells of size class \p ClassIdx from the central
-  /// list, carving a fresh block when the list is empty.  Returns an empty
-  /// chain when the heap is exhausted (the caller is expected to wait for a
-  /// collection while cooperating with handshakes).
-  CellChain popFreeChain(unsigned ClassIdx);
+  /// Number of central-list shards per size class (a power of two).
+  unsigned allocShards() const { return NumShards; }
 
-  /// Returns a chain of freed cells to the central list (sweep, or a
-  /// terminating thread draining its cache).  Cells must already be Blue.
-  void pushFreeChain(unsigned ClassIdx, CellChain Chain);
+  /// Home shard for the actor with stable id \p Id (Fibonacci hash, so
+  /// consecutive registration ids spread across shards).
+  unsigned homeShardFor(uint64_t Id) const {
+    return NumShards == 1
+               ? 0
+               : unsigned((Id * 0x9E3779B97F4A7C15ull) >> ShardShift);
+  }
+
+  /// What a popFreeChains call had to do to find memory (observability;
+  /// all fields describe this one call).
+  struct RefillStats {
+    /// Shards probed beyond the home shard (0 when home served).
+    uint32_t ShardsProbed = 0;
+    /// Shard the chains actually came from when it was not the home shard;
+    /// -1 otherwise.
+    int32_t StolenFrom = -1;
+    /// A fresh block was carved because every shard was empty.
+    bool Carved = false;
+    /// The home shard's mutex was contended on entry.
+    bool Contended = false;
+  };
+
+  /// Pops one chain of free cells of size class \p ClassIdx, preferring
+  /// shard \p HomeShard.  Returns an empty chain only when every shard is
+  /// empty AND no free block remains (the caller is expected to wait for a
+  /// collection while cooperating with handshakes).
+  CellChain popFreeChain(unsigned ClassIdx, unsigned HomeShard = 0);
+
+  /// Batched variant: pops up to \p MaxChains chains under a single shard
+  /// lock acquisition into \p Out, returning how many were taken.  Steals
+  /// take at most half of a victim shard's inventory (bounded steal), so a
+  /// dry home shard cannot drain a busy neighbor wholesale.
+  unsigned popFreeChains(unsigned ClassIdx, unsigned HomeShard,
+                         unsigned MaxChains, CellChain *Out,
+                         RefillStats *Stats = nullptr);
+
+  /// Returns a chain of freed cells to shard \p HomeShard of \p ClassIdx
+  /// (sweep, or a thread draining its cache).  Cells must already be Blue.
+  void pushFreeChain(unsigned ClassIdx, CellChain Chain,
+                     unsigned HomeShard = 0);
 
   /// Reads the next-link of free cell \p Cell in a chain.
   ObjectRef chainNext(ObjectRef Cell) const {
@@ -215,6 +268,7 @@ public:
     switch (Desc.State) {
     case BlockState::Free:
     case BlockState::Reserved:
+    case BlockState::Claimed:
       return;
     case BlockState::LargeStart:
       Callback(ObjectRef(uint64_t(BlockIdx) << BlockShift));
@@ -293,38 +347,102 @@ public:
   }
 
   //===--------------------------------------------------------------------===
+  // Allocation-path counters (relaxed; drive MetricsSnapshot).
+  //===--------------------------------------------------------------------===
+
+  /// popFreeChains calls that returned at least one chain.
+  uint64_t refillCount() const {
+    return Refills.load(std::memory_order_relaxed);
+  }
+  /// Refills served by a non-home shard.
+  uint64_t refillStealCount() const {
+    return Steals.load(std::memory_order_relaxed);
+  }
+  /// Refills that carved a fresh block because every shard was empty.
+  uint64_t carveFallbackCount() const {
+    return Carves.load(std::memory_order_relaxed);
+  }
+  /// Refills that found their home shard's mutex contended.
+  uint64_t shardContentionCount() const {
+    return Contentions.load(std::memory_order_relaxed);
+  }
+
+  //===--------------------------------------------------------------------===
   // Verifier access.  The heap-invariant verifier (gc/HeapVerifier) needs
   // consistent views of structures whose racy reads are fine for the
   // collector but not for an invariant check.
   //===--------------------------------------------------------------------===
 
-  /// Runs \p Callback with the block-structure lock held, freezing carving,
-  /// free-block accounting and large-run placement for its duration.  The
-  /// callback must not allocate from this heap (lock order: the central
-  /// list mutexes come BEFORE BlockMutex, see popFreeChain).
+  /// Runs \p Callback with the block-structure lock held, freezing
+  /// large-run placement and reclamation for its duration.  Single-block
+  /// carving is NOT frozen: carvers claim blocks from the lock-free free
+  /// stack without this mutex, so checks against carving must tolerate (or
+  /// confirm away) in-flight claims.  The callback must not allocate from
+  /// this heap (lock order: shard mutexes come BEFORE BlockMutex — a shard
+  /// lock is held across the carve fallback's descriptor publication, and
+  /// nothing ever takes a shard lock while holding BlockMutex).
   template <typename Fn> void withBlocksLocked(Fn Callback) const {
     std::scoped_lock Locked(BlockMutex);
     Callback();
   }
 
-  /// Runs \p Callback(ClassIdx, Chain) for every chain parked in the
-  /// central free list of every size class, holding that class's list
-  /// mutex for the duration of its chains.  Cell links may be chased
-  /// through chainNext — a parked chain cannot change while its list is
-  /// locked.  The callback must not touch the lists themselves.
+  /// Runs \p Callback(ClassIdx, Chain) for every chain parked in every
+  /// shard of every size class's central free list, holding exactly one
+  /// shard mutex at a time — the shard owning the chains being visited.
+  /// Cell links may be chased through chainNext — a parked chain cannot
+  /// change while its shard is locked.  The callback must not touch the
+  /// lists themselves.
   template <typename Fn> void forEachFreeChain(Fn Callback) const {
     for (unsigned ClassIdx = 0; ClassIdx < NumSizeClasses; ++ClassIdx) {
-      const CentralList &List = Lists[ClassIdx];
-      std::scoped_lock Locked(List.Mutex);
-      for (const CellChain &Chain : List.Chains)
-        Callback(ClassIdx, Chain);
+      for (unsigned S = 0; S < NumShards; ++S) {
+        const CentralShard &Sh = shard(ClassIdx, S);
+        std::scoped_lock Locked(Sh.Mutex);
+        for (const CellChain &Chain : Sh.Chains)
+          Callback(ClassIdx, Chain);
+      }
     }
   }
 
 private:
-  /// Carves a free block for \p ClassIdx and queues its cells as chains.
-  /// Returns false when no free block remains.  BlockMutex must be held.
-  bool carveBlockLocked(unsigned ClassIdx);
+  /// One shard of one size class's central free list.  Cache-line sized so
+  /// neighboring shards do not false-share their mutexes.
+  struct alignas(64) CentralShard {
+    mutable std::mutex Mutex;
+    std::vector<CellChain> Chains;
+  };
+
+  CentralShard &shard(unsigned ClassIdx, unsigned S) {
+    return Shards[size_t(ClassIdx) * NumShards + S];
+  }
+  const CentralShard &shard(unsigned ClassIdx, unsigned S) const {
+    return Shards[size_t(ClassIdx) * NumShards + S];
+  }
+
+  //===-- Lock-free free-block stack --------------------------------------===
+  // A Treiber stack of free block indices, intrusively linked through
+  // BlockDescriptor::NextFree.  The head packs {version tag, block index}
+  // into one u64 (the tag defeats ABA).  Entries are HINTS: large-run
+  // placement claims blocks in place via a CAS on BlockDescriptor::State,
+  // leaving the stack entry stale; poppers skip entries whose claim CAS
+  // fails.  InStack keeps a block from being linked twice.
+
+  /// Links \p BlockIdx onto the stack unless it is already linked.
+  /// Does not touch FreeBlockCount.
+  void pushFreeBlock(uint32_t BlockIdx);
+
+  /// Unlinks and returns the top block index, or 0 when empty.  The caller
+  /// does not own the block yet — it must still win the State CAS.
+  uint32_t popFreeBlockIndex();
+
+  /// Pops until a block is successfully claimed (State Free -> Claimed).
+  /// Returns its index and decrements FreeBlockCount, or returns 0 when
+  /// the stack is exhausted.
+  uint32_t claimFreeBlock();
+
+  /// Carves claimed block \p BlockIdx for \p ClassIdx, depositing its cell
+  /// chains into shard \p HomeShard (whose mutex the caller holds).
+  void carveClaimedBlock(uint32_t BlockIdx, unsigned ClassIdx,
+                         unsigned HomeShard);
 
   HeapConfig Config;
   std::unique_ptr<std::atomic<uint32_t>[]> Arena;
@@ -337,21 +455,30 @@ private:
 
   std::vector<BlockDescriptor> Blocks;
 
-  /// Guards block carving, the free-block list and large-run placement.
-  /// Mutable so the verifier's const freeze (withBlocksLocked) can lock it.
+  /// Guards large-run placement and reclamation (rare, multi-block
+  /// operations that scan the block table).  Single-block carving bypasses
+  /// it via the free stack + State CAS.  Mutable so the verifier's const
+  /// freeze (withBlocksLocked) can lock it.
   mutable std::mutex BlockMutex;
-  std::vector<uint32_t> FreeBlocks;
 
-  /// One central free list per size class.
-  struct CentralList {
-    mutable std::mutex Mutex;
-    std::vector<CellChain> Chains;
-  };
-  CentralList Lists[NumSizeClasses];
+  /// Head of the lock-free free-block stack: (tag << 32) | block index.
+  std::atomic<uint64_t> FreeStackHead{0};
+
+  /// Central free lists: NumSizeClasses * NumShards shards, row-major by
+  /// class (see shard()).
+  unsigned NumShards = 1;
+  /// 64 - log2(NumShards); homeShardFor's hash shift (unused at 1 shard).
+  unsigned ShardShift = 64;
+  std::unique_ptr<CentralShard[]> Shards;
 
   std::atomic<uint64_t> UsedBytes{0};
   std::atomic<uint64_t> AllocSinceGc{0};
   std::atomic<uint64_t> FreeBlockCount{0};
+
+  std::atomic<uint64_t> Refills{0};
+  std::atomic<uint64_t> Steals{0};
+  std::atomic<uint64_t> Carves{0};
+  std::atomic<uint64_t> Contentions{0};
 };
 
 } // namespace gengc

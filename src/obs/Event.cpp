@@ -53,6 +53,10 @@ const char *gengc::obsEventKindName(ObsEventKind Kind) {
     return "WatchdogFire";
   case ObsEventKind::VerifyPass:
     return "VerifyPass";
+  case ObsEventKind::RefillSteal:
+    return "RefillSteal";
+  case ObsEventKind::ShardContention:
+    return "ShardContention";
   }
   return "invalid";
 }

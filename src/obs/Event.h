@@ -88,11 +88,20 @@ enum class ObsEventKind : uint8_t {
   /// Instant, collector ring: a heap-verifier pass completed cleanly.
   /// Arg0 = VerifyScope, Arg1 = number of checks run.
   VerifyPass,
+  /// Instant, mutator ring: a cache refill's home shard was dry and the
+  /// chains came from a neighbor (or a carve).  Arg0 = shard the chains
+  /// came from (or the home shard when a fresh block was carved),
+  /// Arg1 = shards probed beyond the home shard.
+  RefillSteal,
+  /// Instant, mutator ring: a cache refill found its home shard's mutex
+  /// contended (had to block behind another refill or a sweep flush).
+  /// Arg0 = size-class index, Arg1 = home shard.
+  ShardContention,
 };
 
 /// Number of distinct ObsEventKind values (array sizing).
 constexpr unsigned NumObsEventKinds =
-    unsigned(ObsEventKind::VerifyPass) + 1;
+    unsigned(ObsEventKind::ShardContention) + 1;
 
 /// Returns a printable name for \p Kind (stable; the exporters and the
 /// gengc_trace summarizer both key on it).

@@ -49,6 +49,18 @@ struct MetricsSnapshot {
   uint64_t EventsWritten = 0;
   uint64_t EventsDropped = 0;
 
+  //===-- Allocation path (sharded central free lists) --------------------===
+  /// Central-list refills (popFreeChains calls that found memory).
+  uint64_t AllocRefills = 0;
+  /// Refills served by a non-home shard (bounded steal-from-neighbor).
+  uint64_t AllocRefillSteals = 0;
+  /// Refills that carved a fresh block because every shard was empty.
+  uint64_t AllocCarveFallbacks = 0;
+  /// Refills that found their home shard's mutex contended on entry.
+  uint64_t AllocShardContentions = 0;
+  /// Central free-list shards per size class (configuration gauge).
+  uint64_t AllocShardCount = 0;
+
   //===-- Latency histograms (always on) ----------------------------------===
   /// Voluntary allocation stalls (throttle + out-of-memory waits).
   HistogramSnapshot StallNanos;

@@ -6,6 +6,7 @@
 
 #include "runtime/Mutator.h"
 
+#include <algorithm>
 #include <thread>
 
 #include "runtime/MutatorRegistry.h"
@@ -19,17 +20,22 @@ MemoryWaiter::~MemoryWaiter() = default;
 
 Mutator::Mutator(Heap &H, CollectorState &S, MutatorRegistry &Registry)
     : H(H), State(S), Registry(Registry) {
-  Registry.add(*this);
+  Registry.add(*this); // assigns Id under the registry lock
+  HomeShard = H.homeShardFor(Id);
+  for (unsigned Class = 0; Class < NumSizeClasses; ++Class)
+    Batch[Class] = 1;
 }
 
 Mutator::~Mutator() {
   GENGC_ASSERT(Stack.empty(), "mutator exits with live local roots");
-  // Return cached cells so the memory is not stranded.  The cells are Blue
-  // and the transfer synchronizes through the central-list mutex.
+  // Return cached and spare cells so the memory is not stranded.  The cells
+  // are Blue and the transfer synchronizes through the shard mutex.
   for (unsigned Class = 0; Class < NumSizeClasses; ++Class) {
     if (Cache[Class].Count != 0)
-      H.pushFreeChain(Class, Cache[Class]);
+      H.pushFreeChain(Class, Cache[Class], HomeShard);
     Cache[Class] = Heap::CellChain();
+    while (SpareCount[Class] != 0)
+      H.pushFreeChain(Class, Spares[Class][--SpareCount[Class]], HomeShard);
   }
   Registry.remove(*this);
 }
@@ -90,14 +96,18 @@ void Mutator::maybeThrottleAllocation() {
 void Mutator::flushLocalCaches(unsigned ExceptClass) {
   // Emergency rung: memory parked in this thread's caches is invisible to
   // every other allocator (and to ourselves for other size classes).
-  // Returning it to the central lists costs one mutex round per non-empty
-  // class and can be the difference between recovery and abort when the
-  // heap is fragmented across caches.
+  // Returning it — active chains and batched spares alike — to our home
+  // shard costs one mutex round per non-empty chain and can be the
+  // difference between recovery and abort when the heap is fragmented
+  // across caches.  A starved thread finds it there: every refill probes
+  // all shards (and the free-block stack) before reporting exhaustion.
   for (unsigned Class = 0; Class < NumSizeClasses; ++Class) {
-    if (Class == ExceptClass || Cache[Class].Count == 0)
-      continue;
-    H.pushFreeChain(Class, Cache[Class]);
-    Cache[Class] = Heap::CellChain();
+    if (Class != ExceptClass && Cache[Class].Count != 0) {
+      H.pushFreeChain(Class, Cache[Class], HomeShard);
+      Cache[Class] = Heap::CellChain();
+    }
+    while (SpareCount[Class] != 0)
+      H.pushFreeChain(Class, Spares[Class][--SpareCount[Class]], HomeShard);
   }
 }
 
@@ -156,17 +166,63 @@ bool Mutator::runOomLadder(bool MayBlock, bool Large, uint64_t RequestBytes,
 }
 
 bool Mutator::refillCache(unsigned ClassIdx, bool MayBlock) {
+  // A spare chain from an earlier batched refill: install it without
+  // touching any shared state.
+  if (SpareCount[ClassIdx] != 0) {
+    Cache[ClassIdx] = Spares[ClassIdx][--SpareCount[ClassIdx]];
+    return true;
+  }
   if (MayBlock)
     maybeThrottleAllocation();
+
+  // Adapt the batch before the fetch.  The gap (allocations since the last
+  // central fetch of this class) is compared against the cells that fetch
+  // supplied: a gap within 2x means this class burns through its batch
+  // almost back-to-back — double it; a gap beyond 8x means the batch
+  // outlives the demand — halve it, so idle classes do not hoard chains.
+  uint64_t Allocs = AllocObjects.load(std::memory_order_relaxed);
+  uint64_t Gap = Allocs - LastRefillAllocs[ClassIdx];
+  unsigned Max = std::min<unsigned>(std::max(H.config().RefillBatchMax, 1u),
+                                    MaxRefillBatch);
+  unsigned B = Batch[ClassIdx];
+  uint64_t LastCells = LastRefillCells[ClassIdx];
+  if (LastCells != 0) {
+    if (Gap <= 2 * LastCells)
+      B *= 2;
+    else if (Gap >= 8 * LastCells)
+      B /= 2;
+  }
+  B = std::min(std::max(B, 1u), Max);
+  Batch[ClassIdx] = uint8_t(B);
+  LastRefillAllocs[ClassIdx] = Allocs;
+
   return runOomLadder(
       MayBlock, /*Large=*/false, sizeClassBytes(ClassIdx), ClassIdx,
-      [this, ClassIdx] {
+      [this, ClassIdx, B] {
         if (FaultInjector::fire(FaultSite::AllocFail))
           return false;
-        Heap::CellChain Chain = H.popFreeChain(ClassIdx);
-        if (Chain.Count == 0)
+        Heap::CellChain Chains[MaxRefillBatch];
+        Heap::RefillStats Stats;
+        unsigned Got = H.popFreeChains(ClassIdx, HomeShard, B, Chains, &Stats);
+        if (Got == 0)
           return false;
-        Cache[ClassIdx] = Chain;
+        Cache[ClassIdx] = Chains[0];
+        uint32_t Cells = Chains[0].Count;
+        for (unsigned I = 1; I < Got; ++I) {
+          Spares[ClassIdx][SpareCount[ClassIdx]++] = Chains[I];
+          Cells += Chains[I].Count;
+        }
+        LastRefillCells[ClassIdx] = Cells;
+        if (Ring) {
+          if (Stats.StolenFrom >= 0 || Stats.Carved)
+            Ring->instant(ObsEventKind::RefillSteal, nowNanos(),
+                          Stats.StolenFrom >= 0 ? uint64_t(Stats.StolenFrom)
+                                                : HomeShard,
+                          Stats.ShardsProbed);
+          if (Stats.Contended)
+            Ring->instant(ObsEventKind::ShardContention, nowNanos(), ClassIdx,
+                          HomeShard);
+        }
         return true;
       },
       "heap exhausted and no memory waiter installed",

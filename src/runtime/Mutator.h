@@ -222,6 +222,13 @@ public:
   //===--------------------------------------------------------------------===
 
   GrayCounters &grayCounters() { return Grays; }
+
+  /// Registration id (assigned by the registry; stable, never reused).
+  uint64_t id() const { return Id; }
+  /// The central-list shard this mutator's refills and flushes prefer
+  /// (Heap::homeShardFor of the registration id).
+  unsigned homeShard() const { return HomeShard; }
+
   uint64_t allocatedObjects() const {
     return AllocObjects.load(std::memory_order_relaxed);
   }
@@ -307,8 +314,12 @@ private:
                     unsigned ExceptClass, TryFn TryOnce,
                     const char *NoWaiterMsg, const char *ExhaustedMsg);
 
-  /// Returns every thread-local cache chain except \p ExceptClass to the
-  /// heap (the emergency rung of the ladder).
+  /// Returns every thread-local chain — active cache AND parked spares —
+  /// except \p ExceptClass's cache to this mutator's home shard (the
+  /// emergency rung of the ladder).  Returning to the home shard keeps the
+  /// memory findable: a later refill probes the home shard first, then
+  /// every other shard, so flushed chains can never be stranded behind an
+  /// exhaustion verdict.
   void flushLocalCaches(unsigned ExceptClass);
 
   Heap &H;
@@ -349,6 +360,30 @@ private:
 
   std::vector<ObjectRef> Stack;
   Heap::CellChain Cache[NumSizeClasses];
+
+  /// Registration id (written by MutatorRegistry::add under its lock,
+  /// before this thread allocates) and the home shard derived from it.
+  uint64_t Id = 0;
+  unsigned HomeShard = 0;
+
+  /// Compile-time ceiling on HeapConfig::RefillBatchMax (sizes Spares).
+  static constexpr unsigned MaxRefillBatch = 16;
+
+  /// Chains a batched refill fetched beyond the one installed in Cache;
+  /// consumed LIFO by later refills of the class without touching a lock.
+  /// At most MaxRefillBatch - 1 entries are ever parked (a refill fetches
+  /// only when the class's spares are gone).
+  Heap::CellChain Spares[NumSizeClasses][MaxRefillBatch];
+  uint8_t SpareCount[NumSizeClasses] = {};
+
+  /// Adaptive per-class central-refill batch in [1, RefillBatchMax]:
+  /// doubled when consecutive central fetches are close together (the
+  /// allocation-count gap is small relative to the cells the last fetch
+  /// supplied), halved when far apart.  Counts, not clocks, so a
+  /// deterministic allocation sequence adapts deterministically.
+  uint8_t Batch[NumSizeClasses];
+  uint64_t LastRefillAllocs[NumSizeClasses] = {};
+  uint32_t LastRefillCells[NumSizeClasses] = {};
 
   GrayCounters Grays;
   std::atomic<uint64_t> AllocObjects{0};

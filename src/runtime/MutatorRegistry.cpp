@@ -20,6 +20,7 @@ void MutatorRegistry::add(Mutator &M) {
   // not yet seen, so a fresh mutator owes no pending handshake response.
   M.StatusM.store(State.StatusC.load(std::memory_order_acquire),
                   std::memory_order_release);
+  M.Id = NextId++;
   Mutators.push_back(&M);
 }
 

@@ -55,6 +55,11 @@ private:
   CollectorState &State;
   mutable std::mutex Mutex;
   std::vector<Mutator *> Mutators;
+  /// Next registration id handed out by add().  Ids are stable for a
+  /// mutator's lifetime and never reused; the heap hashes them to home
+  /// shards (Heap::homeShardFor), so registration order — not thread
+  /// scheduling — decides shard placement.
+  uint64_t NextId = 0;
 };
 
 } // namespace gengc

@@ -1,0 +1,101 @@
+#!/usr/bin/env python3
+"""Compare a google-benchmark JSON run against a committed baseline.
+
+Used by the bench_alloc_scale_check CMake target to gate the allocation-path
+scalability bench: a throughput (items_per_second) drop of more than
+--max-regression at any of the checked thread counts fails with exit code 1.
+
+Only the thread counts named by --threads are gated (high-thread points on an
+oversubscribed CI box are too noisy to gate on); every benchmark present in
+both files is still printed for the record.  Stdlib only — no pip installs.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+
+def load_throughputs(path):
+    """benchmark name -> items_per_second for every real-time benchmark."""
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for bench in data.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        ips = bench.get("items_per_second")
+        if ips:
+            out[bench["name"]] = float(ips)
+    return out
+
+
+def thread_count(name):
+    m = re.search(r"/threads:(\d+)$", name)
+    return int(m.group(1)) if m else 1
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="committed baseline JSON")
+    parser.add_argument("current", help="freshly produced JSON")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=0.15,
+        help="maximum fractional throughput drop before failing (default 0.15)",
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        nargs="+",
+        default=[1, 8],
+        help="thread counts whose regressions are gating (default: 1 8)",
+    )
+    args = parser.parse_args()
+
+    base = load_throughputs(args.baseline)
+    cur = load_throughputs(args.current)
+    if not base:
+        print(f"bench_diff: no usable benchmarks in baseline {args.baseline}")
+        return 1
+    gated = set(args.threads)
+    failures = []
+    missing = sorted(set(base) - set(cur))
+
+    print(f"{'benchmark':60} {'baseline':>14} {'current':>14} {'delta':>8}")
+    for name in sorted(set(base) & set(cur)):
+        b, c = base[name], cur[name]
+        delta = (c - b) / b
+        gating = thread_count(name) in gated
+        marker = ""
+        if gating and delta < -args.max_regression:
+            failures.append((name, delta))
+            marker = "  REGRESSION"
+        elif not gating:
+            marker = "  (not gated)"
+        print(f"{name:60} {b:14.0f} {c:14.0f} {delta:+7.1%}{marker}")
+
+    for name in missing:
+        if thread_count(name) in gated:
+            failures.append((name, None))
+            print(f"{name:60} missing from current run  REGRESSION")
+
+    if failures:
+        print(
+            f"\nbench_diff: FAIL — {len(failures)} gated benchmark(s) "
+            f"regressed more than {args.max_regression:.0%} "
+            f"(threads {sorted(gated)}):"
+        )
+        for name, delta in failures:
+            print(f"  {name}: " + ("missing" if delta is None else f"{delta:+.1%}"))
+        return 1
+    print(
+        f"\nbench_diff: OK — no gated regression beyond "
+        f"{args.max_regression:.0%} at threads {sorted(gated)}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
