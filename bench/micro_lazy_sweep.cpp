@@ -1,0 +1,170 @@
+//===- bench/micro_lazy_sweep.cpp - Eager vs lazy sweep ---------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+// SweepPolicy::Eager vs SweepPolicy::Lazy, two views:
+//
+//  - visibleCycle: single mutator builds a heap of garbage, then waits for a
+//    synchronous full collection; items/sec is visible cycles per second.
+//    Lazy ends its cycle at PublishSweep (a block-stamp walk) instead of the
+//    whole-heap cell sweep, so the visible cycle is shorter; the per-cycle
+//    mean of CycleStats::SweepNanos (and ResidueNanos) is exported as a
+//    counter so the sweep-phase reduction is directly visible in the JSON.
+//
+//  - allocChurn: 1..8 mutators hammer allocate() under the generational
+//    collector's normal triggers.  Under Lazy the refill path occasionally
+//    sweeps a published block inline, so this guards the other side of the
+//    trade: allocation throughput must stay within the bench_diff gate.
+//
+// ctest -L bench-smoke runs a tiny subset as a crash canary; the
+// bench_lazy_sweep_check target re-runs the full bench and diffs against
+// bench/baselines/BENCH_lazy_sweep.json (>15% regression at the 1- and
+// 8-thread points fails).
+//
+//===----------------------------------------------------------------------===//
+
+#include <benchmark/benchmark.h>
+
+#include <condition_variable>
+#include <mutex>
+
+#include "core/Runtime.h"
+
+using namespace gengc;
+
+namespace {
+
+RuntimeConfig churnConfig(SweepPolicy Policy) {
+  RuntimeConfig Config;
+  Config.Heap.HeapBytes = 64ull << 20;
+  Config.Choice = CollectorChoice::Generational;
+  Config.Collector.GcThreads = 2;
+  Config.Collector.Sweep = Policy;
+  return Config;
+}
+
+RuntimeConfig cycleConfig(SweepPolicy Policy) {
+  RuntimeConfig Config;
+  Config.Heap.HeapBytes = 64ull << 20;
+  Config.Choice = CollectorChoice::NonGenerational;
+  Config.Collector.GcThreads = 2;
+  Config.Collector.Sweep = Policy;
+  // Cycles are driven manually; the triggers stay out of the way.
+  Config.Collector.Trigger.YoungBytes = 1ull << 40;
+  Config.Collector.Trigger.InitialSoftBytes = 1ull << 40;
+  Config.Collector.Trigger.FullFraction = 100.0;
+  return Config;
+}
+
+/// One Runtime shared by every benchmark thread, with explicit create /
+/// destroy rendezvous (benchmark threads enter and leave the function
+/// unsynchronized, so thread 0 must not delete the runtime while a sibling
+/// still holds a mutator).
+struct SharedRuntime {
+  std::mutex M;
+  std::condition_variable Cv;
+  Runtime *RT = nullptr;
+  int Exited = 0;
+
+  Runtime &acquire(benchmark::State &State, const RuntimeConfig &Config) {
+    std::unique_lock Locked(M);
+    if (State.thread_index() == 0) {
+      RT = new Runtime(Config);
+      Exited = 0;
+      Cv.notify_all();
+    } else {
+      Cv.wait(Locked, [&] { return RT != nullptr; });
+    }
+    return *RT;
+  }
+
+  void release(benchmark::State &State) {
+    std::unique_lock Locked(M);
+    ++Exited;
+    Cv.notify_all();
+    if (State.thread_index() == 0) {
+      Cv.wait(Locked, [&] { return Exited == State.threads(); });
+      delete RT;
+      RT = nullptr;
+    }
+  }
+};
+
+SharedRuntime Shared;
+
+/// The visible cost of a collection cycle: garbage, then one synchronous
+/// full collection per iteration.  Single-threaded.
+void visibleCycle(benchmark::State &State, SweepPolicy Policy) {
+  Runtime RT(cycleConfig(Policy));
+  {
+    auto M = RT.attachMutator();
+    for (auto _ : State) {
+      // ~6 MB of dead small objects per cycle: enough blocks that the
+      // whole-heap sweep is the dominant eager phase.
+      for (int I = 0; I < 20000; ++I) {
+        uint32_t Bytes = I % 3 == 0 ? 16 : (I % 3 == 1 ? 48 : 256);
+        ObjectRef Ref = M->allocate(1, Bytes);
+        benchmark::DoNotOptimize(Ref);
+        if (I % 64 == 0)
+          M->cooperate();
+      }
+      RT.collector().collectSyncCooperating(CycleRequest::Full, *M);
+    }
+  }
+  State.SetItemsProcessed(State.iterations());
+
+  // Mean per-cycle phase times, so the JSON shows where the sweep went.
+  GcRunStats Stats = RT.collector().statsSnapshot();
+  if (!Stats.Cycles.empty()) {
+    State.counters["sweep_phase_ns_mean"] = benchmark::Counter(
+        double(Stats.totalAll(&CycleStats::SweepNanos)) /
+        double(Stats.Cycles.size()));
+    State.counters["residue_phase_ns_mean"] = benchmark::Counter(
+        double(Stats.totalAll(&CycleStats::ResidueNanos)) /
+        double(Stats.Cycles.size()));
+    State.counters["cycle_ns_mean"] = benchmark::Counter(
+        double(Stats.totalAll(&CycleStats::DurationNanos)) /
+        double(Stats.Cycles.size()));
+  }
+}
+
+/// Allocation throughput with the collector on its normal triggers: under
+/// Lazy, cache refills sweep published blocks inline.
+void allocChurn(benchmark::State &State, SweepPolicy Policy) {
+  Runtime &RT = Shared.acquire(State, churnConfig(Policy));
+  {
+    auto M = RT.attachMutator();
+    uint64_t I = 0;
+    constexpr uint64_t BatchIters = 1024;
+    // The harness rendezvous-barriers threads inside KeepRunningBatch; a
+    // parked thread cannot cooperate with handshakes, so the mutator is
+    // declared Blocked across every harness call (see micro_alloc_scale).
+    M->enterBlocked();
+    while (State.KeepRunningBatch(BatchIters)) {
+      M->exitBlocked();
+      for (uint64_t J = 0; J < BatchIters; ++J) {
+        uint32_t Bytes = I % 3 == 0 ? 16 : (I % 3 == 1 ? 48 : 256);
+        ObjectRef Ref = M->allocate(1, Bytes);
+        benchmark::DoNotOptimize(Ref);
+        if (++I % 64 == 0)
+          M->cooperate();
+      }
+      M->enterBlocked();
+    }
+    M->exitBlocked();
+  }
+  State.SetItemsProcessed(State.iterations());
+  Shared.release(State);
+}
+
+BENCHMARK_CAPTURE(visibleCycle, eager, SweepPolicy::Eager);
+BENCHMARK_CAPTURE(visibleCycle, lazy, SweepPolicy::Lazy);
+
+BENCHMARK_CAPTURE(allocChurn, eager, SweepPolicy::Eager)
+    ->ThreadRange(1, 8)
+    ->UseRealTime();
+BENCHMARK_CAPTURE(allocChurn, lazy, SweepPolicy::Lazy)
+    ->ThreadRange(1, 8)
+    ->UseRealTime();
+
+} // namespace

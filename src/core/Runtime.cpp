@@ -85,6 +85,12 @@ std::string RuntimeConfig::validate() const {
   if (Collector.Watchdog.Policy == WatchdogPolicy::Callback &&
       !Collector.Watchdog.OnStall)
     return "Watchdog.Policy is Callback but Watchdog.OnStall is empty";
+
+  // Sweep policy: the enum is part of the embedding API, so an
+  // out-of-range value (e.g. a memset configuration) is caught here rather
+  // than surfacing as an unswept heap.
+  if (unsigned(Collector.Sweep) > unsigned(SweepPolicy::Lazy))
+    return "Collector.Sweep is not a valid SweepPolicy";
   return std::string();
 }
 
@@ -161,5 +167,8 @@ MetricsSnapshot Runtime::metrics() const {
   M.AllocCarveFallbacks = TheHeap.carveFallbackCount();
   M.AllocShardContentions = TheHeap.shardContentionCount();
   M.AllocShardCount = TheHeap.allocShards();
+  M.LazyBlocksPublished = TheHeap.lazyBlocksPublished();
+  M.LazyBlocksMutatorSwept = TheHeap.lazyBlocksMutatorSwept();
+  M.LazyBlocksResidueSwept = TheHeap.lazyBlocksResidueSwept();
   return M;
 }

@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "gc/LazySweep.h"
 #include "support/Backoff.h"
 #include "support/Timer.h"
 
@@ -40,7 +41,73 @@ Collector::Collector(Heap &H, CollectorState &S, MutatorRegistry &Registry,
                             std::memory_order_relaxed);
 }
 
-Collector::~Collector() { stop(); }
+Collector::~Collector() {
+  stop();
+  // The heap may outlive this collector (tests construct collectors against
+  // a shared heap); never leave it pointing at a dead engine.
+  if (LazyEngine)
+    H.setLazySweeper(nullptr);
+}
+
+void Collector::initSweepPlan(SweepMode Mode) {
+  Plan.Policy = Config.Sweep;
+  Plan.Mode = Mode;
+  Plan.OldestAge = Config.OldestAge;
+  if (Plan.Policy == SweepPolicy::Lazy) {
+    LazyEngine = std::make_unique<LazySweepEngine>(H, State, Plan, &Obs);
+    H.setLazySweeper(LazyEngine.get());
+  }
+}
+
+CyclePhase Collector::sweepPhase(bool GenerationalEstimate) {
+  if (lazySweep())
+    return {GcPhase::PublishSweep, &CycleStats::SweepNanos,
+            [this](CycleStats &C) {
+              LazySweepEngine::PublishResult P = LazyEngine->publish();
+              C.LazyBlocksPublished = P.BlocksPublished;
+              C.ObjectsFreed += P.Large.ObjectsFreed;
+              C.BytesFreed += P.Large.BytesFreed;
+              C.LiveObjectsAfter += P.Large.LiveObjectsAfter;
+              C.LiveBytesAfter += P.Large.LiveBytesAfter;
+            }};
+  return {GcPhase::Sweep, &CycleStats::SweepNanos,
+          [this, GenerationalEstimate](CycleStats &C) {
+            ParallelSweepResult R =
+                sweepParallel(H, State, Pool, Plan, &Obs);
+            C.ObjectsFreed += R.Total.ObjectsFreed;
+            C.BytesFreed += R.Total.BytesFreed;
+            C.LiveObjectsAfter += R.Total.LiveObjectsAfter;
+            C.LiveBytesAfter += R.Total.LiveBytesAfter;
+            C.SweepWorkerNanos = std::move(R.WorkerNanos);
+            if (GenerationalEstimate)
+              C.LiveEstimateBytes =
+                  R.Total.LiveBytesAfter - R.Total.AllocColoredBytes;
+          }};
+}
+
+CyclePhase Collector::residuePhase() {
+  return {GcPhase::SweepResidue, &CycleStats::ResidueNanos,
+          [this](CycleStats &C) {
+            C.LazyBlocksResidueSwept = LazyEngine->drainResidue();
+            // Harvest everything swept since the previous publish — the
+            // residue just drained plus every mutator claim and idle drip
+            // in between (one-cycle-lag attribution).
+            Sweeper::Result R = LazyEngine->takeResults();
+            C.ObjectsFreed += R.ObjectsFreed;
+            C.BytesFreed += R.BytesFreed;
+            C.LiveObjectsAfter += R.LiveObjectsAfter;
+            C.LiveBytesAfter += R.LiveBytesAfter;
+          }};
+}
+
+std::vector<CyclePhase>
+Collector::withResiduePhase(std::vector<CyclePhase> Phases) {
+  // The residue of the previous publish must drain before this cycle's
+  // color toggle, so the phase goes first.
+  if (lazySweep())
+    Phases.insert(Phases.begin(), residuePhase());
+  return Phases;
+}
 
 void Collector::start() {
   GENGC_ASSERT(!Running, "collector started twice");
@@ -162,6 +229,13 @@ std::function<void(GcPhase)> Collector::verifyHook(bool FullCycle) {
       Scope = VerifyScope::PostTraceFull;
     else if (Phase == GcPhase::Sweep)
       Scope = VerifyScope::CycleEnd;
+    else if (Phase == GcPhase::SweepResidue)
+      // Sound as a cycle-end boundary for the *previous* cycle: no toggle
+      // has happened since its publish, and the drain just retired every
+      // published block, so no reclaimable cell still carries the current
+      // clear color.  (PublishSweep deliberately stays Concurrent — its
+      // blocks are unswept by design.)
+      Scope = VerifyScope::CycleEnd;
     runVerifier(Scope);
   };
 }
@@ -264,6 +338,15 @@ void Collector::threadLoop() {
     }
     if (Kind == CycleRequest::None)
       Kind = Trig.evaluate(H);
+    if (Kind == CycleRequest::None && LazyEngine &&
+        H.needsSweepBlockCount() != 0) {
+      // Idle drip: a few residue blocks per poll tick, so reclamation
+      // terminates on a heap nobody allocates from.  UsedBytes only drops
+      // as blocks are swept, so re-evaluate the trigger once the residue
+      // is gone rather than starting a cycle off the stale figure.
+      LazyEngine->sweepSome(16);
+      continue;
+    }
     if (Kind != CycleRequest::None)
       runOneCycle(Kind);
   }

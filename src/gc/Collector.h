@@ -26,6 +26,7 @@
 #include <mutex>
 #include <thread>
 
+#include "gc/CyclePhase.h"
 #include "gc/CycleStats.h"
 #include "gc/HeapVerifier.h"
 #include "gc/ParallelTrace.h"
@@ -92,7 +93,17 @@ struct CollectorConfig {
   /// GENGC_VERIFY_HEAP environment variable; for debugging and the
   /// hardening tests — each boundary pass scans the whole heap.
   bool VerifyHeap = false;
+
+  /// When reclamation happens (gc/SweepPolicy.h): Eager keeps the
+  /// historical whole-heap Sweep phase; Lazy ends the cycle by publishing
+  /// blocks needs-sweep, letting mutators sweep on demand and the
+  /// collector drain the residue.  Combined with the collector's mode and
+  /// OldestAge into the single SweepPlan built by Collector::initSweepPlan
+  /// — the one place a sweep configuration is constructed.
+  SweepPolicy Sweep = SweepPolicy::Eager;
 };
+
+class LazySweepEngine;
 
 /// Base class of both collectors.
 class Collector : public MemoryWaiter {
@@ -191,6 +202,36 @@ protected:
   /// the whole heap.
   std::function<void(GcPhase)> verifyHook(bool FullCycle);
 
+  /// Builds this collector's SweepPlan from Config (policy, \p Mode, the
+  /// tenuring threshold) and, under the lazy policy, constructs the
+  /// LazySweepEngine and installs it as the heap's LazySweeper hook.
+  /// Called exactly once, from each concrete collector's constructor —
+  /// collectors no longer assemble sweep configurations at call sites.
+  void initSweepPlan(SweepMode Mode);
+
+  /// The reclamation phase of the cycle pipeline, from the plan: the
+  /// historical eager Sweep (whole-heap sweepParallel) or the lazy
+  /// PublishSweep.  Both charge CycleStats::SweepNanos, so eager-vs-lazy
+  /// benches compare the visible sweep-phase cost directly.
+  /// \p GenerationalEstimate selects the generational live-estimate
+  /// formula (LiveBytesAfter - AllocColoredBytes) on the eager path; lazy
+  /// cycles leave LiveEstimateBytes to the trace phase.
+  CyclePhase sweepPhase(bool GenerationalEstimate);
+
+  /// The SweepResidue phase (lazy only): drains every block the previous
+  /// cycle published that no mutator claimed, and harvests the sweep
+  /// results accumulated since that publish into this cycle's stats
+  /// (one-cycle-lag attribution).  Runs FIRST in the pipeline — before
+  /// this cycle's color toggle, which keeps every block swept under its
+  /// publish epoch.
+  CyclePhase residuePhase();
+
+  /// Prepends residuePhase() under the lazy policy; returns \p Phases.
+  std::vector<CyclePhase> withResiduePhase(std::vector<CyclePhase> Phases);
+
+  /// True when this collector runs the lazy sweep policy.
+  bool lazySweep() const { return Plan.Policy == SweepPolicy::Lazy; }
+
   /// Runs one verifier pass of \p Scope now; aborts with a full violation
   /// dump if the heap is inconsistent, emits a VerifyPass event if clean.
   /// No-op when verification is off.
@@ -217,6 +258,13 @@ protected:
   ParallelTracer TraceEngine;
   Trigger Trig;
   GrayCounters CollectorGrays;
+
+  /// The validated reclamation strategy (see initSweepPlan).
+  SweepPlan Plan;
+  /// Per-block sweep engine; non-null only under SweepPolicy::Lazy.
+  /// Installed into the heap as its LazySweeper hook for the lifetime of
+  /// this collector (cleared in the destructor).
+  std::unique_ptr<LazySweepEngine> LazyEngine;
 
 private:
   void threadLoop();

@@ -24,7 +24,7 @@
 #define GENGC_GC_CYCLEPHASE_H
 
 #include <functional>
-#include <initializer_list>
+#include <vector>
 
 #include "gc/CycleStats.h"
 #include "obs/EventRing.h"
@@ -53,7 +53,7 @@ struct CyclePhase {
 /// still published in CollectorState — the heap-verifier hook relies on the
 /// phase still being visible to the write barrier while it checks.
 inline void runCyclePhases(CollectorState &State,
-                           std::initializer_list<CyclePhase> Phases,
+                           const std::vector<CyclePhase> &Phases,
                            CycleStats &Cycle, EventRing *Obs = nullptr,
                            const std::function<void(GcPhase)> &AfterPhase =
                                {}) {

@@ -22,6 +22,7 @@ DlgCollector::DlgCollector(Heap &H, CollectorState &S,
   // is identical with and without generations).
   GENGC_ASSERT(!Config.Trigger.Generational,
                "DLG baseline must not use the young-generation trigger");
+  initSweepPlan(SweepMode::NonGenerational);
 }
 
 CycleStats DlgCollector::runCycle(CycleRequest Kind) {
@@ -32,15 +33,17 @@ CycleStats DlgCollector::runCycle(CycleRequest Kind) {
 
   runCyclePhases(
       State,
-      {
+      withResiduePhase({
           // clear stage: first handshake — write barriers become active.
           {GcPhase::Clear, &CycleStats::ClearNanos,
-           [&](CycleStats &) { Handshakes.handshake(HandshakeStatus::Sync1); }},
+           [this](CycleStats &) {
+             Handshakes.handshake(HandshakeStatus::Sync1);
+           }},
 
           // mark stage: second handshake brackets the color toggle; the
           // third handshake makes every mutator shade its own roots.
           {GcPhase::Mark, &CycleStats::MarkNanos,
-           [&](CycleStats &) {
+           [this](CycleStats &) {
              Handshakes.post(HandshakeStatus::Sync2);
              State.switchAllocationClearColors();
              Handshakes.wait();
@@ -52,7 +55,7 @@ CycleStats DlgCollector::runCycle(CycleRequest Kind) {
 
           // trace: "black" is the allocation color (Remark 5.1 toggle).
           {GcPhase::Trace, &CycleStats::TraceNanos,
-           [&](CycleStats &C) {
+           [this](CycleStats &C) {
              ParallelTracer::Result TraceResult =
                  TraceEngine.trace(State.allocationColor(), CollectorGrays);
              C.ObjectsTraced = TraceResult.ObjectsTraced;
@@ -62,18 +65,9 @@ CycleStats DlgCollector::runCycle(CycleRequest Kind) {
              C.TraceWorkerNanos = std::move(TraceResult.WorkerNanos);
            }},
 
-          // sweep.
-          {GcPhase::Sweep, &CycleStats::SweepNanos,
-           [&](CycleStats &C) {
-             ParallelSweepResult SweepResult = sweepParallel(
-                 H, State, Pool, SweepMode::NonGenerational, 0, &Obs);
-             C.ObjectsFreed = SweepResult.Total.ObjectsFreed;
-             C.BytesFreed = SweepResult.Total.BytesFreed;
-             C.LiveObjectsAfter = SweepResult.Total.LiveObjectsAfter;
-             C.LiveBytesAfter = SweepResult.Total.LiveBytesAfter;
-             C.SweepWorkerNanos = std::move(SweepResult.WorkerNanos);
-           }},
-      },
+          // reclamation: eager whole-heap sweep, or lazy publish.
+          sweepPhase(/*GenerationalEstimate=*/false),
+      }),
       Cycle, Obs.laneRing(0), verifyHook(/*FullCycle=*/true));
   return Cycle;
 }

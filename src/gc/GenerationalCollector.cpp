@@ -164,6 +164,8 @@ GenerationalCollector::GenerationalCollector(Heap &H, CollectorState &S,
                                 std::memory_order_release);
   if (Config.Aging)
     TraceEngine.setAgingThreshold(Config.OldestAge);
+  initSweepPlan(Config.Aging ? SweepMode::GenerationalAging
+                             : SweepMode::GenerationalSimple);
 }
 
 void GenerationalCollector::recolorTracedToAllocation() {
@@ -378,7 +380,7 @@ CycleStats GenerationalCollector::runCycle(CycleRequest Kind) {
 
   runCyclePhases(
       State,
-      {
+      withResiduePhase({
           // clear stage (Figure 2 / Figure 5).
           {GcPhase::Clear, &CycleStats::ClearNanos,
            [&](CycleStats &C) {
@@ -435,25 +437,18 @@ CycleStats GenerationalCollector::runCycle(CycleRequest Kind) {
              C.BytesTraced = TraceResult.BytesTraced;
              C.TraceSteals = TraceResult.Steals;
              C.TraceWorkerNanos = std::move(TraceResult.WorkerNanos);
+             // Lazy cycles have no eager sweep to compute the
+             // live-after-minus-new estimate from; fall back to bytes
+             // traced, like the non-generational collectors.
+             if (lazySweep())
+               C.LiveEstimateBytes = TraceResult.BytesTraced;
            }},
 
-          // sweep.
-          {GcPhase::Sweep, &CycleStats::SweepNanos,
-           [&](CycleStats &C) {
-             ParallelSweepResult SweepResult = sweepParallel(
-                 H, State, Pool,
-                 Config.Aging ? SweepMode::GenerationalAging
-                              : SweepMode::GenerationalSimple,
-                 Config.OldestAge, &Obs);
-             C.ObjectsFreed = SweepResult.Total.ObjectsFreed;
-             C.BytesFreed = SweepResult.Total.BytesFreed;
-             C.LiveObjectsAfter = SweepResult.Total.LiveObjectsAfter;
-             C.LiveBytesAfter = SweepResult.Total.LiveBytesAfter;
-             C.LiveEstimateBytes = SweepResult.Total.LiveBytesAfter -
-                                   SweepResult.Total.AllocColoredBytes;
-             C.SweepWorkerNanos = std::move(SweepResult.WorkerNanos);
-           }},
-      },
+          // reclamation: eager whole-heap sweep, or lazy publish.  The
+          // eager path computes the generational live estimate
+          // (LiveBytesAfter - AllocColoredBytes).
+          sweepPhase(/*GenerationalEstimate=*/true),
+      }),
       Cycle, Obs.laneRing(0), verifyHook(Full));
   return Cycle;
 }

@@ -174,7 +174,23 @@ void HeapVerifier::verifyBlockTable(Report &R) const {
 }
 
 void HeapVerifier::verifyFreeLists(Report &R) const {
-  H.forEachFreeChain([&](unsigned ClassIdx, const Heap::CellChain &Chain) {
+  // Deferred-sweep suspects: a central chain whose cells sit in an unswept
+  // (needs-sweep/sweeping) block violates the lazy-sweep invariant — such
+  // cells must be parked in the block's stash, never claimable.  The walk
+  // runs under the shard mutex, where a racing publish (which drains the
+  // central lists to stashes under the same mutexes) may not have reached
+  // this shard yet; record suspects here and confirm them after every lock
+  // is released, so confirmViolation never sleeps holding a shard mutex.
+  struct Suspect {
+    unsigned ClassIdx;
+    unsigned Shard;
+    ObjectRef ChainHead;
+    uint32_t BlockIdx;
+  };
+  std::vector<Suspect> Suspects;
+
+  H.forEachFreeChain([&](unsigned ClassIdx, unsigned Shard,
+                         const Heap::CellChain &Chain) {
     uint32_t CellBytes = sizeClassBytes(ClassIdx);
     uint32_t Walked = 0;
     for (ObjectRef Cell = Chain.Head; Cell != NullRef;
@@ -186,8 +202,9 @@ void HeapVerifier::verifyFreeLists(Report &R) const {
         break;
       }
       ++R.ChecksRun;
-      const BlockDescriptor &Desc = H.block(H.blockIndexOf(Cell));
-      uint64_t Base = uint64_t(H.blockIndexOf(Cell)) << Heap::BlockShift;
+      uint32_t BlockIdx = H.blockIndexOf(Cell);
+      const BlockDescriptor &Desc = H.block(BlockIdx);
+      uint64_t Base = uint64_t(BlockIdx) << Heap::BlockShift;
       if (Desc.State.load(std::memory_order_acquire) !=
               BlockState::SizeClass ||
           Desc.SizeClassIdx != ClassIdx ||
@@ -197,6 +214,10 @@ void HeapVerifier::verifyFreeLists(Report &R) const {
                                ClassIdx, (unsigned long long)Cell, ClassIdx));
         continue;
       }
+      ++R.ChecksRun;
+      if (Desc.Sweep.load(std::memory_order_acquire) !=
+          uint8_t(BlockSweep::Swept))
+        Suspects.push_back({ClassIdx, Shard, Chain.Head, BlockIdx});
       if (H.loadColor(Cell) != Color::Blue)
         addViolation(R, format("class %u: free cell %llx is %s, not blue",
                                ClassIdx, (unsigned long long)Cell,
@@ -209,6 +230,52 @@ void HeapVerifier::verifyFreeLists(Report &R) const {
                              ClassIdx, unsigned(Chain.Count),
                              unsigned(Walked)));
   });
+
+  for (const Suspect &S : Suspects)
+    // Real only if the same chain is still parked centrally AND the block
+    // is still unswept — a publish mid-drain or a sweep mid-deposit clears
+    // one side or the other within a few rounds.
+    if (confirmViolation([&] {
+          return H.freeChainParked(S.ClassIdx, S.Shard, S.ChainHead) &&
+                 H.block(S.BlockIdx).Sweep.load(std::memory_order_acquire) !=
+                     uint8_t(BlockSweep::Swept);
+        }))
+      addViolation(R, format("class %u shard %u: central free chain %llx "
+                             "holds cells of unswept block %u",
+                             S.ClassIdx, S.Shard,
+                             (unsigned long long)S.ChainHead,
+                             unsigned(S.BlockIdx)));
+}
+
+void HeapVerifier::verifyDeferredSweep(Report &R) const {
+  if (!H.lazySweepEnabled())
+    return;
+  uint32_t Epoch = State.ColorEpoch.load(std::memory_order_acquire);
+  size_t NumBlocks = H.numBlocks();
+  for (size_t I = 0; I < NumBlocks; ++I) {
+    const BlockDescriptor &Desc = H.block(I);
+    if (Desc.State.load(std::memory_order_acquire) != BlockState::SizeClass)
+      continue;
+    ++R.ChecksRun;
+    if (Desc.Sweep.load(std::memory_order_acquire) ==
+        uint8_t(BlockSweep::Swept))
+      continue;
+    // A publish may be racing the epoch read; only a persistent mismatch
+    // (block stays unswept, stamp stays stale against a re-read epoch) is a
+    // protocol break.
+    if (confirmViolation([&] {
+          return Desc.Sweep.load(std::memory_order_acquire) !=
+                     uint8_t(BlockSweep::Swept) &&
+                 Desc.SweepEpoch.load(std::memory_order_acquire) !=
+                     State.ColorEpoch.load(std::memory_order_acquire);
+        }))
+      addViolation(R, format("block %zu: needs-sweep under epoch %u but the "
+                             "color-toggle epoch is %u",
+                             I,
+                             unsigned(Desc.SweepEpoch.load(
+                                 std::memory_order_relaxed)),
+                             unsigned(Epoch)));
+  }
 }
 
 void HeapVerifier::verifyColors(Report &R, VerifyScope Scope) const {
@@ -292,6 +359,7 @@ HeapVerifier::Report HeapVerifier::run(VerifyScope Scope,
   verifyFreeLists(R);
   verifyColors(R, Scope);
   verifyCardSummaries(R);
+  verifyDeferredSweep(R);
   if (Scope == VerifyScope::PostTraceFull)
     verifyNoClearRefsFromTraced(R, TracedBlack);
   return R;

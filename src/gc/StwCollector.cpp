@@ -23,6 +23,7 @@ StwCollector::StwCollector(Heap &H, CollectorState &S,
   // barrier (which is inert while the world is stopped anyway).
   State.Barrier.store(BarrierKind::NonGenerational,
                       std::memory_order_release);
+  initSweepPlan(SweepMode::NonGenerational);
 }
 
 void StwCollector::waitWorldStopped(uint64_t Epoch) {
@@ -56,9 +57,11 @@ CycleStats StwCollector::runCycle(CycleRequest Kind) {
 
   runCyclePhases(
       State,
-      {
+      // The residue drain runs before StopWorld is raised — it contends
+      // only on shard/stash mutexes, so running it concurrently is safe.
+      withResiduePhase({
           {GcPhase::Clear, &CycleStats::ClearNanos,
-           [&](CycleStats &) {
+           [this](CycleStats &) {
              State.switchAllocationClearColors();
 
              // Stop the world.  The epoch bump follows the toggle, so a
@@ -71,10 +74,10 @@ CycleStats StwCollector::runCycle(CycleRequest Kind) {
            }},
 
           {GcPhase::Mark, &CycleStats::MarkNanos,
-           [&](CycleStats &) { Roots.markAll(CollectorGrays); }},
+           [this](CycleStats &) { Roots.markAll(CollectorGrays); }},
 
           {GcPhase::Trace, &CycleStats::TraceNanos,
-           [&](CycleStats &C) {
+           [this](CycleStats &C) {
              ParallelTracer::Result TraceResult =
                  TraceEngine.trace(State.allocationColor(), CollectorGrays);
              C.ObjectsTraced = TraceResult.ObjectsTraced;
@@ -84,17 +87,8 @@ CycleStats StwCollector::runCycle(CycleRequest Kind) {
              C.TraceWorkerNanos = std::move(TraceResult.WorkerNanos);
            }},
 
-          {GcPhase::Sweep, &CycleStats::SweepNanos,
-           [&](CycleStats &C) {
-             ParallelSweepResult SweepResult = sweepParallel(
-                 H, State, Pool, SweepMode::NonGenerational, 0, &Obs);
-             C.ObjectsFreed = SweepResult.Total.ObjectsFreed;
-             C.BytesFreed = SweepResult.Total.BytesFreed;
-             C.LiveObjectsAfter = SweepResult.Total.LiveObjectsAfter;
-             C.LiveBytesAfter = SweepResult.Total.LiveBytesAfter;
-             C.SweepWorkerNanos = std::move(SweepResult.WorkerNanos);
-           }},
-      },
+          sweepPhase(/*GenerationalEstimate=*/false),
+      }),
       Cycle, Obs.laneRing(0), verifyHook(/*FullCycle=*/true));
 
   // runCyclePhases already published Idle; resume the world after it.

@@ -13,6 +13,28 @@
 
 using namespace gengc;
 
+const char *gengc::sweepModeName(SweepMode Mode) {
+  switch (Mode) {
+  case SweepMode::NonGenerational:
+    return "non-generational";
+  case SweepMode::GenerationalSimple:
+    return "generational-simple";
+  case SweepMode::GenerationalAging:
+    return "generational-aging";
+  }
+  return "invalid";
+}
+
+const char *gengc::sweepPolicyName(SweepPolicy Policy) {
+  switch (Policy) {
+  case SweepPolicy::Eager:
+    return "eager";
+  case SweepPolicy::Lazy:
+    return "lazy";
+  }
+  return "invalid";
+}
+
 void Sweeper::processSurvivor(ObjectRef Ref, Color C, uint32_t StorageBytes,
                               SweepMode Mode, uint8_t OldestAge,
                               Color AllocColor, Result &R) {
@@ -34,11 +56,44 @@ void Sweeper::processSurvivor(ObjectRef Ref, Color C, uint32_t StorageBytes,
   Ages.setAge(Ref, uint8_t(Age + 1));
 }
 
+template <typename FreeCellFn>
+void Sweeper::sweepCells(SweepMode Mode, uint8_t OldestAge,
+                         const BlockDescriptor &Desc, uint64_t Base, Result &R,
+                         FreeCellFn OnFreed) {
+  PageTouchTracker &Pages = H.pages();
+  Color Clear = State.clearColor();
+  Color Alloc = State.allocationColor();
+  for (uint32_t Cell = 0; Cell < Desc.NumCells; ++Cell) {
+    ObjectRef Ref = ObjectRef(Base + uint64_t(Cell) * Desc.CellBytes);
+    Color C = H.loadColor(Ref, std::memory_order_acquire);
+    if (C == Color::Blue)
+      continue;
+    if (C == Clear) {
+      if (H.casColor(Ref, C, Color::Blue)) {
+        // Thread the cell into the caller's pending chain.  Writing the
+        // link touches the cell's arena page, like the paper's sweep.
+        Pages.touch(Region::Arena, Ref);
+        if (Mode == SweepMode::GenerationalAging)
+          H.ages().setAge(Ref, 0);
+        ++R.ObjectsFreed;
+        R.BytesFreed += Desc.CellBytes;
+        OnFreed(Ref);
+        continue;
+      }
+      // Lost the race to a late shade: the object floats into the next
+      // cycle as a live survivor.
+      C = H.loadColor(Ref);
+    }
+    processSurvivor(Ref, C, Desc.CellBytes, Mode, OldestAge, Alloc, R);
+  }
+}
+
 void Sweeper::sweepBlockRange(SweepMode Mode, uint8_t OldestAge,
                               size_t BlockBegin, size_t BlockEnd, Result &R) {
   PageTouchTracker &Pages = H.pages();
   Color Clear = State.clearColor();
   Color Alloc = State.allocationColor();
+  ensureChains();
 
   for (size_t BlockIdx = BlockBegin; BlockIdx != BlockEnd; ++BlockIdx) {
     const BlockDescriptor &Desc = H.block(BlockIdx);
@@ -71,38 +126,43 @@ void Sweeper::sweepBlockRange(SweepMode Mode, uint8_t OldestAge,
     Heap::CellChain &Chain = chainFor(ClassIdx, Desc.HomeShard);
     Pages.touchRange(Region::ColorTable, Base >> GranuleShift,
                      Heap::BlockBytes >> GranuleShift);
-    for (uint32_t Cell = 0; Cell < Desc.NumCells; ++Cell) {
-      ObjectRef Ref = ObjectRef(Base + uint64_t(Cell) * Desc.CellBytes);
-      Color C = H.loadColor(Ref, std::memory_order_acquire);
-      if (C == Color::Blue)
-        continue;
-      if (C == Clear) {
-        if (H.casColor(Ref, C, Color::Blue)) {
-          // Thread the cell into the class's pending chain.  Writing the
-          // link touches the cell's arena page, like the paper's sweep.
-          Pages.touch(Region::Arena, Ref);
-          if (Mode == SweepMode::GenerationalAging)
-            H.ages().setAge(Ref, 0);
-          H.setChainNext(Ref, Chain.Head);
-          Chain.Head = Ref;
-          ++R.ObjectsFreed;
-          R.BytesFreed += Desc.CellBytes;
-          if (++Chain.Count == H.config().ChainCells) {
-            H.pushFreeChain(ClassIdx, Chain, Desc.HomeShard);
-            Chain = Heap::CellChain();
-          }
-          continue;
-        }
-        // Lost the race to a late shade: the object floats into the next
-        // cycle as a live survivor.
-        C = H.loadColor(Ref);
+    sweepCells(Mode, OldestAge, Desc, Base, R, [&](ObjectRef Ref) {
+      H.setChainNext(Ref, Chain.Head);
+      Chain.Head = Ref;
+      if (++Chain.Count == H.config().ChainCells) {
+        H.pushFreeChain(ClassIdx, Chain, Desc.HomeShard);
+        Chain = Heap::CellChain();
       }
-      processSurvivor(Ref, C, Desc.CellBytes, Mode, OldestAge, Alloc, R);
-    }
+    });
   }
 }
 
+void Sweeper::sweepClaimedBlock(SweepMode Mode, uint8_t OldestAge,
+                                uint32_t BlockIdx, Result &R,
+                                std::vector<Heap::CellChain> &Out) {
+  const BlockDescriptor &Desc = H.block(BlockIdx);
+  GENGC_ASSERT(Desc.State.load(std::memory_order_acquire) ==
+                   BlockState::SizeClass,
+               "sweepClaimedBlock on a non-size-class block");
+  uint64_t Base = uint64_t(BlockIdx) << Heap::BlockShift;
+  H.pages().touchRange(Region::ColorTable, Base >> GranuleShift,
+                       Heap::BlockBytes >> GranuleShift);
+  Heap::CellChain Chain;
+  sweepCells(Mode, OldestAge, Desc, Base, R, [&](ObjectRef Ref) {
+    H.setChainNext(Ref, Chain.Head);
+    Chain.Head = Ref;
+    if (++Chain.Count == H.config().ChainCells) {
+      Out.push_back(Chain);
+      Chain = Heap::CellChain();
+    }
+  });
+  if (Chain.Count != 0)
+    Out.push_back(Chain);
+}
+
 void Sweeper::flushChains() {
+  if (Chains.empty())
+    return;
   unsigned Shards = H.allocShards();
   for (unsigned ClassIdx = 0; ClassIdx < NumSizeClasses; ++ClassIdx) {
     for (unsigned Shard = 0; Shard < Shards; ++Shard) {
@@ -123,9 +183,11 @@ Sweeper::Result Sweeper::sweep(SweepMode Mode, uint8_t OldestAge) {
 }
 
 ParallelSweepResult gengc::sweepParallel(Heap &H, CollectorState &S,
-                                         GcWorkerPool &Pool, SweepMode Mode,
-                                         uint8_t OldestAge,
+                                         GcWorkerPool &Pool,
+                                         const SweepPlan &Plan,
                                          ObsRegistry *Obs) {
+  SweepMode Mode = Plan.Mode;
+  uint8_t OldestAge = Plan.OldestAge;
   unsigned Lanes = Pool.lanes();
   size_t NumBlocks = H.numBlocks();
   // Coarse enough that a lane amortizes its claims, fine enough that an

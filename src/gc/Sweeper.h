@@ -36,6 +36,7 @@
 
 #include <vector>
 
+#include "gc/SweepPolicy.h"
 #include "gc/WorkerPool.h"
 #include "heap/Heap.h"
 #include "obs/ObsRegistry.h"
@@ -43,16 +44,11 @@
 
 namespace gengc {
 
-/// Which collector variant's sweep semantics to apply.
-enum class SweepMode : uint8_t {
-  NonGenerational,
-  GenerationalSimple,
-  GenerationalAging,
-};
-
 /// One sweep engine.  Historically the singleton owned by a collector; now
 /// a per-worker engine: each lane of a parallel sweep drives its own
-/// Sweeper over the block ranges it claims.
+/// Sweeper over the block ranges it claims, and the lazy-sweep path
+/// constructs one transiently per claimed block (construction is free: the
+/// per-shard chain table is only materialized by the range API).
 class Sweeper {
 public:
   struct Result {
@@ -75,9 +71,7 @@ public:
     }
   };
 
-  Sweeper(Heap &H, CollectorState &S)
-      : H(H), State(S),
-        Chains(size_t(NumSizeClasses) * H.allocShards()) {}
+  Sweeper(Heap &H, CollectorState &S) : H(H), State(S) {}
 
   /// Sweeps the whole heap.  \p OldestAge is the tenuring threshold (aging
   /// mode only).
@@ -89,6 +83,16 @@ public:
   void sweepBlockRange(SweepMode Mode, uint8_t OldestAge, size_t BlockBegin,
                        size_t BlockEnd, Result &R);
 
+  /// Per-block API for lazy sweep: sweeps one claimed (Sweeping) size-class
+  /// block from any thread context — a mutator refilling its cache or a
+  /// collector residue pass.  Freed cells are threaded into chains of at
+  /// most ChainCells appended to \p Out; nothing touches the central lists
+  /// (the caller owns the markBlockSwept-then-deposit ordering).  The exact
+  /// cell loop of sweepBlockRange, so late mutator shading CAS-races
+  /// freeing identically.
+  void sweepClaimedBlock(SweepMode Mode, uint8_t OldestAge, uint32_t BlockIdx,
+                         Result &R, std::vector<Heap::CellChain> &Out);
+
   /// Returns all pending chains to the heap's central lists, each to the
   /// shard of the block it came from.
   void flushChains();
@@ -98,6 +102,21 @@ private:
   void processSurvivor(ObjectRef Ref, Color C, uint32_t StorageBytes,
                        SweepMode Mode, uint8_t OldestAge, Color AllocColor,
                        Result &R);
+
+  /// The per-cell sweep loop shared by the range and claimed-block APIs:
+  /// CAS-frees clear cells (calling \p OnFreed for each) and classifies the
+  /// rest through processSurvivor.
+  template <typename FreeCellFn>
+  void sweepCells(SweepMode Mode, uint8_t OldestAge,
+                  const BlockDescriptor &Desc, uint64_t Base, Result &R,
+                  FreeCellFn OnFreed);
+
+  /// Materializes the (class, shard) chain table on first range use, so
+  /// constructing a Sweeper for a single claimed block stays free.
+  void ensureChains() {
+    if (Chains.empty())
+      Chains.resize(size_t(NumSizeClasses) * H.allocShards());
+  }
 
   Heap &H;
   CollectorState &State;
@@ -125,10 +144,10 @@ struct ParallelSweepResult {
 /// lane this degenerates to the exact sequential sweep (ascending block
 /// order, identical chain batching), which the determinism tests rely on.
 /// With \p Obs set and tracing enabled, each lane emits one SweepSpan for
-/// its share plus a SweepChunk span per claimed block range.
+/// its share plus a SweepChunk span per claimed block range.  Eager policy
+/// only — the plan's Mode and OldestAge select the survivor semantics.
 ParallelSweepResult sweepParallel(Heap &H, CollectorState &S,
-                                  GcWorkerPool &Pool, SweepMode Mode,
-                                  uint8_t OldestAge,
+                                  GcWorkerPool &Pool, const SweepPlan &Plan,
                                   ObsRegistry *Obs = nullptr);
 
 } // namespace gengc

@@ -42,6 +42,22 @@ enum class BlockState : uint8_t {
   Claimed,
 };
 
+/// Lazy-sweep lifecycle of a size-class block (SweepPolicy::Lazy only; under
+/// the eager policy every block stays Swept).  Published by the collector's
+/// PublishSweep phase, claimed via CAS by exactly one sweeper — a mutator
+/// refilling its cache or a collector residue pass — and marked Swept again
+/// before any of its cells re-enter a central free list.
+enum class BlockSweep : uint8_t {
+  /// No reclamation pending; cells may circulate through free lists.
+  Swept,
+  /// Published after a trace: dead cells are reclaimable, but nothing from
+  /// this block may enter a central free list until it is swept under the
+  /// epoch it was published with.
+  NeedsSweep,
+  /// Claimed by exactly one sweeper (NeedsSweep -> Sweeping CAS).
+  Sweeping,
+};
+
 /// Side metadata for one 64 KiB block.
 ///
 /// Descriptors are written under the heap's block mutex but read lock-free
@@ -85,6 +101,26 @@ struct BlockDescriptor {
   /// Guards against double-linking: a block claimed out from under a stale
   /// stack entry keeps the entry until a pop consumes it.
   std::atomic<uint8_t> InStack{0};
+
+  /// Lazy-sweep state (BlockSweep values; stored as the raw byte so the
+  /// claim CAS can run on any thread).  Transitions: Swept -> NeedsSweep
+  /// (collector publish, release store after SweepEpoch), NeedsSweep ->
+  /// Sweeping (claim CAS; sole claim path is Heap::claimNeedsSweepBlock),
+  /// Sweeping -> Swept (release store *before* the claimant pushes the
+  /// block's cells, so a chain observed in a central list always belongs to
+  /// a swept block).
+  std::atomic<uint8_t> Sweep{uint8_t(BlockSweep::Swept)};
+
+  /// Color-toggle epoch (CollectorState::ColorEpoch) this block was
+  /// published under.  A needs-sweep block must be swept before the next
+  /// toggle: the sweep interprets the clear color the publish fixed, so the
+  /// verifier checks SweepEpoch == ColorEpoch for every unswept block.
+  std::atomic<uint32_t> SweepEpoch{0};
+
+  /// Intrusive link of the per-size-class needs-sweep stack (block index;
+  /// 0 terminates).  Written by the publisher before the block is pushed,
+  /// stable until the pop that claims it.
+  std::atomic<uint32_t> NextNeedsSweep{0};
 
   /// True if this block contains allocatable objects.
   bool holdsObjects() const {

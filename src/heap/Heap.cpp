@@ -45,6 +45,7 @@ Heap::Heap(const HeapConfig &Config)
   for (unsigned S = NumShards; S > 1; S >>= 1)
     --ShardShift;
   Shards.reset(new CentralShard[size_t(NumSizeClasses) * NumShards]);
+  Stash.reset(new std::vector<CellChain>[Blocks.size()]);
 
   // The arena contents start undefined but the chain links are read with
   // plain loads, so scrub word 0 of every granule defensively in debug
@@ -227,6 +228,26 @@ unsigned Heap::popFreeChains(unsigned ClassIdx, unsigned HomeShard,
   }
 
   if (Taken == 0) {
+    // Lazy sweep: before growing the heap's footprint, reclaim a block the
+    // last cycle published as needs-sweep.  The engine deposits the block's
+    // freed cells into the caller's home shard, where the re-take below is
+    // the first to look; a swept block can still yield nothing (every cell
+    // live, or a racing refill took the deposit), so keep claiming until
+    // chains appear or the class's needs-sweep stock is dry.  Exhaustion —
+    // returning 0 below — is therefore only declared once lazy reclamation
+    // has nothing left either.
+    if (LazySweeper *Lazy = LazyHook.load(std::memory_order_acquire)) {
+      while (Taken == 0 && Lazy->sweepOneBlockFor(ClassIdx, HomeShard)) {
+        if (Stats)
+          ++Stats->LazySwept;
+        CentralShard &Home = shard(ClassIdx, HomeShard);
+        std::scoped_lock Locked(Home.Mutex);
+        TakeLocked(Home, MaxChains);
+      }
+    }
+  }
+
+  if (Taken == 0) {
     // Every shard is empty: carve a fresh block into the home shard.  The
     // shard lock is re-taken first and the inventory re-checked, so two
     // racing refills of the same shard carve at most one block between
@@ -262,6 +283,29 @@ void Heap::pushFreeChain(unsigned ClassIdx, CellChain Chain,
   if (Chain.Count == 0)
     return;
   uint64_t Bytes = uint64_t(Chain.Count) * sizeClassBytes(ClassIdx);
+  if (LazyHook.load(std::memory_order_relaxed) != nullptr) {
+    // Deferred-sweep routing: a chain whose block is published (or mid-
+    // sweep) must not re-enter the central lists until the block is swept —
+    // park it in the block's stash instead; the claimant re-deposits it.
+    // Under the lazy policy every chain is single-block (carve and the
+    // per-block sweep both produce such chains, and thread caches only ever
+    // shorten them), so the head cell identifies the chain's block.  The
+    // re-check under StashMutex pairs with the claimant's markBlockSwept-
+    // before-takePendingStash order: an append the claimant's take misses
+    // can only happen after the take released StashMutex, by which point
+    // this re-check observes Swept and pushes normally.
+    const BlockDescriptor &Desc = Blocks[blockIndexOf(Chain.Head)];
+    if (Desc.Sweep.load(std::memory_order_acquire) !=
+        uint8_t(BlockSweep::Swept)) {
+      std::scoped_lock Locked(StashMutex);
+      if (Desc.Sweep.load(std::memory_order_acquire) !=
+          uint8_t(BlockSweep::Swept)) {
+        Stash[blockIndexOf(Chain.Head)].push_back(Chain);
+        UsedBytes.fetch_sub(Bytes, std::memory_order_relaxed);
+        return;
+      }
+    }
+  }
   {
     CentralShard &Sh = shard(ClassIdx, HomeShard);
     std::scoped_lock Locked(Sh.Mutex);
@@ -270,6 +314,135 @@ void Heap::pushFreeChain(unsigned ClassIdx, CellChain Chain,
   // UsedBytes can transiently underflow-race with popFreeChains only in the
   // sense of ordinary relaxed-counter imprecision; totals stay consistent.
   UsedBytes.fetch_sub(Bytes, std::memory_order_relaxed);
+}
+
+//===----------------------------------------------------------------------===//
+// Lazy sweep (SweepPolicy::Lazy).
+//===----------------------------------------------------------------------===//
+
+void Heap::publishNeedsSweep(uint32_t BlockIdx, uint32_t Epoch) {
+  BlockDescriptor &Desc = Blocks[BlockIdx];
+  GENGC_ASSERT(Desc.State.load(std::memory_order_acquire) ==
+                   BlockState::SizeClass,
+               "publishNeedsSweep on a non-size-class block");
+  GENGC_ASSERT(Desc.Sweep.load(std::memory_order_acquire) ==
+                   uint8_t(BlockSweep::Swept),
+               "publishNeedsSweep on an already-published block");
+  // Epoch before state: a reader that observes NeedsSweep sees the epoch
+  // the block must be swept under.
+  Desc.SweepEpoch.store(Epoch, std::memory_order_relaxed);
+  Desc.Sweep.store(uint8_t(BlockSweep::NeedsSweep), std::memory_order_release);
+}
+
+void Heap::enqueueNeedsSweep(uint32_t BlockIdx) {
+  BlockDescriptor &Desc = Blocks[BlockIdx];
+  std::atomic<uint64_t> &Head = NeedsSweepHeads[Desc.SizeClassIdx];
+  uint64_t H = Head.load(std::memory_order_acquire);
+  for (;;) {
+    Desc.NextNeedsSweep.store(uint32_t(H), std::memory_order_relaxed);
+    uint64_t NewHead = ((H >> 32) + 1) << 32 | BlockIdx;
+    if (Head.compare_exchange_weak(H, NewHead, std::memory_order_release,
+                                   std::memory_order_acquire))
+      break;
+  }
+  NeedsSweepBlocks.fetch_add(1, std::memory_order_release);
+  LazyPublished.fetch_add(1, std::memory_order_relaxed);
+}
+
+uint32_t Heap::claimNeedsSweepBlock(unsigned ClassIdx) {
+  GENGC_ASSERT(ClassIdx < NumSizeClasses, "size class out of range");
+  std::atomic<uint64_t> &Head = NeedsSweepHeads[ClassIdx];
+  uint64_t H = Head.load(std::memory_order_acquire);
+  for (;;) {
+    uint32_t Idx = uint32_t(H);
+    if (Idx == 0)
+      return 0;
+    uint32_t Next = Blocks[Idx].NextNeedsSweep.load(std::memory_order_relaxed);
+    uint64_t NewHead = ((H >> 32) + 1) << 32 | Next;
+    if (!Head.compare_exchange_weak(H, NewHead, std::memory_order_acq_rel,
+                                    std::memory_order_acquire))
+      continue;
+    // The pop hands this thread the sole claim path for the block, so the
+    // CAS below can fail only against a protocol bug; treat a failure
+    // defensively by skipping the entry.
+    uint8_t Expected = uint8_t(BlockSweep::NeedsSweep);
+    if (!Blocks[Idx].Sweep.compare_exchange_strong(
+            Expected, uint8_t(BlockSweep::Sweeping),
+            std::memory_order_acq_rel, std::memory_order_acquire)) {
+      H = Head.load(std::memory_order_acquire);
+      continue;
+    }
+    SweepingBlocks.fetch_add(1, std::memory_order_release);
+    NeedsSweepBlocks.fetch_sub(1, std::memory_order_release);
+    return Idx;
+  }
+}
+
+void Heap::markBlockSwept(uint32_t BlockIdx) {
+  GENGC_ASSERT(Blocks[BlockIdx].Sweep.load(std::memory_order_acquire) ==
+                   uint8_t(BlockSweep::Sweeping),
+               "markBlockSwept on an unclaimed block");
+  Blocks[BlockIdx].Sweep.store(uint8_t(BlockSweep::Swept),
+                               std::memory_order_release);
+}
+
+void Heap::finishBlockSweep(bool MutatorContext) {
+  (MutatorContext ? LazyMutatorSwept : LazyResidueSwept)
+      .fetch_add(1, std::memory_order_relaxed);
+  // acq_rel: the residue drain spins on sweepingBlockCount() == 0 before
+  // the collector toggles colors, and must observe everything this sweep
+  // deposited.
+  SweepingBlocks.fetch_sub(1, std::memory_order_acq_rel);
+}
+
+void Heap::drainFreeListsToStashes() {
+  for (unsigned ClassIdx = 0; ClassIdx < NumSizeClasses; ++ClassIdx) {
+    for (unsigned S = 0; S < NumShards; ++S) {
+      CentralShard &Sh = shard(ClassIdx, S);
+      std::scoped_lock Locked(Sh.Mutex);
+      size_t Keep = 0;
+      for (size_t I = 0; I < Sh.Chains.size(); ++I) {
+        CellChain Chain = Sh.Chains[I];
+        uint32_t BlockIdx = blockIndexOf(Chain.Head);
+        if (Blocks[BlockIdx].Sweep.load(std::memory_order_acquire) !=
+            uint8_t(BlockSweep::Swept)) {
+          std::scoped_lock StashLocked(StashMutex);
+          Stash[BlockIdx].push_back(Chain);
+        } else {
+          Sh.Chains[Keep++] = Chain;
+        }
+      }
+      Sh.Chains.resize(Keep);
+    }
+  }
+}
+
+std::vector<Heap::CellChain> Heap::takePendingStash(uint32_t BlockIdx) {
+  std::scoped_lock Locked(StashMutex);
+  std::vector<CellChain> Taken = std::move(Stash[BlockIdx]);
+  Stash[BlockIdx].clear();
+  return Taken;
+}
+
+void Heap::repushFreeChain(unsigned ClassIdx, CellChain Chain,
+                           unsigned HomeShard) {
+  GENGC_ASSERT(ClassIdx < NumSizeClasses && HomeShard < NumShards,
+               "repush shard/class out of range");
+  if (Chain.Count == 0)
+    return;
+  CentralShard &Sh = shard(ClassIdx, HomeShard);
+  std::scoped_lock Locked(Sh.Mutex);
+  Sh.Chains.push_back(Chain);
+}
+
+bool Heap::freeChainParked(unsigned ClassIdx, unsigned Shard,
+                           ObjectRef Head) const {
+  const CentralShard &Sh = shard(ClassIdx, Shard);
+  std::scoped_lock Locked(Sh.Mutex);
+  for (const CellChain &Chain : Sh.Chains)
+    if (Chain.Head == Head)
+      return true;
+  return false;
 }
 
 //===----------------------------------------------------------------------===//

@@ -59,6 +59,9 @@ struct CycleStats {
   /// Portion of MarkNanos spent inside the card-scan sharding itself
   /// (ClearCards proper, without the toggle or handshakes).
   uint64_t CardScanNanos = 0;
+  /// SweepResidue phase (lazy policy): draining the blocks the *previous*
+  /// cycle published that no mutator claimed.  0 under the eager policy.
+  uint64_t ResidueNanos = 0;
 
   // Parallel engine accounting.
   /// Lanes the cycle's parallel phases ran on (CollectorConfig::GcThreads).
@@ -98,6 +101,14 @@ struct CycleStats {
   uint64_t BytesFreed = 0;
   uint64_t LiveObjectsAfter = 0;
   uint64_t LiveBytesAfter = 0;
+  /// Lazy policy: size-class blocks this cycle's PublishSweep deferred, and
+  /// residue blocks its SweepResidue phase swept (published by the
+  /// *previous* cycle).  Both 0 under the eager policy.  Note the freed /
+  /// live-after counters above cover only what this cycle itself swept —
+  /// under the lazy policy that is large runs plus the previous publish's
+  /// harvest, one cycle late.
+  uint64_t LazyBlocksPublished = 0;
+  uint64_t LazyBlocksResidueSwept = 0;
 
   // Collector page residency (Figure 15).
   uint64_t PagesTouched = 0;

@@ -57,6 +57,12 @@ const char *gengc::obsEventKindName(ObsEventKind Kind) {
     return "RefillSteal";
   case ObsEventKind::ShardContention:
     return "ShardContention";
+  case ObsEventKind::SweepDeferred:
+    return "SweepDeferred";
+  case ObsEventKind::LazySweepClaim:
+    return "LazySweepClaim";
+  case ObsEventKind::SweepResidue:
+    return "SweepResidue";
   }
   return "invalid";
 }

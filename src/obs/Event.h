@@ -97,11 +97,22 @@ enum class ObsEventKind : uint8_t {
   /// contended (had to block behind another refill or a sweep flush).
   /// Arg0 = size-class index, Arg1 = home shard.
   ShardContention,
+  /// Instant, collector ring: a PublishSweep phase deferred reclamation
+  /// (SweepPolicy::Lazy).  Arg0 = size-class blocks published needs-sweep,
+  /// Arg1 = the color-toggle epoch they were published under.
+  SweepDeferred,
+  /// Instant, mutator ring: a cache refill found every shard dry and swept
+  /// published block(s) inline.  Arg0 = size-class index, Arg1 = blocks
+  /// swept by this refill.
+  LazySweepClaim,
+  /// Span, collector ring: a residue pass (idle drip or the SweepResidue
+  /// phase) swept blocks no mutator claimed.  Arg0 = blocks swept.
+  SweepResidue,
 };
 
 /// Number of distinct ObsEventKind values (array sizing).
 constexpr unsigned NumObsEventKinds =
-    unsigned(ObsEventKind::ShardContention) + 1;
+    unsigned(ObsEventKind::SweepResidue) + 1;
 
 /// Returns a printable name for \p Kind (stable; the exporters and the
 /// gengc_trace summarizer both key on it).

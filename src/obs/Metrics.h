@@ -61,6 +61,14 @@ struct MetricsSnapshot {
   /// Central free-list shards per size class (configuration gauge).
   uint64_t AllocShardCount = 0;
 
+  //===-- Lazy sweep (SweepPolicy::Lazy; all 0 under Eager) ---------------===
+  /// Size-class blocks published needs-sweep by PublishSweep phases.
+  uint64_t LazyBlocksPublished = 0;
+  /// Published blocks claimed and swept inline by mutator cache refills.
+  uint64_t LazyBlocksMutatorSwept = 0;
+  /// Published blocks swept by the collector (idle drip + SweepResidue).
+  uint64_t LazyBlocksResidueSwept = 0;
+
   //===-- Latency histograms (always on) ----------------------------------===
   /// Voluntary allocation stalls (throttle + out-of-memory waits).
   HistogramSnapshot StallNanos;

@@ -222,6 +222,9 @@ bool Mutator::refillCache(unsigned ClassIdx, bool MayBlock) {
           if (Stats.Contended)
             Ring->instant(ObsEventKind::ShardContention, nowNanos(), ClassIdx,
                           HomeShard);
+          if (Stats.LazySwept != 0)
+            Ring->instant(ObsEventKind::LazySweepClaim, nowNanos(), ClassIdx,
+                          Stats.LazySwept);
         }
         return true;
       },

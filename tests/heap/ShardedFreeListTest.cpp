@@ -192,10 +192,11 @@ TEST(ShardedFreeList, ForEachFreeChainSeesEveryShard) {
   H.pushFreeChain(Class, A, 0);
   H.pushFreeChain(Class, B, 3);
   std::set<ObjectRef> Heads;
-  H.forEachFreeChain([&](unsigned ClassIdx, const Heap::CellChain &Chain) {
-    if (ClassIdx == Class)
-      Heads.insert(Chain.Head);
-  });
+  H.forEachFreeChain(
+      [&](unsigned ClassIdx, unsigned, const Heap::CellChain &Chain) {
+        if (ClassIdx == Class)
+          Heads.insert(Chain.Head);
+      });
   EXPECT_TRUE(Heads.count(A.Head));
   EXPECT_TRUE(Heads.count(B.Head));
 }
