@@ -1,0 +1,163 @@
+//===- bench/micro_trace_scale.cpp - Trace-engine throughput ----------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+// Trace throughput of the segmented-gray-stack engine across GcThreads
+// 1..16 on three live-graph shapes that stress different engine paths:
+//
+//  - wide: a high-fanout tree — the gray stack grows to thousands of
+//    refs, so segment offload/steal traffic dominates at multiple lanes.
+//  - deep: one long linked list — a serial pointer chase with no
+//    available parallelism; lanes beyond the first should cost (almost)
+//    nothing, and the prefetch window cannot help (each load depends on
+//    the previous one).
+//  - chase: many interleaved linked lists allocated round-robin — a
+//    pointer chase WITH memory-level parallelism, the shape the software
+//    prefetch window exists for.
+//
+// Each iteration is one synchronous full collection of a fixed live graph,
+// so items/sec ~ collections/sec over a constant traced set; the JSON also
+// carries objects_traced_per_cycle plus the mean trace-phase and
+// termination-scan wall times from CycleStats, making both acceptance
+// numbers (single-lane trace throughput, termination-scan time) directly
+// readable from the committed baseline.  The gc:1/pf:0 point is the exact
+// historical scalar loop; gc:1/pf:4 isolates the prefetch delta.
+//
+// ctest -L bench-smoke runs a tiny subset as a crash canary; the
+// bench_trace_check target re-runs the full bench and diffs against
+// bench/baselines/BENCH_trace_scale.json.
+//
+//===----------------------------------------------------------------------===//
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "core/Runtime.h"
+
+using namespace gengc;
+
+namespace {
+
+enum class Shape { Wide, Deep, Chase };
+
+RuntimeConfig traceConfig(unsigned GcThreads, unsigned PrefetchDepth) {
+  RuntimeConfig Config;
+  Config.Heap.HeapBytes = 64ull << 20;
+  Config.Choice = CollectorChoice::NonGenerational;
+  Config.Collector.GcThreads = GcThreads;
+  Config.Collector.PrefetchDepth = PrefetchDepth;
+  // Cycles are driven manually; the triggers stay out of the way.
+  Config.Collector.Trigger.YoungBytes = 1ull << 40;
+  Config.Collector.Trigger.InitialSoftBytes = 1ull << 40;
+  Config.Collector.Trigger.FullFraction = 100.0;
+  return Config;
+}
+
+constexpr unsigned NumNodes = 400000;
+
+/// Builds the live graph for \p Kind: always exactly NumNodes objects,
+/// reachable from the mutator's root stack.  No cycle can run during the
+/// build (triggers are off), so parking refs in plain vectors is safe.
+void buildGraph(Mutator &M, Shape Kind) {
+  switch (Kind) {
+  case Shape::Wide: {
+    // 8-ary tree, breadth-first: parents sit next to each other while
+    // their children spread out, and the gray stack holds whole levels.
+    std::vector<ObjectRef> Frontier;
+    ObjectRef Root = M.allocate(8, 64);
+    M.pushRoot(Root);
+    Frontier.push_back(Root);
+    unsigned Built = 1;
+    for (size_t Next = 0; Built < NumNodes; ++Next) {
+      ObjectRef Parent = Frontier[Next];
+      for (unsigned Slot = 0; Slot < 8 && Built < NumNodes; ++Slot) {
+        ObjectRef Child = M.allocate(8, 64);
+        M.writeRef(Parent, Slot, Child);
+        Frontier.push_back(Child);
+        if (++Built % 4096 == 0)
+          M.cooperate();
+      }
+    }
+    break;
+  }
+  case Shape::Deep: {
+    // One chain: the trace is a fully serial pointer chase.
+    M.pushRoot(NullRef);
+    for (unsigned I = 0; I < NumNodes; ++I) {
+      ObjectRef Node = M.allocate(1, 16);
+      M.writeRef(Node, 0, M.root(0));
+      M.setRoot(0, Node);
+      if (I % 4096 == 0)
+        M.cooperate();
+    }
+    break;
+  }
+  case Shape::Chase: {
+    // 128 chains, nodes allocated round-robin: successive nodes of one
+    // chain are 128 allocations apart, so chasing any single chain misses
+    // the cache while 127 other independent chains offer the prefetch
+    // window its memory-level parallelism.
+    constexpr unsigned Chains = 128;
+    for (unsigned C = 0; C < Chains; ++C)
+      M.pushRoot(NullRef);
+    for (unsigned I = 0; I < NumNodes; ++I) {
+      unsigned C = I % Chains;
+      ObjectRef Node = M.allocate(1, 16);
+      M.writeRef(Node, 0, M.root(C));
+      M.setRoot(C, Node);
+      if (I % 4096 == 0)
+        M.cooperate();
+    }
+    break;
+  }
+  }
+}
+
+/// One synchronous full collection per iteration over a fixed live graph.
+/// GcThreads comes in as the benchmark arg (State.range(0)).
+void traceCycle(benchmark::State &State, Shape Kind, unsigned PrefetchDepth) {
+  Runtime RT(traceConfig(unsigned(State.range(0)), PrefetchDepth));
+  {
+    auto M = RT.attachMutator();
+    buildGraph(*M, Kind);
+    for (auto _ : State)
+      RT.collector().collectSyncCooperating(CycleRequest::Full, *M);
+    M->popRoots(M->numRoots());
+  }
+  State.SetItemsProcessed(State.iterations() * NumNodes);
+
+  GcRunStats Stats = RT.collector().statsSnapshot();
+  if (!Stats.Cycles.empty()) {
+    double Cycles = double(Stats.Cycles.size());
+    State.counters["objects_traced_per_cycle"] = benchmark::Counter(
+        double(Stats.totalAll(&CycleStats::ObjectsTraced)) / Cycles);
+    State.counters["trace_ns_mean"] = benchmark::Counter(
+        double(Stats.totalAll(&CycleStats::TraceNanos)) / Cycles);
+    State.counters["term_scan_ns_mean"] = benchmark::Counter(
+        double(Stats.totalAll(&CycleStats::TraceTermScanNanos)) / Cycles);
+    State.counters["segment_steals_per_cycle"] = benchmark::Counter(
+        double(Stats.totalAll(&CycleStats::TraceSteals)) / Cycles);
+  }
+}
+
+#define TRACE_SCALE_BENCH(name, shape, depth)                                  \
+  BENCHMARK_CAPTURE(traceCycle, name, shape, depth)                            \
+      ->RangeMultiplier(2)                                                     \
+      ->Range(1, 16)                                                           \
+      ->UseRealTime()
+
+// Default engine (prefetch window 4) across the lane sweep.
+TRACE_SCALE_BENCH(wide, Shape::Wide, 4);
+TRACE_SCALE_BENCH(deep, Shape::Deep, 4);
+TRACE_SCALE_BENCH(chase, Shape::Chase, 4);
+
+// Prefetch ablation at one lane: pf:0 is the exact historical scalar loop,
+// so chase/pf:0 vs chase (gc:1) is the acceptance criterion's ratio.
+BENCHMARK_CAPTURE(traceCycle, wide_pf0, Shape::Wide, 0)->Arg(1)->UseRealTime();
+BENCHMARK_CAPTURE(traceCycle, deep_pf0, Shape::Deep, 0)->Arg(1)->UseRealTime();
+BENCHMARK_CAPTURE(traceCycle, chase_pf0, Shape::Chase, 0)
+    ->Arg(1)
+    ->UseRealTime();
+
+} // namespace

@@ -55,6 +55,9 @@ std::string RuntimeConfig::validate() const {
   if (Collector.GcThreads > 256)
     return "GcThreads above 256 is unsupported (suspect a configuration "
            "mix-up)";
+  if (Collector.PrefetchDepth > Tracer::MaxPrefetchDepth)
+    return "PrefetchDepth above 64 is unsupported (the trace prefetch "
+           "window is bounded; 0 disables it)";
 
   // Generational-policy combinations (mirrors the collector's asserts, but
   // catchable before a thread is spawned).  Only checked for the
@@ -167,6 +170,9 @@ MetricsSnapshot Runtime::metrics() const {
   M.AllocCarveFallbacks = TheHeap.carveFallbackCount();
   M.AllocShardContentions = TheHeap.shardContentionCount();
   M.AllocShardCount = TheHeap.allocShards();
+  const TraceSegmentPool &SegPool = Gc->traceEngine().segmentPool();
+  M.TraceSegmentsAllocated = SegPool.allocatedSegments();
+  M.TraceSegmentsPooled = SegPool.pooledSegments();
   M.LazyBlocksPublished = TheHeap.lazyBlocksPublished();
   M.LazyBlocksMutatorSwept = TheHeap.lazyBlocksMutatorSwept();
   M.LazyBlocksResidueSwept = TheHeap.lazyBlocksResidueSwept();

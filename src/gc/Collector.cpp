@@ -27,6 +27,7 @@ Collector::Collector(Heap &H, CollectorState &S, MutatorRegistry &Registry,
   // config does, the constructor parameter may not.
   Handshakes.setWatchdog(&this->Config.Watchdog);
   TraceEngine.setObs(&Obs);
+  TraceEngine.setPrefetchDepth(Config.PrefetchDepth);
   if (Config.VerifyHeap || std::getenv("GENGC_VERIFY_HEAP") != nullptr) {
     this->Config.VerifyHeap = true;
     Verifier = std::make_unique<HeapVerifier>(H, S);

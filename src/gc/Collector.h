@@ -79,6 +79,17 @@ struct CollectorConfig {
   /// unaffected by this knob.
   unsigned GcThreads = 1;
 
+  /// Trace prefetch window depth: each trace lane pops up to this many
+  /// gray refs ahead and software-prefetches their color byte and header
+  /// line before tracing the current one, overlapping the mark loop's
+  /// cache misses (see DESIGN.md §17).  0 disables the window and traces
+  /// in the exact historical LIFO order — GcThreads = 1 with depth 0 is
+  /// bit-identical to the pre-window engine.  Validated to at most
+  /// Tracer::MaxPrefetchDepth (64); forced to 0 in builds where the
+  /// GENGC_PREFETCH probe failed.  All trace statistics are
+  /// order-independent, so any depth produces identical CycleStats.
+  unsigned PrefetchDepth = 4;
+
   /// Observability subsystem configuration (see obs/Event.h).  Metrics are
   /// always on; Obs.Tracing additionally records events into per-actor
   /// rings.
@@ -163,6 +174,9 @@ public:
 
   const Trigger &trigger() const { return Trig; }
   CollectorState &state() { return State; }
+
+  /// The trace engine (segment-pool gauges for Runtime::metrics()).
+  const ParallelTracer &traceEngine() const { return TraceEngine; }
 
   /// The observability registry (event rings + histograms) of this
   /// collector's runtime.

@@ -436,6 +436,9 @@ CycleStats GenerationalCollector::runCycle(CycleRequest Kind) {
              C.ObjectsTraced = TraceResult.ObjectsTraced;
              C.BytesTraced = TraceResult.BytesTraced;
              C.TraceSteals = TraceResult.Steals;
+             C.TraceOffloads = TraceResult.Offloads;
+             C.TraceSegmentsAcquired = TraceResult.SegmentsAcquired;
+             C.TraceTermScanNanos = TraceResult.TermScanNanos;
              C.TraceWorkerNanos = std::move(TraceResult.WorkerNanos);
              // Lazy cycles have no eager sweep to compute the
              // live-after-minus-new estimate from; fall back to bytes

@@ -6,6 +6,7 @@
 
 #include "gc/ParallelTrace.h"
 
+#include <algorithm>
 #include <thread>
 
 #include "support/Timer.h"
@@ -15,12 +16,17 @@ using namespace gengc;
 ParallelTracer::ParallelTracer(Heap &H, CollectorState &S, GcWorkerPool &Pool)
     : H(H), State(S), Pool(Pool) {
   for (unsigned Lane = 0; Lane < Pool.lanes(); ++Lane)
-    Engines.push_back(std::make_unique<Tracer>(H, S));
+    Engines.push_back(std::make_unique<Tracer>(H, S, &SegPool));
 }
 
 void ParallelTracer::setAgingThreshold(uint8_t OldestAge) {
   for (auto &Engine : Engines)
     Engine->setAgingThreshold(OldestAge);
+}
+
+void ParallelTracer::setPrefetchDepth(unsigned Depth) {
+  for (auto &Engine : Engines)
+    Engine->setPrefetchDepth(Depth);
 }
 
 void ParallelTracer::setObs(ObsRegistry *Registry) {
@@ -34,6 +40,7 @@ ParallelTracer::Result ParallelTracer::trace(Color BlackColor,
   unsigned Lanes = Pool.lanes();
   Result R;
   R.WorkerNanos.assign(Lanes, 0);
+  uint64_t AcquiresAtStart = SegPool.acquires();
 
   if (Lanes == 1) {
     // The historical single-threaded algorithm, verbatim — GcThreads = 1
@@ -44,6 +51,8 @@ ParallelTracer::Result ParallelTracer::trace(Color BlackColor,
     R.ObjectsTraced = Single.ObjectsTraced;
     R.BytesTraced = Single.BytesTraced;
     R.Passes = Single.Passes;
+    R.TermScanNanos = Single.TermScanNanos;
+    R.SegmentsAcquired = SegPool.acquires() - AcquiresAtStart;
     if (EventRing *Ring = Obs ? Obs->laneRing(0) : nullptr)
       Ring->emit(ObsEventKind::TraceSpan, Start, R.WorkerNanos[0],
                  R.ObjectsTraced);
@@ -57,14 +66,16 @@ ParallelTracer::Result ParallelTracer::trace(Color BlackColor,
 
   for (;;) {
     if (!Pending.empty()) {
-      // Fan the pending grays out as stealable chunks and let every lane
+      // Fan the pending grays out as stealable segments and let every lane
       // work-steal until global quiescence.
       TraceWorkList Shared;
-      for (size_t I = 0; I < Pending.size();
-           I += TraceWorkList::ChunkRefs) {
-        size_t E = std::min(I + TraceWorkList::ChunkRefs, Pending.size());
-        Shared.push(std::vector<ObjectRef>(Pending.begin() + I,
-                                           Pending.begin() + E));
+      for (size_t I = 0; I < Pending.size(); I += TraceSegment::Capacity) {
+        size_t E = std::min(I + size_t(TraceSegment::Capacity),
+                            Pending.size());
+        TraceSegment *S = SegPool.acquire();
+        S->Count = uint32_t(E - I);
+        std::copy(Pending.begin() + I, Pending.begin() + E, S->Refs);
+        Shared.push(S);
       }
       Pending.clear();
       std::atomic<unsigned> NumIdle{0};
@@ -82,6 +93,7 @@ ParallelTracer::Result ParallelTracer::trace(Color BlackColor,
       for (const Tracer::Result &LR : LaneResults) {
         R.ObjectsTraced += LR.ObjectsTraced;
         R.BytesTraced += LR.BytesTraced;
+        R.Offloads += LR.Offloads;
       }
       R.Steals += Shared.steals();
     }
@@ -93,22 +105,44 @@ ParallelTracer::Result ParallelTracer::trace(Color BlackColor,
     if (State.Grays.drainTo(Pending))
       continue;
 
-    // Termination, step 2: one verification scan of the color side-table.
-    // Runs on the leader; grays it finds (rare) go back through the
-    // parallel drain above.
+    // Termination, step 2: one verification scan of the color side-table,
+    // sharded across all pool lanes over the allocated block ranges.  Gray
+    // can only rest on object-start granules inside allocated blocks — a
+    // block carved after the range snapshot holds only freshly allocated
+    // (allocation-colored) objects, and a block freed during the scan held
+    // only unmarked free cells — so skipping never-carved space finds
+    // every gray the historical full-table leader scan would have
+    // (DESIGN.md §17).  Grays it finds (rare) go back through the parallel
+    // drain above.
     ++R.Passes;
-    Pages.touchRange(Region::ColorTable, 0, Colors.size());
-    for (size_t W = 0, E = Colors.numWords(); W != E; ++W) {
-      if (!AtomicByteTable::wordContainsByte(Colors.racyWord(W),
-                                             uint8_t(Color::Gray)))
-        continue;
-      size_t Begin = W * AtomicByteTable::WordEntries;
-      for (size_t I = Begin; I != Begin + AtomicByteTable::WordEntries; ++I)
-        if (Color(Colors.entry(I).load(std::memory_order_acquire)) ==
-            Color::Gray)
-          Pending.push_back(ObjectRef(I << GranuleShift));
-    }
-    if (Pending.empty())
+    uint64_t ScanStart = nowNanos();
+    std::vector<std::pair<size_t, size_t>> Chunks; // color-entry ranges
+    // Four blocks of granules per claimed chunk: coarse enough that the
+    // shared-cursor traffic is negligible, fine enough to balance lanes.
+    constexpr size_t ScanChunkEntries = 16 * 1024;
+    H.forEachAllocatedBlockRange([&](uint64_t ByteBegin, uint64_t ByteEnd) {
+      size_t Begin = size_t(ByteBegin >> GranuleShift);
+      size_t End = size_t(ByteEnd >> GranuleShift);
+      Pages.touchRange(Region::ColorTable, Begin, End - Begin);
+      for (size_t C = Begin; C < End; C += ScanChunkEntries)
+        Chunks.emplace_back(C, std::min(C + ScanChunkEntries, End));
+    });
+    std::vector<std::vector<ObjectRef>> LaneFound(Lanes);
+    parallelChunks(
+        Pool, 0, Chunks.size(), 1, [&](unsigned Lane, size_t B, size_t E) {
+          for (size_t C = B; C != E; ++C)
+            Colors.forEachEntryEqualInRange(
+                Chunks[C].first, Chunks[C].second, uint8_t(Color::Gray),
+                [&](size_t Index) {
+                  LaneFound[Lane].push_back(ObjectRef(Index << GranuleShift));
+                });
+        });
+    for (const std::vector<ObjectRef> &Found : LaneFound)
+      Pending.insert(Pending.end(), Found.begin(), Found.end());
+    R.TermScanNanos += nowNanos() - ScanStart;
+    if (Pending.empty()) {
+      R.SegmentsAcquired = SegPool.acquires() - AcquiresAtStart;
       return R;
+    }
   }
 }

@@ -6,14 +6,17 @@
 ///
 /// \file
 /// The parallel trace stage.  Each GcWorkerPool lane runs its own Tracer
-/// engine over a private gray stack; surplus work moves between lanes in
-/// chunks through a shared TraceWorkList (steal = pop one chunk).  All
-/// mutator-facing machinery is untouched: mutators shade through the same
-/// write barriers into the same shared gray buffer, every color transition
-/// funnels through Heap::casColor, and the termination protocol is the
-/// paper-faithful one the single-threaded tracer used — wait out in-flight
-/// shades, drain the gray buffer, then run verification scans of the color
-/// side-table until one finds no gray object.
+/// engine over a private segmented gray stack; surplus work moves between
+/// lanes as whole TraceSegments through a shared TraceWorkList (steal = pop
+/// one segment pointer).  All mutator-facing machinery is untouched:
+/// mutators shade through the same write barriers into the same shared gray
+/// buffer, every color transition funnels through Heap::casColor, and the
+/// termination protocol is the paper-faithful one the single-threaded
+/// tracer used — wait out in-flight shades, drain the gray buffer, then run
+/// verification scans of the color side-table until one finds no gray
+/// object.  The verification scan itself is sharded across the pool lanes
+/// over the allocated block ranges (DESIGN.md §17 sketches why that is
+/// equivalent to the historical full-table leader scan).
 ///
 /// With one lane, ParallelTracer delegates to the historical Tracer::trace
 /// verbatim, so GcThreads = 1 is bit-identical to the single-threaded
@@ -25,65 +28,74 @@
 #define GENGC_GC_PARALLELTRACE_H
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
+#include "gc/TraceSegment.h"
 #include "gc/Tracer.h"
 #include "gc/WorkerPool.h"
 #include "obs/ObsRegistry.h"
 
 namespace gengc {
 
-/// Shared pool of gray-object chunks; the unit of work stealing.  A plain
-/// mutex-protected chunk stack is plenty: lanes touch it once per ChunkRefs
-/// objects traced, so contention is bounded by construction.
+/// Shared stack of gray-segment pointers; the unit of work stealing.  Push
+/// and steal are O(1) pointer swaps — no ref is ever copied — and a plain
+/// mutex is plenty: lanes touch the list once per TraceSegment::Capacity
+/// objects traced, so contention is bounded by construction.  The
+/// statistics counters are atomics, so steals() never takes the list mutex
+/// mid-cycle.
 class TraceWorkList {
 public:
-  /// Number of object refs per stealable chunk.
-  static constexpr size_t ChunkRefs = 64;
+  /// Number of object refs per stealable unit (segment capacity); kept
+  /// under its historical name for the offload-threshold arithmetic.
+  static constexpr size_t ChunkRefs = TraceSegment::Capacity;
 
-  /// Deposits one chunk for stealing.
-  void push(std::vector<ObjectRef> &&Chunk) {
+  /// Deposits one segment for stealing; the list takes ownership of the
+  /// pointer until a thief attaches it to its own stack.
+  void push(TraceSegment *S) {
+    GENGC_ASSERT(S != nullptr && S->Count > 0,
+                 "work list holds only non-empty segments");
     std::scoped_lock Locked(Mutex);
-    Chunks.push_back(std::move(Chunk));
-    NumChunks.store(Chunks.size(), std::memory_order_release);
+    S->Below = TopSegment;
+    S->Above = nullptr;
+    TopSegment = S;
+    NumSegments.fetch_add(1, std::memory_order_release);
   }
 
-  /// Moves one chunk's refs onto the back of \p Out.
-  /// \returns true if a chunk was stolen.
-  bool steal(std::vector<ObjectRef> &Out) {
+  /// Pops one segment, or returns null when the list is empty.
+  TraceSegment *steal() {
     std::scoped_lock Locked(Mutex);
-    if (Chunks.empty())
-      return false;
-    std::vector<ObjectRef> Chunk = std::move(Chunks.back());
-    Chunks.pop_back();
-    NumChunks.store(Chunks.size(), std::memory_order_release);
-    ++Steals;
-    Out.insert(Out.end(), Chunk.begin(), Chunk.end());
-    return true;
+    TraceSegment *S = TopSegment;
+    if (S == nullptr)
+      return nullptr;
+    TopSegment = S->Below;
+    S->Below = nullptr;
+    NumSegments.fetch_sub(1, std::memory_order_release);
+    Steals.fetch_add(1, std::memory_order_relaxed);
+    return S;
   }
 
   /// Racy emptiness hint for idle-lane spinning (misses are resolved by the
   /// steal's mutex, and ultimately by the tracer's verification scan).
   bool empty() const {
-    return NumChunks.load(std::memory_order_acquire) == 0;
+    return NumSegments.load(std::memory_order_acquire) == 0;
   }
 
-  /// Current number of deposited chunks (offload throttling hint).
-  size_t approxChunks() const {
-    return NumChunks.load(std::memory_order_relaxed);
+  /// Current number of deposited segments (offload throttling hint).
+  size_t approxSegments() const {
+    return NumSegments.load(std::memory_order_relaxed);
   }
 
-  /// Number of successful steals so far (statistics).
-  uint64_t steals() const {
-    std::scoped_lock Locked(Mutex);
-    return Steals;
-  }
+  /// Number of successful steals so far.  Lock-free: statistics snapshots
+  /// taken mid-cycle never contend with the lanes' push/steal traffic.
+  uint64_t steals() const { return Steals.load(std::memory_order_relaxed); }
 
 private:
   mutable std::mutex Mutex;
-  std::vector<std::vector<ObjectRef>> Chunks;
-  std::atomic<size_t> NumChunks{0};
-  uint64_t Steals = 0;
+  /// Intrusive stack through TraceSegment::Below.
+  TraceSegment *TopSegment = nullptr;
+  std::atomic<size_t> NumSegments{0};
+  std::atomic<uint64_t> Steals{0};
 };
 
 /// The parallel trace driver; owned by a collector, reused across cycles.
@@ -96,8 +108,14 @@ public:
     uint64_t BytesTraced = 0;
     /// Number of color-table verification passes until the clean pass.
     uint64_t Passes = 0;
-    /// Chunks stolen between lanes (0 with one lane).
+    /// Segments stolen between lanes (0 with one lane).
     uint64_t Steals = 0;
+    /// Segments offloaded to the shared list (0 with one lane).
+    uint64_t Offloads = 0;
+    /// Segment-pool acquires during this trace (packet churn gauge).
+    uint64_t SegmentsAcquired = 0;
+    /// Wall time inside the termination verification scans.
+    uint64_t TermScanNanos = 0;
     /// Wall time each lane spent inside the trace, indexed by lane.
     std::vector<uint64_t> WorkerNanos;
   };
@@ -107,6 +125,9 @@ public:
   /// See Tracer::setAgingThreshold; forwarded to every lane engine.
   void setAgingThreshold(uint8_t OldestAge);
 
+  /// See Tracer::setPrefetchDepth; forwarded to every lane engine.
+  void setPrefetchDepth(unsigned Depth);
+
   /// Routes per-lane trace events (TraceSpan, TraceSteal) to \p Registry's
   /// lane rings.  Called once at collector construction.
   void setObs(ObsRegistry *Registry);
@@ -114,11 +135,17 @@ public:
   /// Traces to completion (see Tracer::trace for the color contract).
   Result trace(Color BlackColor, GrayCounters &Counters);
 
+  /// The collector-wide segment pool (metrics gauges).
+  const TraceSegmentPool &segmentPool() const { return SegPool; }
+
 private:
   Heap &H;
   CollectorState &State;
   GcWorkerPool &Pool;
   ObsRegistry *Obs = nullptr;
+  /// Segment pool shared by every lane engine; declared before Engines so
+  /// their stacks release segments into a live pool on destruction.
+  TraceSegmentPool SegPool;
   /// One engine per lane; unique_ptr keeps them stable and non-movable.
   std::vector<std::unique_ptr<Tracer>> Engines;
 };

@@ -84,6 +84,9 @@ CycleStats StwCollector::runCycle(CycleRequest Kind) {
              C.BytesTraced = TraceResult.BytesTraced;
              C.LiveEstimateBytes = TraceResult.BytesTraced;
              C.TraceSteals = TraceResult.Steals;
+             C.TraceOffloads = TraceResult.Offloads;
+             C.TraceSegmentsAcquired = TraceResult.SegmentsAcquired;
+             C.TraceTermScanNanos = TraceResult.TermScanNanos;
              C.TraceWorkerNanos = std::move(TraceResult.WorkerNanos);
            }},
 

@@ -6,13 +6,21 @@
 
 #include "gc/Tracer.h"
 
+#include <algorithm>
 #include <thread>
 
 #include "gc/ParallelTrace.h"
 #include "runtime/ObjectModel.h"
+#include "support/Prefetch.h"
 #include "support/Timer.h"
 
 using namespace gengc;
+
+void Tracer::setPrefetchDepth(unsigned Depth) {
+  if (!PrefetchAvailable)
+    Depth = 0;
+  PrefetchDepth = std::min(Depth, MaxPrefetchDepth);
+}
 
 void Tracer::markBlack(ObjectRef Ref, Color BlackColor, GrayCounters &Counters,
                        Result &R) {
@@ -39,54 +47,88 @@ void Tracer::markBlack(ObjectRef Ref, Color BlackColor, GrayCounters &Counters,
     if (WillTenure && H.ages().ageOf(Son) < AgingOldestAge)
       H.cards().markCard(refSlotOffset(Ref, I));
     if (tryMarkGray(H, Son, Clear)) {
-      Counters.FromClear.fetch_add(1, std::memory_order_relaxed);
-      Counters.FromClearBytes.fetch_add(H.storageBytesOf(Son),
-                                        std::memory_order_relaxed);
-      Stack.push_back(Son);
+      // Batched into lane-locals: one pair of fetch_adds per segment of
+      // marks instead of two shared-cache-line RMWs per shaded son.
+      ++PendingFromClear;
+      PendingFromClearBytes += H.storageBytesOf(Son);
+      Stack.push(Son);
     }
   }
   H.storeColor(Ref, BlackColor);
   ++R.ObjectsTraced;
   R.BytesTraced += H.storageBytesOf(Ref);
+  if (++MarksSinceFlush >= TraceSegment::Capacity)
+    flushCounters(Counters);
+}
+
+void Tracer::drainLocal(TraceWorkList *Shared, unsigned Lanes,
+                        Color BlackColor, GrayCounters &Counters, Result &R) {
+  // Offload the oldest segment when the local stack has plenty and the
+  // shared list is not already saturated: an O(1) pointer swap — the old
+  // vector engine paid an O(n) front-erase here, which must not come back
+  // (WorkerPoolTest pins the zero-copy steal, micro_trace_scale the cost).
+  auto MaybeOffload = [&] {
+    if (Shared == nullptr ||
+        Stack.size() < 2 * size_t(TraceSegment::Capacity) ||
+        Shared->approxSegments() >= Lanes)
+      return;
+    if (TraceSegment *S = Stack.detachBottom()) {
+      Shared->push(S);
+      ++R.Offloads;
+    }
+  };
+
+  if (PrefetchDepth == 0) {
+    // Historical pop order, no window: GcThreads = 1 with PrefetchDepth = 0
+    // is bit-identical to the pre-segment engine.
+    while (!Stack.empty()) {
+      MaybeOffload();
+      markBlack(Stack.pop(), BlackColor, Counters, R);
+    }
+  } else {
+    // Bounded FIFO prefetch window: refs are popped up to PrefetchDepth
+    // ahead and their color byte + header line prefetched on entry, so the
+    // cache misses of the next K objects overlap the tracing of the
+    // current one (memory-level parallelism for pointer chasing).
+    ObjectRef Window[MaxPrefetchDepth];
+    unsigned Head = 0, Tail = 0;
+    for (;;) {
+      while (Head - Tail < PrefetchDepth && !Stack.empty()) {
+        MaybeOffload();
+        ObjectRef Next = Stack.pop();
+        prefetchRead(H.colorPrefetchAddress(Next));
+        prefetchRead(H.prefetchAddress(Next));
+        Window[Head++ % MaxPrefetchDepth] = Next;
+      }
+      if (Head == Tail)
+        break;
+      markBlack(Window[Tail++ % MaxPrefetchDepth], BlackColor, Counters, R);
+    }
+  }
+  flushCounters(Counters);
 }
 
 void Tracer::drain(Color BlackColor, GrayCounters &Counters, Result &R) {
   do {
-    while (!Stack.empty()) {
-      ObjectRef Ref = Stack.back();
-      Stack.pop_back();
-      markBlack(Ref, BlackColor, Counters, R);
-    }
+    drainLocal(/*Shared=*/nullptr, /*Lanes=*/0, BlackColor, Counters, R);
     // Pick up objects shaded concurrently by mutator write barriers.
-  } while (State.Grays.drainTo(Stack));
+  } while (State.Grays.drainEach([&](ObjectRef Ref) { Stack.push(Ref); }));
 }
 
 void Tracer::drainShared(TraceWorkList &Shared, std::atomic<unsigned> &NumIdle,
                          unsigned Lanes, Color BlackColor,
                          GrayCounters &Counters, Result &R) {
-  constexpr size_t OffloadAt = 2 * TraceWorkList::ChunkRefs;
   for (;;) {
-    while (!Stack.empty()) {
-      // Offload the oldest half-chunk when the local stack has plenty and
-      // the shared list is not already saturated.  Oldest entries sit near
-      // wide fan-out points, so stolen chunks carry real subtrees.
-      if (Stack.size() >= OffloadAt && Shared.approxChunks() < Lanes) {
-        std::vector<ObjectRef> Chunk(
-            Stack.begin(), Stack.begin() + TraceWorkList::ChunkRefs);
-        Stack.erase(Stack.begin(),
-                    Stack.begin() + TraceWorkList::ChunkRefs);
-        Shared.push(std::move(Chunk));
-      }
-      ObjectRef Ref = Stack.back();
-      Stack.pop_back();
-      markBlack(Ref, BlackColor, Counters, R);
-    }
-    if (Shared.steal(Stack)) {
+    // drainLocal leaves the window empty and the counters flushed, so an
+    // idle vote below never hides work or statistics from the leader.
+    drainLocal(&Shared, Lanes, BlackColor, Counters, R);
+    if (TraceSegment *S = Shared.steal()) {
       if (Obs)
-        Obs->instant(ObsEventKind::TraceSteal, nowNanos(), Stack.size());
+        Obs->instant(ObsEventKind::TraceSteal, nowNanos(), S->Count);
+      Stack.attachSegment(S);
       continue;
     }
-    // Idle consensus: a lane deposits chunks only while it is active, so
+    // Idle consensus: a lane deposits segments only while it is active, so
     // once every lane has voted idle the shared list cannot refill — the
     // last voter's failed steal saw it empty and no active lane remains.
     // Anything shaded by mutators meanwhile sits in the shared gray
@@ -112,7 +154,7 @@ Tracer::Result Tracer::trace(Color BlackColor, GrayCounters &Counters) {
   // everything mutators shade while we run arrives through the gray
   // buffer.  This is O(objects traced), independent of the heap size —
   // the property that makes partial collections cheap.
-  State.Grays.drainTo(Stack);
+  State.Grays.drainEach([&](ObjectRef Ref) { Stack.push(Ref); });
   drain(BlackColor, Counters, R);
 
   const AtomicByteTable &Colors = H.colors();
@@ -121,7 +163,7 @@ Tracer::Result Tracer::trace(Color BlackColor, GrayCounters &Counters) {
     // in flight, then re-drain anything they published.
     while (State.InFlightShades.load(std::memory_order_acquire) != 0)
       std::this_thread::yield();
-    if (State.Grays.drainTo(Stack)) {
+    if (State.Grays.drainEach([&](ObjectRef Ref) { Stack.push(Ref); })) {
       drain(BlackColor, Counters, R);
       continue;
     }
@@ -130,26 +172,21 @@ Tracer::Result Tracer::trace(Color BlackColor, GrayCounters &Counters) {
     // — "while there is a gray object" made literal.  Normally finds
     // nothing; word hints skip clean regions eight granules at a time.
     ++R.Passes;
+    uint64_t ScanStart = nowNanos();
     bool FoundGray = false;
     Pages.touchRange(Region::ColorTable, 0, Colors.size());
-    for (size_t W = 0, E = Colors.numWords(); W != E; ++W) {
-      if (!AtomicByteTable::wordContainsByte(Colors.racyWord(W),
-                                             uint8_t(Color::Gray)))
-        continue;
-      size_t Begin = W * AtomicByteTable::WordEntries;
-      for (size_t I = Begin; I != Begin + AtomicByteTable::WordEntries;
-           ++I) {
-        if (Color(Colors.entry(I).load(std::memory_order_acquire)) !=
-            Color::Gray)
-          continue;
-        FoundGray = true;
-        // Only object-start granules ever receive a color, so the granule
-        // index converts directly to a reference.
-        markBlack(ObjectRef(I << GranuleShift), BlackColor, Counters, R);
-        drain(BlackColor, Counters, R);
-      }
-    }
-    if (!FoundGray)
+    Colors.forEachEntryEqualInRange(
+        0, Colors.size(), uint8_t(Color::Gray), [&](size_t I) {
+          FoundGray = true;
+          // Only object-start granules ever receive a color, so the
+          // granule index converts directly to a reference.
+          markBlack(ObjectRef(I << GranuleShift), BlackColor, Counters, R);
+          drain(BlackColor, Counters, R);
+        });
+    R.TermScanNanos += nowNanos() - ScanStart;
+    if (!FoundGray) {
+      flushCounters(Counters);
       return R;
+    }
   }
 }

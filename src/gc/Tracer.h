@@ -15,6 +15,14 @@
 /// gray color *before* anything else, a full scan of the color table that
 /// finds no gray object (with an empty stack) proves the trace is complete.
 ///
+/// The hot path is packet-structured (DESIGN.md §17): the mark stack is a
+/// chain of pooled TraceSegments, work moves between lanes as O(1) segment
+/// swaps, shade accounting batches into lane-local counters flushed once
+/// per segment, and an optional bounded prefetch window warms the color
+/// byte and header line of upcoming gray refs while the current one is
+/// traced.  Depth 0 bypasses the window entirely and reproduces the
+/// historical pop order exactly.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef GENGC_GC_TRACER_H
@@ -23,6 +31,7 @@
 #include <atomic>
 #include <vector>
 
+#include "gc/TraceSegment.h"
 #include "heap/Heap.h"
 #include "obs/EventRing.h"
 #include "runtime/CollectorState.h"
@@ -34,13 +43,17 @@ class TraceWorkList;
 
 /// One trace engine.  Historically the singleton owned by a collector; now
 /// a per-worker engine: each GcWorkerPool lane drives its own Tracer with a
-/// private gray stack, coordinating with its siblings only through the
-/// shared TraceWorkList (chunk-granularity work stealing) and the color
-/// side-table CASes it already used.  ParallelTrace.h owns the fan-out; the
-/// single-lane trace() below remains the complete, self-contained
-/// single-threaded algorithm.
+/// private segmented gray stack, coordinating with its siblings only
+/// through the shared TraceWorkList (segment-granularity work stealing)
+/// and the color side-table CASes it already used.  ParallelTrace.h owns
+/// the fan-out; the single-lane trace() below remains the complete,
+/// self-contained single-threaded algorithm.
 class Tracer {
 public:
+  /// Upper bound on the prefetch window (a power of two: the window ring
+  /// masks with it).  Also the RuntimeConfig::validate bound.
+  static constexpr unsigned MaxPrefetchDepth = 64;
+
   struct Result {
     /// Number of MarkBlack executions ("objects scanned" of Figure 11).
     uint64_t ObjectsTraced = 0;
@@ -48,9 +61,19 @@ public:
     uint64_t BytesTraced = 0;
     /// Number of color-table passes until the clean pass.
     uint64_t Passes = 0;
+    /// Wall time inside the termination verification scans (a subset of
+    /// the total trace time; the sharded-scan speedup shows up here).
+    uint64_t TermScanNanos = 0;
+    /// Segments this lane offloaded to the shared work list.
+    uint64_t Offloads = 0;
   };
 
-  Tracer(Heap &H, CollectorState &S) : H(H), State(S) {}
+  /// \p SharedPool is the collector-wide segment pool (ParallelTracer's);
+  /// standalone engines (tests) pass nothing and use a private pool.
+  explicit Tracer(Heap &H, CollectorState &S,
+                  TraceSegmentPool *SharedPool = nullptr)
+      : H(H), State(S), Pool(SharedPool ? SharedPool : &OwnedPool),
+        Stack(*Pool) {}
 
   /// Enables aging-mode card maintenance during the trace: when MarkBlack
   /// blackens an object whose age equals \p OldestAge (it will be tenured
@@ -71,6 +94,13 @@ public:
   /// ring; null disables emission).
   void setObsRing(EventRing *Ring) { Obs = Ring; }
 
+  /// Sets the prefetch window depth: up to \p Depth gray refs are popped
+  /// ahead and their color byte + header line prefetched before they are
+  /// traced.  Clamped to [0, MaxPrefetchDepth]; forced to 0 in builds
+  /// without GENGC_PREFETCH (a window without prefetch is pure overhead).
+  /// Depth 0 traces in the exact historical LIFO order.
+  void setPrefetchDepth(unsigned Depth);
+
   /// Traces to completion.  \p BlackColor is the color that marks a fully
   /// traced object: Color::Black for the generational collectors, the
   /// current allocation color for the non-generational baseline (black and
@@ -79,12 +109,12 @@ public:
   Result trace(Color BlackColor, GrayCounters &Counters);
 
   /// Parallel-lane drain: blackens everything on this engine's stack,
-  /// offloading surplus chunks to \p Shared when siblings are hungry and
-  /// stealing chunks back when the local stack runs dry.  Returns once all
-  /// \p Lanes engines are idle with the shared list empty (the \p NumIdle
-  /// counter implements the termination consensus).  Color transitions go
-  /// through the same CASes as the single-threaded path, so the
-  /// mutator-graying vs. collector race argument is unchanged.
+  /// offloading surplus segments to \p Shared when siblings are hungry and
+  /// stealing segments back when the local stack runs dry.  Returns once
+  /// all \p Lanes engines are idle with the shared list empty (the
+  /// \p NumIdle counter implements the termination consensus).  Color
+  /// transitions go through the same CASes as the single-threaded path, so
+  /// the mutator-graying vs. collector race argument is unchanged.
   void drainShared(TraceWorkList &Shared, std::atomic<unsigned> &NumIdle,
                    unsigned Lanes, Color BlackColor, GrayCounters &Counters,
                    Result &R);
@@ -95,13 +125,44 @@ private:
   void markBlack(ObjectRef Ref, Color BlackColor, GrayCounters &Counters,
                  Result &R);
 
-  /// Drains the mark stack, blackening everything on it.
+  /// Blackens everything on the local stack (and, with \p Shared non-null,
+  /// offloads surplus bottom segments while ahead).  Leaves the batched
+  /// shade counters flushed.
+  void drainLocal(TraceWorkList *Shared, unsigned Lanes, Color BlackColor,
+                  GrayCounters &Counters, Result &R);
+
+  /// Drains the mark stack, blackening everything on it, then re-drains
+  /// the shared gray buffer until both are empty.
   void drain(Color BlackColor, GrayCounters &Counters, Result &R);
+
+  /// Publishes the batched FromClear counts into \p Counters.  Batching is
+  /// statistics-only: termination never reads these counters, so deferring
+  /// the atomics to segment boundaries is safe (DESIGN.md §17).
+  void flushCounters(GrayCounters &Counters) {
+    if (PendingFromClear != 0) {
+      Counters.FromClear.fetch_add(PendingFromClear,
+                                   std::memory_order_relaxed);
+      Counters.FromClearBytes.fetch_add(PendingFromClearBytes,
+                                        std::memory_order_relaxed);
+      PendingFromClear = 0;
+      PendingFromClearBytes = 0;
+    }
+    MarksSinceFlush = 0;
+  }
 
   Heap &H;
   CollectorState &State;
   EventRing *Obs = nullptr;
-  std::vector<ObjectRef> Stack;
+  /// Private pool backing standalone engines; unused when a shared pool
+  /// was injected.  Declared before Stack, which borrows from it.
+  TraceSegmentPool OwnedPool;
+  TraceSegmentPool *Pool;
+  SegmentedGrayStack Stack;
+  unsigned PrefetchDepth = 0;
+  /// Shade accounting batched per segment (see flushCounters).
+  uint64_t PendingFromClear = 0;
+  uint64_t PendingFromClearBytes = 0;
+  uint32_t MarksSinceFlush = 0;
   uint8_t AgingOldestAge = 0;
 };
 

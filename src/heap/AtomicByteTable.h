@@ -163,6 +163,41 @@ public:
       Check(I);
   }
 
+  /// Invokes \p Callback(Index) for every entry in [\p Begin, \p End) whose
+  /// byte equals \p Value, ascending.  Word-gated like the historical
+  /// gray-verification scan: a word whose racy hint contains \p Value has
+  /// ALL of its entries re-examined with acquire loads (not only the bytes
+  /// the hint showed), so a byte stored between the hint read and the
+  /// per-entry load is still seen.  A byte set concurrently in a word the
+  /// hint showed clean may be skipped — callers treat that exactly like the
+  /// benign racyWord miss (the tracer's termination protocol re-discovers
+  /// late shades on the next pass or the next cycle).
+  template <typename Fn>
+  void forEachEntryEqualInRange(size_t Begin, size_t End, uint8_t Value,
+                                Fn Callback) const {
+    End = std::min(End, NumEntries);
+    if (Begin >= End)
+      return;
+    auto Check = [&](size_t Index) {
+      if (Entries[Index].load(std::memory_order_acquire) == Value)
+        Callback(Index);
+    };
+    size_t I = Begin;
+    // Leading partial word: per-entry checks up to the word boundary.
+    while (I != End && I % WordEntries != 0)
+      Check(I++);
+    // Word-aligned interior, eight entries per hint.
+    while (I + WordEntries <= End) {
+      if (wordContainsByte(racyWord(I / WordEntries), Value))
+        for (size_t J = I; J != I + WordEntries; ++J)
+          Check(J);
+      I += WordEntries;
+    }
+    // Trailing partial word.
+    for (; I != End; ++I)
+      Check(I);
+  }
+
   /// Zeroes every entry in [\p Begin, \p End) with plain stores.  Racing
   /// writers of *other* entries are unaffected (byte-sized stores); callers
   /// guarantee no one is concurrently setting the cleared entries.

@@ -136,6 +136,20 @@ public:
     return Arena[Offset >> 2];
   }
 
+  /// Raw address of the arena byte at \p Ref, for software-prefetch hints
+  /// only (the tracer warms the header line of upcoming gray objects).
+  /// Never dereference through this — all real accesses go through the
+  /// atomic wordAt/loadColor accessors.
+  const void *prefetchAddress(ObjectRef Ref) const {
+    return reinterpret_cast<const unsigned char *>(Arena.get()) + Ref;
+  }
+
+  /// Raw address of \p Ref's color-table byte, for prefetch hints only.
+  const void *colorPrefetchAddress(ObjectRef Ref) const {
+    return reinterpret_cast<const unsigned char *>(Colors.data()) +
+           (Ref >> GranuleShift);
+  }
+
   //===--------------------------------------------------------------------===
   // Colors.
   //===--------------------------------------------------------------------===

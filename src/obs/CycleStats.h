@@ -66,8 +66,15 @@ struct CycleStats {
   // Parallel engine accounting.
   /// Lanes the cycle's parallel phases ran on (CollectorConfig::GcThreads).
   uint32_t GcWorkers = 1;
-  /// Chunks stolen between trace lanes (0 with one lane).
+  /// Segments stolen between trace lanes (0 with one lane).
   uint64_t TraceSteals = 0;
+  /// Segments lanes offloaded to the shared work list (0 with one lane).
+  uint64_t TraceOffloads = 0;
+  /// Trace-segment pool acquires during the trace phase (packet churn).
+  uint64_t TraceSegmentsAcquired = 0;
+  /// Portion of TraceNanos spent inside the termination verification scans
+  /// of the color table (sharded across lanes when GcThreads > 1).
+  uint64_t TraceTermScanNanos = 0;
   /// Wall time each lane spent inside the trace phase, indexed by lane.
   std::vector<uint64_t> TraceWorkerNanos;
   /// Wall time each lane spent inside the sweep phase, indexed by lane.

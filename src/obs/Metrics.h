@@ -61,6 +61,20 @@ struct MetricsSnapshot {
   /// Central free-list shards per size class (configuration gauge).
   uint64_t AllocShardCount = 0;
 
+  //===-- Trace engine (segmented gray stacks) ----------------------------===
+  /// Segments stolen between trace lanes, summed over cycles.
+  uint64_t TraceSteals = 0;
+  /// Segments offloaded to the shared work list, summed over cycles.
+  uint64_t TraceOffloads = 0;
+  /// Trace-segment pool acquires, summed over cycles.
+  uint64_t TraceSegmentsAcquired = 0;
+  /// Time inside termination verification scans, summed over cycles.
+  uint64_t TraceTermScanNanos = 0;
+  /// Segments the pool ever allocated (high-water footprint gauge).
+  uint64_t TraceSegmentsAllocated = 0;
+  /// Segments currently resting on the pool free list (gauge).
+  uint64_t TraceSegmentsPooled = 0;
+
   //===-- Lazy sweep (SweepPolicy::Lazy; all 0 under Eager) ---------------===
   /// Size-class blocks published needs-sweep by PublishSweep phases.
   uint64_t LazyBlocksPublished = 0;
@@ -117,6 +131,10 @@ struct MetricsSnapshot {
       K.ObjectsFreed += C.ObjectsFreed;
       K.BytesFreed += C.BytesFreed;
       K.ObjectsTraced += C.ObjectsTraced;
+      TraceSteals += C.TraceSteals;
+      TraceOffloads += C.TraceOffloads;
+      TraceSegmentsAcquired += C.TraceSegmentsAcquired;
+      TraceTermScanNanos += C.TraceTermScanNanos;
     }
     GcActiveNanos += Stats.GcActiveNanos;
     if (!Stats.Cycles.empty()) {

@@ -1,0 +1,42 @@
+//===- support/Prefetch.h - Software prefetch hints -------------*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Best-effort software prefetch, used by the trace engine to overlap the
+/// cache misses of upcoming gray objects with the tracing of the current
+/// one (the classic mark-loop prefetch window of Cher/Hosking/Vijaykumar).
+/// The root CMakeLists probes for __builtin_prefetch and defines
+/// GENGC_PREFETCH when available; without it the hint compiles to nothing
+/// and the trace engine forces its window depth to 0, so behavior is
+/// identical on toolchains without the builtin.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_SUPPORT_PREFETCH_H
+#define GENGC_SUPPORT_PREFETCH_H
+
+namespace gengc {
+
+/// True when prefetch hints are real instructions in this build.
+#if GENGC_PREFETCH
+inline constexpr bool PrefetchAvailable = true;
+#else
+inline constexpr bool PrefetchAvailable = false;
+#endif
+
+/// Hints that \p Addr will be read soon.  A pure performance hint: never
+/// faults, never changes program semantics, no-op without GENGC_PREFETCH.
+inline void prefetchRead(const void *Addr) {
+#if GENGC_PREFETCH
+  __builtin_prefetch(Addr, /*rw=*/0, /*locality=*/3);
+#else
+  (void)Addr;
+#endif
+}
+
+} // namespace gengc
+
+#endif // GENGC_SUPPORT_PREFETCH_H

@@ -41,9 +41,11 @@ RuntimeConfig deterministicConfig(CollectorChoice Choice, bool Aging) {
 /// not allocate while a cycle runs (collectSyncCooperating only polls), so
 /// the object graph at each cycle is a pure function of the seed.
 GcRunStats runWorkload(CollectorChoice Choice, bool Aging,
-                       bool Tracing = false) {
+                       bool Tracing = false, int PrefetchDepth = -1) {
   RuntimeConfig Config = deterministicConfig(Choice, Aging);
   Config.Collector.Obs.Tracing = Tracing;
+  if (PrefetchDepth >= 0)
+    Config.Collector.PrefetchDepth = unsigned(PrefetchDepth);
   Runtime RT(Config);
   auto M = RT.attachMutator();
   Rng Rand(0xD37E12);
@@ -138,6 +140,22 @@ TEST_P(DeterminismTest, TracingDoesNotPerturbCollection) {
   GcRunStats On = runWorkload(GetParam().Choice, GetParam().Aging,
                               /*Tracing=*/true);
   expectIdenticalCollectionStats(Off, On);
+}
+
+TEST_P(DeterminismTest, PrefetchWindowDoesNotPerturbCollection) {
+  // The software-prefetch window reorders the gray-stack traversal (FIFO
+  // within the window instead of pure LIFO) but the traced SET is fixed by
+  // the color CAS, so every collection statistic — all order-independent
+  // sums — must be bit-identical at depth 0 (the exact historical loop),
+  // the default depth, and the maximum window.
+  GcRunStats Off = runWorkload(GetParam().Choice, GetParam().Aging,
+                               /*Tracing=*/false, /*PrefetchDepth=*/0);
+  GcRunStats Default = runWorkload(GetParam().Choice, GetParam().Aging);
+  GcRunStats Wide =
+      runWorkload(GetParam().Choice, GetParam().Aging, /*Tracing=*/false,
+                  /*PrefetchDepth=*/int(Tracer::MaxPrefetchDepth));
+  expectIdenticalCollectionStats(Off, Default);
+  expectIdenticalCollectionStats(Off, Wide);
 }
 
 INSTANTIATE_TEST_SUITE_P(

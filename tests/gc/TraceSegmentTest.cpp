@@ -1,0 +1,148 @@
+//===- tests/gc/TraceSegmentTest.cpp ---------------------------------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+// The segmented gray stack is the trace engine's hot-path data structure,
+// so its contracts are pinned down here: exact LIFO order across segment
+// boundaries (the GcThreads = 1 determinism lean), O(1) detach/attach
+// moving whole segments by identity, pool recycling, and the lock-free
+// statistics counters.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gc/TraceSegment.h"
+
+using namespace gengc;
+
+namespace {
+
+TEST(TraceSegmentPool, RecyclesReleasedSegments) {
+  TraceSegmentPool Pool;
+  TraceSegment *A = Pool.acquire();
+  EXPECT_EQ(Pool.allocatedSegments(), 1u);
+  A->Refs[A->Count++] = ObjectRef(16);
+  Pool.release(A);
+  EXPECT_EQ(Pool.pooledSegments(), 1u);
+  // The recycled segment comes back reset, not reallocated.
+  TraceSegment *B = Pool.acquire();
+  EXPECT_EQ(B, A);
+  EXPECT_EQ(B->Count, 0u);
+  EXPECT_EQ(B->Below, nullptr);
+  EXPECT_EQ(B->Above, nullptr);
+  EXPECT_EQ(Pool.allocatedSegments(), 1u);
+  EXPECT_EQ(Pool.pooledSegments(), 0u);
+  EXPECT_EQ(Pool.acquires(), 2u);
+  Pool.release(B);
+}
+
+TEST(TraceSegmentPool, AllocatesWhenFreeListIsDry) {
+  TraceSegmentPool Pool;
+  TraceSegment *A = Pool.acquire();
+  TraceSegment *B = Pool.acquire();
+  EXPECT_NE(A, B);
+  EXPECT_EQ(Pool.allocatedSegments(), 2u);
+  Pool.release(A);
+  Pool.release(B);
+  EXPECT_EQ(Pool.pooledSegments(), 2u);
+}
+
+TEST(SegmentedGrayStack, ExactLifoAcrossSegmentBoundaries) {
+  TraceSegmentPool Pool;
+  SegmentedGrayStack Stack(Pool);
+  EXPECT_TRUE(Stack.empty());
+  // Three segments' worth plus a partial — pops must reverse pushes
+  // exactly, as the historical vector stack did.
+  constexpr size_t N = 3 * TraceSegment::Capacity + 17;
+  for (size_t I = 0; I < N; ++I)
+    Stack.push(ObjectRef((I + 1) * 16));
+  EXPECT_EQ(Stack.size(), N);
+  EXPECT_EQ(Stack.segments(), 4u);
+  for (size_t I = N; I != 0; --I)
+    EXPECT_EQ(Stack.pop(), ObjectRef(I * 16));
+  EXPECT_TRUE(Stack.empty());
+  EXPECT_EQ(Stack.segments(), 0u);
+}
+
+TEST(SegmentedGrayStack, BoundaryOscillationDoesNotChurnThePool) {
+  TraceSegmentPool Pool;
+  SegmentedGrayStack Stack(Pool);
+  // Fill exactly one segment, then oscillate push/pop across its boundary:
+  // the stack's spare-segment cache must absorb this without a pool
+  // round-trip per operation.
+  for (size_t I = 0; I < TraceSegment::Capacity; ++I)
+    Stack.push(ObjectRef((I + 1) * 16));
+  uint64_t AcquiresBefore = Pool.acquires();
+  for (int I = 0; I < 1000; ++I) {
+    Stack.push(ObjectRef(16));
+    EXPECT_EQ(Stack.pop(), ObjectRef(16));
+  }
+  // One acquire to create the second segment the first push needs; the
+  // spare then serves every later oscillation.
+  EXPECT_LE(Pool.acquires() - AcquiresBefore, 1u);
+}
+
+TEST(SegmentedGrayStack, DetachBottomMovesOldestSegmentByIdentity) {
+  TraceSegmentPool Pool;
+  SegmentedGrayStack Stack(Pool);
+  // Nothing to detach while a single segment holds everything: the active
+  // top segment is never given away.
+  Stack.push(ObjectRef(16));
+  EXPECT_EQ(Stack.detachBottom(), nullptr);
+
+  constexpr size_t N = 2 * TraceSegment::Capacity + 5;
+  for (size_t I = 1; I < N; ++I)
+    Stack.push(ObjectRef((I + 1) * 16));
+  ASSERT_EQ(Stack.segments(), 3u);
+
+  TraceSegment *Bottom = Stack.detachBottom();
+  ASSERT_NE(Bottom, nullptr);
+  // The bottom segment holds the OLDEST refs — pushes 1..Capacity.
+  EXPECT_EQ(Bottom->Count, TraceSegment::Capacity);
+  EXPECT_EQ(Bottom->Refs[0], ObjectRef(16));
+  EXPECT_EQ(Stack.segments(), 2u);
+  EXPECT_EQ(Stack.size(), N - TraceSegment::Capacity);
+
+  // The remaining stack still pops in exact LIFO order.
+  EXPECT_EQ(Stack.pop(), ObjectRef(N * 16));
+  Pool.release(Bottom);
+}
+
+TEST(SegmentedGrayStack, AttachSegmentIsPoppedNext) {
+  TraceSegmentPool Pool;
+  SegmentedGrayStack Stack(Pool);
+  Stack.push(ObjectRef(1 * 16));
+
+  TraceSegment *S = Pool.acquire();
+  S->Refs[S->Count++] = ObjectRef(2 * 16);
+  S->Refs[S->Count++] = ObjectRef(3 * 16);
+  Stack.attachSegment(S);
+  EXPECT_EQ(Stack.size(), 3u);
+
+  // Attached (stolen) refs come off first, then the original content.
+  EXPECT_EQ(Stack.pop(), ObjectRef(3 * 16));
+  EXPECT_EQ(Stack.pop(), ObjectRef(2 * 16));
+  EXPECT_EQ(Stack.pop(), ObjectRef(1 * 16));
+  EXPECT_TRUE(Stack.empty());
+}
+
+TEST(SegmentedGrayStack, ClearReturnsEverySegmentToThePool) {
+  TraceSegmentPool Pool;
+  {
+    SegmentedGrayStack Stack(Pool);
+    for (size_t I = 0; I < 5 * TraceSegment::Capacity; ++I)
+      Stack.push(ObjectRef(16));
+    Stack.clear();
+    EXPECT_TRUE(Stack.empty());
+    EXPECT_EQ(Pool.allocatedSegments(), Pool.pooledSegments());
+    // Reusable after clear.
+    Stack.push(ObjectRef(32));
+    EXPECT_EQ(Stack.pop(), ObjectRef(32));
+  } // destructor clears again — every segment must be back in the pool
+  EXPECT_EQ(Pool.allocatedSegments(), Pool.pooledSegments());
+}
+
+} // namespace

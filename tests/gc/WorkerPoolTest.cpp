@@ -138,53 +138,107 @@ TEST(ParallelChunks, EmptyRangeRunsNothing) {
 }
 
 TEST(TraceWorkList, StealDrainsEverythingPushed) {
+  TraceSegmentPool Pool;
   TraceWorkList List;
   EXPECT_TRUE(List.empty());
   size_t Pushed = 0;
-  for (int Chunk = 0; Chunk < 5; ++Chunk) {
-    std::vector<ObjectRef> Refs;
-    for (size_t I = 0; I < TraceWorkList::ChunkRefs; ++I)
-      Refs.push_back(ObjectRef(++Pushed * 16));
-    List.push(std::move(Refs));
+  for (int Seg = 0; Seg < 5; ++Seg) {
+    TraceSegment *S = Pool.acquire();
+    for (size_t I = 0; I < TraceSegment::Capacity; ++I)
+      S->Refs[S->Count++] = ObjectRef(++Pushed * 16);
+    List.push(S);
   }
   EXPECT_FALSE(List.empty());
-  EXPECT_EQ(List.approxChunks(), 5u);
+  EXPECT_EQ(List.approxSegments(), 5u);
 
   std::set<ObjectRef> Stolen;
-  std::vector<ObjectRef> Out;
-  while (List.steal(Out)) {
-    Stolen.insert(Out.begin(), Out.end());
-    Out.clear();
+  while (TraceSegment *S = List.steal()) {
+    Stolen.insert(S->Refs, S->Refs + S->Count);
+    Pool.release(S);
   }
   EXPECT_TRUE(List.empty());
   EXPECT_EQ(List.steals(), 5u);
   EXPECT_EQ(Stolen.size(), Pushed);
 }
 
+// The whole point of the segment rework: moving work between lanes is a
+// pointer swap.  A stolen segment must be the SAME object that was pushed
+// — any reintroduction of per-ref copying (the old vector chunks, or the
+// O(n) front-erase offload they forced) breaks this identity check.
+TEST(TraceWorkList, StealIsZeroCopyPointerIdentity) {
+  TraceSegmentPool Pool;
+  TraceWorkList List;
+  TraceSegment *A = Pool.acquire();
+  TraceSegment *B = Pool.acquire();
+  A->Refs[A->Count++] = ObjectRef(16);
+  B->Refs[B->Count++] = ObjectRef(32);
+  const ObjectRef *APayload = A->Refs;
+  List.push(A);
+  List.push(B);
+  // LIFO: B back first, then A — each by identity, payload untouched.
+  EXPECT_EQ(List.steal(), B);
+  TraceSegment *StolenA = List.steal();
+  EXPECT_EQ(StolenA, A);
+  EXPECT_EQ(StolenA->Refs, APayload);
+  EXPECT_EQ(StolenA->Count, 1u);
+  EXPECT_EQ(StolenA->Refs[0], ObjectRef(16));
+  EXPECT_EQ(List.steal(), nullptr);
+  Pool.release(A);
+  Pool.release(B);
+}
+
+TEST(TraceWorkList, StealsCounterIsLockFreeToRead) {
+  // steals() is read by mid-cycle stats snapshots and must not serialize
+  // against the lanes' push/steal traffic (it used to take the list
+  // mutex).  Read it concurrently with a push/steal storm: the atomic
+  // counter only moves forward.
+  TraceSegmentPool Pool;
+  TraceWorkList List;
+  std::atomic<bool> Stop{false};
+  std::thread Churn([&] {
+    while (!Stop.load()) {
+      TraceSegment *S = Pool.acquire();
+      S->Refs[S->Count++] = ObjectRef(16);
+      List.push(S);
+      if (TraceSegment *T = List.steal())
+        Pool.release(T);
+    }
+  });
+  uint64_t Last = 0;
+  for (int I = 0; I < 10000; ++I) {
+    uint64_t Now = List.steals();
+    EXPECT_GE(Now, Last);
+    Last = Now;
+  }
+  Stop.store(true);
+  Churn.join();
+}
+
 TEST(TraceWorkList, ConcurrentPushersAndStealersLoseNothing) {
+  TraceSegmentPool Pool;
   TraceWorkList List;
   constexpr unsigned Pushers = 2, Stealers = 2;
-  constexpr size_t ChunksEach = 200;
+  constexpr size_t SegmentsEach = 200;
   std::atomic<size_t> StolenRefs{0};
   std::atomic<unsigned> PushersDone{0};
 
   std::vector<std::thread> Threads;
   for (unsigned P = 0; P < Pushers; ++P)
     Threads.emplace_back([&, P] {
-      for (size_t C = 0; C < ChunksEach; ++C) {
-        std::vector<ObjectRef> Refs(TraceWorkList::ChunkRefs,
-                                    ObjectRef((P * ChunksEach + C + 1) * 16));
-        List.push(std::move(Refs));
+      for (size_t C = 0; C < SegmentsEach; ++C) {
+        TraceSegment *S = Pool.acquire();
+        for (size_t I = 0; I < TraceSegment::Capacity; ++I)
+          S->Refs[S->Count++] = ObjectRef((P * SegmentsEach + C + 1) * 16);
+        List.push(S);
       }
       PushersDone.fetch_add(1);
     });
   for (unsigned S = 0; S < Stealers; ++S)
     Threads.emplace_back([&] {
-      std::vector<ObjectRef> Out;
       for (;;) {
-        if (List.steal(Out)) {
-          StolenRefs.fetch_add(Out.size());
-          Out.clear();
+        if (TraceSegment *Seg = List.steal()) {
+          StolenRefs.fetch_add(Seg->Count);
+          Pool.release(Seg);
         } else if (PushersDone.load() == Pushers && List.empty()) {
           return;
         } else {
@@ -195,7 +249,7 @@ TEST(TraceWorkList, ConcurrentPushersAndStealersLoseNothing) {
   for (std::thread &T : Threads)
     T.join();
   EXPECT_EQ(StolenRefs.load(),
-            size_t(Pushers) * ChunksEach * TraceWorkList::ChunkRefs);
+            size_t(Pushers) * SegmentsEach * TraceSegment::Capacity);
 }
 
 } // namespace

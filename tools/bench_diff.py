@@ -8,26 +8,39 @@ scalability bench: a throughput (items_per_second) drop of more than
 Only the thread counts named by --threads are gated (high-thread points on an
 oversubscribed CI box are too noisy to gate on); every benchmark present in
 both files is still printed for the record.  Stdlib only — no pip installs.
+
+`bench_diff.py --list` takes no JSON arguments: it scans bench/baselines/
+and prints each committed baseline with its benchmarks and the CMake check
+target that gates it (the bench-gate CTest label runs all of them).
 """
 
 import argparse
 import json
+import os
 import re
 import sys
 
 
 def load_throughputs(path):
-    """benchmark name -> items_per_second for every real-time benchmark."""
+    """benchmark name -> items_per_second for every real-time benchmark.
+
+    When the run used --benchmark_repetitions, the median aggregate is
+    preferred over the raw per-repetition samples (keyed by run_name so it
+    diffs cleanly against a single-run baseline and vice versa)."""
     with open(path) as f:
         data = json.load(f)
-    out = {}
+    raw, medians = {}, {}
     for bench in data.get("benchmarks", []):
-        if bench.get("run_type") == "aggregate":
-            continue
         ips = bench.get("items_per_second")
-        if ips:
-            out[bench["name"]] = float(ips)
-    return out
+        if not ips:
+            continue
+        if bench.get("run_type") == "aggregate":
+            if bench.get("aggregate_name") == "median":
+                medians[bench["run_name"]] = float(ips)
+        else:
+            raw[bench.get("run_name", bench["name"])] = float(ips)
+    raw.update(medians)
+    return raw
 
 
 def thread_count(name):
@@ -35,10 +48,54 @@ def thread_count(name):
     return int(m.group(1)) if m else 1
 
 
+# Committed baseline file -> the CMake target that re-runs and gates it.
+# Baselines without an entry are listed with a warning instead of silently
+# skipped, so a new baseline missing its gate is visible.
+CHECK_TARGETS = {
+    "BENCH_alloc_scale.json": "bench_alloc_scale_check",
+    "BENCH_lazy_sweep.json": "bench_lazy_sweep_check",
+    "BENCH_trace_scale.json": "bench_trace_check",
+}
+
+
+def list_baselines(baselines_dir):
+    """Print every committed baseline, its benchmarks and its check target."""
+    if not os.path.isdir(baselines_dir):
+        print(f"bench_diff: no baselines directory at {baselines_dir}")
+        return 1
+    names = sorted(n for n in os.listdir(baselines_dir) if n.endswith(".json"))
+    if not names:
+        print(f"bench_diff: no baselines in {baselines_dir}")
+        return 1
+    status = 0
+    for name in names:
+        target = CHECK_TARGETS.get(name)
+        if target is None:
+            target = "NO CHECK TARGET (add one to CHECK_TARGETS and CMake)"
+            status = 1
+        print(f"{name}  ->  {target}")
+        for bench in sorted(load_throughputs(os.path.join(baselines_dir, name))):
+            print(f"    {bench}")
+    print("\nrun all gates: ctest -C bench -L bench-gate (or the individual "
+          "CMake targets above)")
+    return status
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("baseline", help="committed baseline JSON")
-    parser.add_argument("current", help="freshly produced JSON")
+    parser.add_argument("baseline", nargs="?", help="committed baseline JSON")
+    parser.add_argument("current", nargs="?", help="freshly produced JSON")
+    parser.add_argument(
+        "--list",
+        action="store_true",
+        help="list committed baselines and their check targets, then exit",
+    )
+    parser.add_argument(
+        "--baselines-dir",
+        default=os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                             os.pardir, "bench", "baselines"),
+        help="baselines directory for --list (default: ../bench/baselines)",
+    )
     parser.add_argument(
         "--max-regression",
         type=float,
@@ -53,6 +110,12 @@ def main():
         help="thread counts whose regressions are gating (default: 1 8)",
     )
     args = parser.parse_args()
+
+    if args.list:
+        return list_baselines(os.path.normpath(args.baselines_dir))
+    if args.baseline is None or args.current is None:
+        parser.error("baseline and current JSON files are required "
+                     "(or use --list)")
 
     base = load_throughputs(args.baseline)
     cur = load_throughputs(args.current)
