@@ -92,8 +92,9 @@ PauseReport runWithPauses(const Profile &P, CollectorChoice Choice,
 
 } // namespace
 
-int main() {
-  BenchOptions Options = withEnv({.Scale = 0.5, .Reps = 1});
+int main(int Argc, char **Argv) {
+  BenchOptions Options = parseBenchOptions(
+      Argc, Argv, {.Run = {.Scale = 0.5, .Reps = 1}});
   printFigureHeader("Ablation",
                     "mutator pause times: stop-the-world vs on-the-fly");
 
@@ -111,7 +112,7 @@ int main() {
         {"generational on-the-fly", CollectorChoice::Generational},
     };
     for (const Row &R : Rows) {
-      PauseReport Report = runWithPauses(P, R.Choice, Options.Scale);
+      PauseReport Report = runWithPauses(P, R.Choice, Options.Run.Scale);
       T.addRow({R.Label, Name, Table::count(Report.Cycles),
                 Table::count(Report.StwPauses),
                 Table::number(Report.MaxStwPauseMs, 2),

@@ -26,8 +26,9 @@ using namespace gengc;
 using namespace gengc::bench;
 using namespace gengc::workload;
 
-int main() {
-  BenchOptions Options = withEnv({.Scale = 0.5, .Reps = 3});
+int main(int Argc, char **Argv) {
+  BenchOptions Options = parseBenchOptions(
+      Argc, Argv, {.Run = {.Scale = 0.5, .Reps = 3}});
   printFigureHeader("Ablation",
                     "inter-generational tracking: cards vs remembered sets");
 
@@ -54,18 +55,19 @@ int main() {
       // Improvement vs the baseline, with the mechanism applied.
       std::vector<double> Improvements;
       RunResult GenKept;
-      for (unsigned Rep = 0; Rep < Local.Reps; ++Rep) {
-        Profile Shifted = P;
-        Shifted.Seed += Rep;
+      workload::RunOptions One = Local.Run;
+      One.Reps = 1;
+      for (unsigned Rep = 0; Rep < Local.Run.Reps; ++Rep) {
+        One.Seed = P.Seed + Rep;
         RuntimeConfig BaseConfig =
             configFor(CollectorChoice::NonGenerational, Local);
         RuntimeConfig GenConfig =
             configFor(CollectorChoice::Generational, Local);
         GenConfig.Collector.RememberedSets = M.RemSet;
-        RunResult Base = runWorkload(Shifted, BaseConfig, Local.Scale);
-        RunResult Gen = runWorkload(Shifted, GenConfig, Local.Scale);
-        double BaseCpu = metricValue(Shifted, Base, Metric::CpuSeconds);
-        double GenCpu = metricValue(Shifted, Gen, Metric::CpuSeconds);
+        RunResult Base = runWorkload(P, BaseConfig, One);
+        RunResult Gen = runWorkload(P, GenConfig, One);
+        double BaseCpu = metricValue(P, Base, Metric::CpuSeconds);
+        double GenCpu = metricValue(P, Gen, Metric::CpuSeconds);
         Improvements.push_back(
             BaseCpu > 0 ? 100.0 * (BaseCpu - GenCpu) / BaseCpu : 0.0);
         GenKept = Gen;

@@ -19,8 +19,9 @@ using namespace gengc;
 using namespace gengc::bench;
 using namespace gengc::workload;
 
-int main() {
-  BenchOptions Options = withEnv({.Scale = 0.5, .Reps = 3});
+int main(int Argc, char **Argv) {
+  BenchOptions Options = parseBenchOptions(
+      Argc, Argv, {.Run = {.Scale = 0.5, .Reps = 3}});
   printFigureHeader("Figure 7",
                     "% improvement, multithreaded Ray Tracer, 2-10 threads");
 

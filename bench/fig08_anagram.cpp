@@ -20,12 +20,13 @@ using namespace gengc;
 using namespace gengc::bench;
 using namespace gengc::workload;
 
-int main() {
+int main(int Argc, char **Argv) {
   printFigureHeader("Figure 8", "% improvement for Anagram");
 
   Profile P = profileByName("anagram");
 
-  BenchOptions Options = withEnv({.Scale = 0.5, .Reps = 3});
+  BenchOptions Options = parseBenchOptions(
+      Argc, Argv, {.Run = {.Scale = 0.5, .Reps = 3}});
   double MultiImprovement = medianImprovement(P, Options, Metric::CpuSeconds);
   double UniImprovement = medianImprovement(P, Options, Metric::Elapsed);
 

@@ -25,7 +25,7 @@ struct PaperRow {
 };
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
   printFigureHeader("Figure 9", "% improvement for SPECjvm benchmarks");
 
   const PaperRow Paper[] = {
@@ -33,7 +33,8 @@ int main() {
       {"jess", -3.7, -2.5},  {"javac", 17.2, 15.3},  {"jack", -2.12, -7.7},
   };
 
-  BenchOptions Options = withEnv({.Scale = 0.5, .Reps = 3});
+  BenchOptions Options = parseBenchOptions(
+      Argc, Argv, {.Run = {.Scale = 0.5, .Reps = 3}});
 
   Table T({"benchmark", "paper multi %", "paper uni %",
            "measured CPU-cost %", "measured wall-clock %"});

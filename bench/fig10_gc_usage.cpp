@@ -29,7 +29,7 @@ struct PaperRow {
 };
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
   printFigureHeader("Figure 10", "use of garbage collection in application");
 
   const PaperRow Paper[] = {
@@ -39,7 +39,8 @@ int main() {
       {"anagram", 62.8, 152, 8, 78.9, 56},
   };
 
-  BenchOptions Options = withEnv({.Scale = 1.0, .Reps = 1});
+  BenchOptions Options = parseBenchOptions(
+      Argc, Argv, {.Run = {.Scale = 1.0, .Reps = 1}});
 
   Table T({"benchmark", "%GC (paper)", "%GC", "#partial (paper)", "#partial",
            "#full (paper)", "#full", "%GC w/o gen (paper)", "%GC w/o gen",

@@ -27,7 +27,7 @@ struct PaperRow {
 };
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
   printFigureHeader("Figure 11",
                     "avg objects scanned per collection (part 1)");
 
@@ -41,7 +41,8 @@ int main() {
       {"anagram", 1, 863, 273248, 271453},
   };
 
-  BenchOptions Options = withEnv({.Scale = 1.0, .Reps = 1});
+  BenchOptions Options = parseBenchOptions(
+      Argc, Argv, {.Run = {.Scale = 1.0, .Reps = 1}});
 
   auto Cell = [](double Value) {
     return Value < 0 ? std::string("N/A") : Table::number(Value, 0);

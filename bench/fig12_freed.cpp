@@ -28,7 +28,7 @@ struct PaperRow {
 };
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
   printFigureHeader("Figure 12", "percentage freed per collection (part 2)");
 
   const PaperRow Paper[] = {
@@ -41,7 +41,8 @@ int main() {
       {"anagram", 86.22, 93.43, 14.2, 13.2},
   };
 
-  BenchOptions Options = withEnv({.Scale = 1.0, .Reps = 1});
+  BenchOptions Options = parseBenchOptions(
+      Argc, Argv, {.Run = {.Scale = 1.0, .Reps = 1}});
 
   auto Cell = [](double Value) {
     return Value < 0 ? std::string("N/A") : Table::number(Value);

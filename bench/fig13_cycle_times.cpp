@@ -24,7 +24,7 @@ struct PaperRow {
 };
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
   printFigureHeader("Figure 13", "average elapsed time of collection cycles");
 
   const PaperRow Paper[] = {
@@ -34,7 +34,8 @@ int main() {
       {"anagram", 52, 429, 346},
   };
 
-  BenchOptions Options = withEnv({.Scale = 1.0, .Reps = 1});
+  BenchOptions Options = parseBenchOptions(
+      Argc, Argv, {.Run = {.Scale = 1.0, .Reps = 1}});
 
   auto Cell = [](double Value) {
     return Value < 0 ? std::string("N/A") : Table::number(Value, 2);

@@ -25,7 +25,7 @@ struct PaperRow {
 };
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
   printFigureHeader("Figure 14", "average objects/space freed per cycle");
 
   const PaperRow Paper[] = {
@@ -38,7 +38,8 @@ int main() {
       {"anagram", 12251, 30088, 41370, 3515684, 13279332, 12590566},
   };
 
-  BenchOptions Options = withEnv({.Scale = 1.0, .Reps = 1});
+  BenchOptions Options = parseBenchOptions(
+      Argc, Argv, {.Run = {.Scale = 1.0, .Reps = 1}});
 
   auto Cell = [](double Value) {
     return Value < 0 ? std::string("N/A") : Table::number(Value, 0);

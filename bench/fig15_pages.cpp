@@ -25,7 +25,7 @@ struct PaperRow {
 };
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
   printFigureHeader("Figure 15", "average pages touched per collection");
 
   const PaperRow Paper[] = {
@@ -35,7 +35,8 @@ int main() {
       {"anagram", 1082, 4938, 5054},
   };
 
-  BenchOptions Options = withEnv({.Scale = 1.0, .Reps = 1});
+  BenchOptions Options = parseBenchOptions(
+      Argc, Argv, {.Run = {.Scale = 1.0, .Reps = 1}});
   Options.TrackPages = true;
 
   auto Cell = [](double Value) {

@@ -18,8 +18,9 @@ using namespace gengc;
 using namespace gengc::bench;
 using namespace gengc::workload;
 
-int main() {
-  BenchOptions Base = withEnv({.Scale = 0.35, .Reps = 1});
+int main(int Argc, char **Argv) {
+  BenchOptions Base = parseBenchOptions(
+      Argc, Argv, {.Run = {.Scale = 0.35, .Reps = 1}});
   printFigureHeader("Figure 16",
                     "young-size tuning, multithreaded Ray Tracer");
 

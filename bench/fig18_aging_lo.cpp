@@ -23,8 +23,8 @@ struct PaperRow {
   double Values[4]; // 1m 2m 4m 8m
 };
 
-void agingSweep(unsigned OldestAge, const PaperRow (&Paper)[7]) {
-  BenchOptions Base = withEnv({.Scale = 0.5, .Reps = 1});
+void agingSweep(const BenchOptions &Base, unsigned OldestAge,
+                const PaperRow (&Paper)[7]) {
   std::printf("-- object marking with aging, age %u is old --\n", OldestAge);
   const unsigned YoungMb[] = {1, 2, 4, 8};
   Table T({"benchmark", "1m (paper/meas)", "2m", "4m", "8m"});
@@ -48,7 +48,9 @@ void agingSweep(unsigned OldestAge, const PaperRow (&Paper)[7]) {
 }
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOptions Base = parseBenchOptions(
+      Argc, Argv, {.Run = {.Scale = 0.5, .Reps = 1}});
   printFigureHeader("Figure 18", "aging mechanism, thresholds 4 and 6");
 
   const PaperRow Age4[] = {
@@ -69,8 +71,8 @@ int main() {
       {"jack", {-12.6, -6.4, -2.5, -0.9}},
       {"anagram", {-11.2, 0.8, 18.3, 26.7}},
   };
-  agingSweep(4, Age4);
-  agingSweep(6, Age6);
+  agingSweep(Base, 4, Age4);
+  agingSweep(Base, 6, Age6);
   printFigureFooter();
   return 0;
 }

@@ -22,8 +22,8 @@ struct PaperRow {
   double Values[4]; // 1m 2m 4m 8m
 };
 
-void agingSweep(unsigned OldestAge, const PaperRow (&Paper)[7]) {
-  BenchOptions Base = withEnv({.Scale = 0.5, .Reps = 1});
+void agingSweep(const BenchOptions &Base, unsigned OldestAge,
+                const PaperRow (&Paper)[7]) {
   std::printf("-- object marking with aging, age %u is old --\n", OldestAge);
   const unsigned YoungMb[] = {1, 2, 4, 8};
   Table T({"benchmark", "1m (paper/meas)", "2m", "4m", "8m"});
@@ -47,7 +47,9 @@ void agingSweep(unsigned OldestAge, const PaperRow (&Paper)[7]) {
 }
 } // namespace
 
-int main() {
+int main(int Argc, char **Argv) {
+  BenchOptions Base = parseBenchOptions(
+      Argc, Argv, {.Run = {.Scale = 0.5, .Reps = 1}});
   printFigureHeader("Figure 19", "aging mechanism, thresholds 8 and 10");
 
   const PaperRow Age8[] = {
@@ -68,8 +70,8 @@ int main() {
       {"jack", {-14.4, -4.2, -2.6, -1.2}},
       {"anagram", {-11.7, -1.6, 14.9, 23.4}},
   };
-  agingSweep(8, Age8);
-  agingSweep(10, Age10);
+  agingSweep(Base, 8, Age8);
+  agingSweep(Base, 10, Age10);
   printFigureFooter();
   return 0;
 }

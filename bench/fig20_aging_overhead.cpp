@@ -29,8 +29,9 @@ struct PaperRow {
 };
 } // namespace
 
-int main() {
-  BenchOptions Base = withEnv({.Scale = 0.5, .Reps = 3});
+int main(int Argc, char **Argv) {
+  BenchOptions Base = parseBenchOptions(
+      Argc, Argv, {.Run = {.Scale = 0.5, .Reps = 3}});
   printFigureHeader("Figure 20",
                     "overhead of aging (threshold 2) vs simple promotion");
 
@@ -58,15 +59,15 @@ int main() {
 
       // Median over paired runs of (simple, aging-2).
       std::vector<double> Deltas;
-      for (unsigned Rep = 0; Rep < Base.Reps; ++Rep) {
+      for (unsigned Rep = 0; Rep < Base.Run.Reps; ++Rep) {
         Profile Shifted = P;
         Shifted.Seed += Rep;
         BenchOptions One = Simple;
-        One.Reps = 1;
+        One.Run.Reps = 1;
         RunResult SimpleRun =
             runMedian(Shifted, CollectorChoice::Generational, One);
         One = Aging;
-        One.Reps = 1;
+        One.Run.Reps = 1;
         RunResult AgingRun =
             runMedian(Shifted, CollectorChoice::Generational, One);
         double SimpleCpu = metricValue(Shifted, SimpleRun, Metric::CpuSeconds);

@@ -24,8 +24,9 @@ struct PaperRow {
 };
 } // namespace
 
-int main() {
-  BenchOptions Base = withEnv({.Scale = 0.5, .Reps = 1});
+int main(int Argc, char **Argv) {
+  BenchOptions Base = parseBenchOptions(
+      Argc, Argv, {.Run = {.Scale = 0.5, .Reps = 1}});
   printFigureHeader("Figure 22", "% dirty cards of allocated cards");
 
   const PaperRow Paper[] = {

@@ -28,8 +28,9 @@ struct PaperRow {
 };
 } // namespace
 
-int main() {
-  BenchOptions Base = withEnv({.Scale = 0.5, .Reps = 1});
+int main(int Argc, char **Argv) {
+  BenchOptions Base = parseBenchOptions(
+      Argc, Argv, {.Run = {.Scale = 0.5, .Reps = 1}});
   printFigureHeader("Figure 23", "area scanned for dirty cards");
 
   const PaperRow Paper[] = {

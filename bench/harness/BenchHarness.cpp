@@ -9,20 +9,139 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
 using namespace gengc;
 using namespace gengc::bench;
 using namespace gengc::workload;
 
-BenchOptions gengc::bench::withEnv(BenchOptions Options) {
-  Options.Scale *= envScale(1.0);
-  if (const char *Reps = std::getenv("GENGC_REPS")) {
-    int Value = std::atoi(Reps);
-    if (Value > 0)
-      Options.Reps = unsigned(Value);
+namespace {
+
+/// Parsed value of one "--name=value" / env knob.
+bool parseDouble(const char *Text, double &Out) {
+  char *End = nullptr;
+  double Value = std::strtod(Text, &End);
+  if (End == Text || *End != '\0' || Value <= 0.0)
+    return false;
+  Out = Value;
+  return true;
+}
+
+bool parseUnsigned(const char *Text, unsigned &Out) {
+  char *End = nullptr;
+  unsigned long Value = std::strtoul(Text, &End, 10);
+  if (End == Text || *End != '\0' || Value == 0 || Value > 1u << 20)
+    return false;
+  Out = unsigned(Value);
+  return true;
+}
+
+bool parseSeed(const char *Text, uint64_t &Out) {
+  char *End = nullptr;
+  unsigned long long Value = std::strtoull(Text, &End, 0);
+  if (End == Text || *End != '\0')
+    return false;
+  Out = Value;
+  return true;
+}
+
+[[noreturn]] void usageError(const char *Arg) {
+  std::fprintf(stderr,
+               "unknown argument: %s\n"
+               "shared bench options: --scale=X --reps=N --copies=N "
+               "--warmup=N --seed=N\n"
+               "(or GENGC_SCALE / GENGC_REPS / GENGC_COPIES / GENGC_WARMUP / "
+               "GENGC_SEED)\n",
+               Arg);
+  std::exit(2);
+}
+
+/// Applies one knob by name; returns false if \p Name is not a shared
+/// option.  \p Source is "argument" or "environment" for diagnostics.
+bool applyOption(BenchOptions &Options, const char *Name, const char *Value,
+                 const char *Source) {
+  bool Ok = true;
+  if (std::strcmp(Name, "scale") == 0) {
+    double Scale = 1.0;
+    Ok = parseDouble(Value, Scale);
+    if (Ok)
+      Options.Run.Scale *= Scale; // multiplies the bench default
+  } else if (std::strcmp(Name, "reps") == 0) {
+    Ok = parseUnsigned(Value, Options.Run.Reps);
+  } else if (std::strcmp(Name, "copies") == 0) {
+    Ok = parseUnsigned(Value, Options.Run.Copies);
+  } else if (std::strcmp(Name, "warmup") == 0) {
+    unsigned Warmup = 0;
+    char *End = nullptr;
+    unsigned long Parsed = std::strtoul(Value, &End, 10);
+    Ok = End != Value && *End == '\0' && Parsed <= 1u << 20;
+    if (Ok)
+      Warmup = unsigned(Parsed);
+    Options.Run.Warmup = Warmup;
+  } else if (std::strcmp(Name, "seed") == 0) {
+    Ok = parseSeed(Value, Options.Run.Seed);
+  } else {
+    return false;
+  }
+  if (!Ok) {
+    std::fprintf(stderr, "invalid %s: %s=%s\n", Source, Name, Value);
+    std::exit(2);
+  }
+  return true;
+}
+
+BenchOptions GlobalOptions;
+
+} // namespace
+
+BenchOptions gengc::bench::parseBenchOptions(int &Argc, char **Argv,
+                                             BenchOptions Defaults,
+                                             bool AllowUnknown) {
+  BenchOptions Options = Defaults;
+
+  // Environment first; argv below overrides it.
+  static const struct {
+    const char *Env;
+    const char *Name;
+  } EnvKnobs[] = {{"GENGC_SCALE", "scale"},
+                  {"GENGC_REPS", "reps"},
+                  {"GENGC_COPIES", "copies"},
+                  {"GENGC_WARMUP", "warmup"},
+                  {"GENGC_SEED", "seed"}};
+  for (const auto &Knob : EnvKnobs)
+    if (const char *Value = std::getenv(Knob.Env))
+      applyOption(Options, Knob.Name, Value, "environment");
+
+  // Consume recognized --name=value arguments, compacting Argv in place so
+  // the caller can forward the rest (google-benchmark flags, matrix flags).
+  int Out = 1;
+  for (int In = 1; In < Argc; ++In) {
+    char *Arg = Argv[In];
+    bool Consumed = false;
+    if (Arg[0] == '-' && Arg[1] == '-') {
+      if (const char *Eq = std::strchr(Arg + 2, '=')) {
+        std::string Name(Arg + 2, size_t(Eq - (Arg + 2)));
+        Consumed = applyOption(Options, Name.c_str(), Eq + 1, "argument");
+      }
+    }
+    if (!Consumed) {
+      if (!AllowUnknown)
+        usageError(Arg);
+      Argv[Out++] = Arg;
+    }
+  }
+  if (AllowUnknown) {
+    Argc = Out;
+    Argv[Argc] = nullptr;
   }
   return Options;
+}
+
+const BenchOptions &gengc::bench::globalBenchOptions() { return GlobalOptions; }
+
+void gengc::bench::setGlobalBenchOptions(const BenchOptions &Options) {
+  GlobalOptions = Options;
 }
 
 RuntimeConfig gengc::bench::configFor(CollectorChoice Choice,
@@ -37,19 +156,7 @@ RuntimeConfig gengc::bench::configFor(CollectorChoice Choice,
 
 RunResult gengc::bench::runMedian(const Profile &P, CollectorChoice Choice,
                                   const BenchOptions &Options) {
-  std::vector<RunResult> Runs;
-  Runs.reserve(Options.Reps);
-  for (unsigned Rep = 0; Rep < Options.Reps; ++Rep) {
-    Profile Shifted = P;
-    Shifted.Seed += Rep; // independent allocation streams per repetition
-    Runs.push_back(runWorkloadCopies(Shifted, configFor(Choice, Options),
-                                     Options.Copies, Options.Scale));
-  }
-  std::sort(Runs.begin(), Runs.end(),
-            [](const RunResult &A, const RunResult &B) {
-              return A.ElapsedSeconds < B.ElapsedSeconds;
-            });
-  return Runs[Runs.size() / 2];
+  return runWorkload(P, configFor(Choice, Options), Options.Run);
 }
 
 double gengc::bench::metricValue(const Profile &P, const RunResult &R,
@@ -63,20 +170,21 @@ double gengc::bench::metricValue(const Profile &P, const RunResult &R,
 double gengc::bench::medianImprovement(const Profile &P,
                                        const BenchOptions &Options,
                                        Metric M) {
+  // Each rep pairs one run of each collector on the same seed, so noise on
+  // a shared machine cancels within the pair; the median improvement is
+  // reported (not the improvement of medians).
+  RunOptions One = Options.Run;
+  One.Reps = 1;
+  uint64_t BaseSeed = Options.Run.Seed ? Options.Run.Seed : P.Seed;
   std::vector<double> Improvements;
-  for (unsigned Rep = 0; Rep < Options.Reps; ++Rep) {
-    Profile Shifted = P;
-    Shifted.Seed += Rep;
-    RunResult Base =
-        runWorkloadCopies(Shifted, configFor(CollectorChoice::NonGenerational,
-                                             Options),
-                          Options.Copies, Options.Scale);
-    RunResult Gen =
-        runWorkloadCopies(Shifted, configFor(CollectorChoice::Generational,
-                                             Options),
-                          Options.Copies, Options.Scale);
-    double BaseValue = metricValue(Shifted, Base, M);
-    double GenValue = metricValue(Shifted, Gen, M);
+  for (unsigned Rep = 0; Rep < Options.Run.Reps; ++Rep) {
+    One.Seed = BaseSeed + Rep;
+    RunResult Base = runWorkload(
+        P, configFor(CollectorChoice::NonGenerational, Options), One);
+    RunResult Gen = runWorkload(
+        P, configFor(CollectorChoice::Generational, Options), One);
+    double BaseValue = metricValue(P, Base, M);
+    double GenValue = metricValue(P, Gen, M);
     Improvements.push_back(
         BaseValue > 0 ? 100.0 * (BaseValue - GenValue) / BaseValue : 0.0);
   }
@@ -93,6 +201,6 @@ void gengc::bench::printFigureHeader(const char *Figure, const char *Title) {
 void gengc::bench::printFigureFooter() {
   std::printf("\nNote: our substrate is a synthetic runtime on different "
               "hardware; compare shapes\n(sign, ordering, rough ratios), "
-              "not absolute values.  GENGC_SCALE / GENGC_REPS\nadjust run "
-              "length and repetitions.\n");
+              "not absolute values.  --scale/--reps (or GENGC_SCALE /\n"
+              "GENGC_REPS) adjust run length and repetitions.\n");
 }

@@ -5,15 +5,22 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Shared plumbing for the per-figure bench binaries: run a workload under
-/// one or both collectors, repeat runs and take medians (the paper averaged
-/// 8 runs per data point), and print tables that put the paper's published
-/// numbers next to ours.
+/// Shared plumbing for the bench binaries: one option surface (env + argv)
+/// for figure benches, google-benchmark micro benches and the scenario
+/// matrix alike; run a workload under one or both collectors; repeat runs
+/// and take medians (the paper averaged 8 runs per data point); print
+/// tables that put the paper's published numbers next to ours.
 ///
-/// Every binary honors:
-///   GENGC_SCALE  — multiplies every allocation budget (default per-bench;
-///                  raise it for more stable numbers, lower for smoke runs);
-///   GENGC_REPS   — overrides the repetition count for timing benches.
+/// Every binary honors (argv wins over env wins over the bench's defaults):
+///   GENGC_SCALE  / --scale=X   — multiplies every volume knob (allocation
+///                                budgets, request counts).  Multiplies the
+///                                bench default rather than replacing it,
+///                                so smoke scripts can halve every bench
+///                                uniformly;
+///   GENGC_REPS   / --reps=N    — timed repetitions (median is reported);
+///   GENGC_COPIES / --copies=N  — simultaneous workload copies;
+///   GENGC_WARMUP / --warmup=N  — discarded warmup runs;
+///   GENGC_SEED   / --seed=N    — workload seed override.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -27,11 +34,13 @@
 
 namespace gengc::bench {
 
-/// Run parameters shared by the figure benches.
+/// Run parameters shared by the bench binaries: how to run (the RunOptions
+/// forwarded to the workload layer) plus the collector-config knobs the
+/// figure benches sweep.
 struct BenchOptions {
-  double Scale = 1.0;
-  unsigned Reps = 3;
-  unsigned Copies = 1;
+  /// Scale/reps/copies/warmup/seed, forwarded verbatim to runWorkload /
+  /// runScenario.
+  workload::RunOptions Run;
   uint64_t YoungBytes = 4ull << 20;
   uint32_t CardBytes = 16;
   bool Aging = false;
@@ -39,14 +48,29 @@ struct BenchOptions {
   bool TrackPages = false;
 };
 
-/// Applies GENGC_SCALE / GENGC_REPS on top of the bench's defaults.
-BenchOptions withEnv(BenchOptions Options);
+/// Parses the shared option surface (header comment) on top of
+/// \p Defaults.  Recognized flags are removed from Argv (Argc is updated),
+/// so remaining arguments can be forwarded — google-benchmark flags for the
+/// micro benches, matrix-specific flags for the scenario driver.  When
+/// \p AllowUnknown is false, any argument left over after parsing is a
+/// usage error and the process exits with a diagnostic.
+BenchOptions parseBenchOptions(int &Argc, char **Argv, BenchOptions Defaults,
+                               bool AllowUnknown = false);
+
+/// The options parsed by the shared bench main (harness/BenchMain.cpp).
+/// Micro benches read their scale from here; defaults are all-default
+/// BenchOptions until the main runs.
+const BenchOptions &globalBenchOptions();
+
+/// Installs \p Options as the globalBenchOptions() value (called by the
+/// shared main; exposed for tests).
+void setGlobalBenchOptions(const BenchOptions &Options);
 
 /// Builds the runtime configuration for \p Choice under \p Options.
 RuntimeConfig configFor(CollectorChoice Choice, const BenchOptions &Options);
 
-/// Runs \p P under \p Choice, repeating Options.Reps times and returning
-/// the run with the median elapsed time (counts come from that same run).
+/// Runs \p P under \p Choice per Options.Run (median of Options.Run.Reps
+/// timed repetitions; counts come from that same run).
 workload::RunResult runMedian(const workload::Profile &P,
                               CollectorChoice Choice,
                               const BenchOptions &Options);

@@ -1,0 +1,30 @@
+//===- bench/harness/BenchMain.cpp - Shared micro-bench main ---------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// main() for the google-benchmark micro benches: the shared gengc option
+/// surface (--scale/--seed etc., see BenchHarness.h) is parsed and stripped
+/// first — benches read it via globalBenchOptions() — and everything left
+/// is handed to google-benchmark unchanged.  Replaces
+/// benchmark::benchmark_main so the micro benches accept the same flags as
+/// the figure and scenario binaries.
+///
+//===----------------------------------------------------------------------===//
+
+#include <benchmark/benchmark.h>
+
+#include "harness/BenchHarness.h"
+
+int main(int Argc, char **Argv) {
+  gengc::bench::setGlobalBenchOptions(gengc::bench::parseBenchOptions(
+      Argc, Argv, {}, /*AllowUnknown=*/true));
+  benchmark::Initialize(&Argc, Argv);
+  if (benchmark::ReportUnrecognizedArguments(Argc, Argv))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

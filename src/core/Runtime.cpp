@@ -165,6 +165,7 @@ MetricsSnapshot Runtime::metrics() const {
   M.StallNanos = HistogramSnapshot::of(Obs.stallHistogram());
   M.StwPauseNanos = HistogramSnapshot::of(Obs.stwPauseHistogram());
   M.HandshakeNanos = HistogramSnapshot::of(Obs.handshakeHistogram());
+  M.RequestNanos = HistogramSnapshot::of(Obs.requestHistogram());
   M.AllocRefills = TheHeap.refillCount();
   M.AllocRefillSteals = TheHeap.refillStealCount();
   M.AllocCarveFallbacks = TheHeap.carveFallbackCount();

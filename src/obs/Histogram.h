@@ -110,6 +110,44 @@ struct HistogramSnapshot {
     }
     return LogHistogram::bucketLowNanos(LogHistogram::NumBuckets - 1);
   }
+
+  /// The \p Q quantile with linear interpolation inside the power-of-two
+  /// bucket holding it: where quantileLowNanos answers "at least", this
+  /// estimates how far into the bucket the quantile rank falls, assuming
+  /// samples are spread uniformly across the bucket.  Two distributions
+  /// whose tails land in the same bucket still get distinguishable p99s,
+  /// which is what the scenario-matrix SLO columns report.  Monotone in
+  /// \p Q by construction.  0 when empty.
+  double quantileNanos(double Q) const {
+    uint64_t N = count();
+    if (N == 0)
+      return 0.0;
+    uint64_t Rank = uint64_t(Q * double(N));
+    if (Rank >= N)
+      Rank = N - 1;
+    uint64_t Seen = 0;
+    for (unsigned I = 0; I < LogHistogram::NumBuckets; ++I) {
+      if (Buckets[I] == 0)
+        continue;
+      if (Seen + Buckets[I] > Rank) {
+        double Low = double(LogHistogram::bucketLowNanos(I));
+        double Width = I == 0 ? 2.0 : Low; // bucket i spans [2^i, 2^(i+1))
+        double Into = (double(Rank - Seen) + 0.5) / double(Buckets[I]);
+        return Low + Width * Into;
+      }
+      Seen += Buckets[I];
+    }
+    return double(LogHistogram::bucketLowNanos(LogHistogram::NumBuckets - 1));
+  }
+
+  /// Adds \p Other's counts into this snapshot (multi-copy aggregation:
+  /// the merged histogram is what one histogram would have recorded had
+  /// every copy reported into it).
+  void merge(const HistogramSnapshot &Other) {
+    for (unsigned I = 0; I < LogHistogram::NumBuckets; ++I)
+      Buckets[I] += Other.Buckets[I];
+    TotalNanos += Other.TotalNanos;
+  }
 };
 
 } // namespace gengc

@@ -92,6 +92,12 @@ struct MetricsSnapshot {
   /// Handshake request-to-response latency, one sample per mutator per
   /// handshake.
   HistogramSnapshot HandshakeNanos;
+  /// End-to-end request latency recorded by server-shaped workloads
+  /// (workload/Scenario.h): open-loop scheduled arrival to completion, so
+  /// collector-induced queueing is part of every sample.  Empty for the
+  /// figure-shaped workloads.  The scenario matrix reads p50/p99/p999
+  /// from here (quantileNanos).
+  HistogramSnapshot RequestNanos;
 
   //===-- Accessors mirroring GcRunStats ----------------------------------===
   const KindAggregate &kind(CycleKind Kind) const {
@@ -142,6 +148,50 @@ struct MetricsSnapshot {
       LiveBytesAfterLastCycle = Last.LiveBytesAfter;
       DirtyCardsAtLastCycleStart = Last.DirtyCardsAtStart;
     }
+  }
+
+  /// Folds \p Other — the snapshot of an independent runtime running a
+  /// simultaneous copy of the same workload — into this one.  Counters,
+  /// cycle aggregates and histograms add; footprint gauges add (the copies
+  /// coexist in memory); configuration gauges take the maximum.  Used by
+  /// workload::runWorkload to make multi-copy results real aggregates
+  /// instead of copy 0's view.  Note GcActiveNanos becomes the sum over
+  /// copies, so percentActive against wall time can exceed 100 on a
+  /// saturated machine — that is the honest reading.
+  void merge(const MetricsSnapshot &Other) {
+    for (unsigned I = 0; I < NumKinds; ++I) {
+      Kinds[I].Count += Other.Kinds[I].Count;
+      Kinds[I].TotalDurationNanos += Other.Kinds[I].TotalDurationNanos;
+      Kinds[I].ObjectsFreed += Other.Kinds[I].ObjectsFreed;
+      Kinds[I].BytesFreed += Other.Kinds[I].BytesFreed;
+      Kinds[I].ObjectsTraced += Other.Kinds[I].ObjectsTraced;
+    }
+    GcActiveNanos += Other.GcActiveNanos;
+    HeapBytes += Other.HeapBytes;
+    LiveBytesAfterLastCycle += Other.LiveBytesAfterLastCycle;
+    DirtyCardsAtLastCycleStart += Other.DirtyCardsAtLastCycleStart;
+    EventsWritten += Other.EventsWritten;
+    EventsDropped += Other.EventsDropped;
+    AllocRefills += Other.AllocRefills;
+    AllocRefillSteals += Other.AllocRefillSteals;
+    AllocCarveFallbacks += Other.AllocCarveFallbacks;
+    AllocShardContentions += Other.AllocShardContentions;
+    AllocShardCount = AllocShardCount > Other.AllocShardCount
+                          ? AllocShardCount
+                          : Other.AllocShardCount;
+    TraceSteals += Other.TraceSteals;
+    TraceOffloads += Other.TraceOffloads;
+    TraceSegmentsAcquired += Other.TraceSegmentsAcquired;
+    TraceTermScanNanos += Other.TraceTermScanNanos;
+    TraceSegmentsAllocated += Other.TraceSegmentsAllocated;
+    TraceSegmentsPooled += Other.TraceSegmentsPooled;
+    LazyBlocksPublished += Other.LazyBlocksPublished;
+    LazyBlocksMutatorSwept += Other.LazyBlocksMutatorSwept;
+    LazyBlocksResidueSwept += Other.LazyBlocksResidueSwept;
+    StallNanos.merge(Other.StallNanos);
+    StwPauseNanos.merge(Other.StwPauseNanos);
+    HandshakeNanos.merge(Other.HandshakeNanos);
+    RequestNanos.merge(Other.RequestNanos);
   }
 };
 

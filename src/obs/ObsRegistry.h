@@ -64,9 +64,13 @@ public:
   LogHistogram &stallHistogram() { return Stalls; }
   LogHistogram &stwPauseHistogram() { return StwPauses; }
   LogHistogram &handshakeHistogram() { return Handshakes; }
+  /// End-to-end request latency reported by server-shaped workloads
+  /// (workload/Scenario.h); empty unless the embedder records into it.
+  LogHistogram &requestHistogram() { return Requests; }
   const LogHistogram &stallHistogram() const { return Stalls; }
   const LogHistogram &stwPauseHistogram() const { return StwPauses; }
   const LogHistogram &handshakeHistogram() const { return Handshakes; }
+  const LogHistogram &requestHistogram() const { return Requests; }
 
   //===-- Aggregation -----------------------------------------------------===
   /// Calls \p Fn(const EventRing &) for every ring (lanes first, then
@@ -95,6 +99,7 @@ private:
   LogHistogram Stalls;
   LogHistogram StwPauses;
   LogHistogram Handshakes;
+  LogHistogram Requests;
 };
 
 } // namespace gengc

@@ -6,9 +6,11 @@
 
 #include "workload/Runner.h"
 
-#include <cstdlib>
+#include <algorithm>
 #include <thread>
+#include <vector>
 
+#include "support/Assert.h"
 #include "support/Random.h"
 #include "support/Timer.h"
 #include "workload/Program.h"
@@ -16,9 +18,15 @@
 using namespace gengc;
 using namespace gengc::workload;
 
-RunResult gengc::workload::runWorkload(const Profile &P,
-                                       const RuntimeConfig &Config,
-                                       double Scale) {
+namespace {
+
+/// Runs one copy of the figure-shaped mutator program under its own
+/// Runtime.  ElapsedSeconds covers this copy's timed phase only; the group
+/// driver overwrites it with the group wall time for multi-copy runs.
+RunResult runProfileOnce(const Profile &P, const RuntimeConfig &Config,
+                         double Scale, uint64_t Seed) {
+  Profile Seeded = P;
+  Seeded.Seed = Seed;
   Runtime RT(Config);
   RunResult Result;
 
@@ -27,13 +35,13 @@ RunResult gengc::workload::runWorkload(const Profile &P,
   // from the steady state the paper's measurements describe.
   {
     std::unique_ptr<Mutator> M = RT.attachMutator();
-    LongLivedTable Table(RT, *M, P.LongLivedSlots);
-    if (P.PopulateAtStart) {
-      Rng Rand(P.Seed);
+    LongLivedTable Table(RT, *M, Seeded.LongLivedSlots);
+    if (Seeded.PopulateAtStart) {
+      Rng Rand(Seeded.Seed);
       for (size_t I = 0; I < Table.size(); ++I) {
-        uint32_t DataBytes =
-            uint32_t(Rand.nextInRange(P.MinDataBytes, P.MaxDataBytes));
-        Table.put(*M, I, M->allocate(P.RefSlots, DataBytes));
+        uint32_t DataBytes = uint32_t(
+            Rand.nextInRange(Seeded.MinDataBytes, Seeded.MaxDataBytes));
+        Table.put(*M, I, M->allocate(Seeded.RefSlots, DataBytes));
       }
       RT.collector().collectSyncCooperating(CycleRequest::Full, *M);
     }
@@ -43,16 +51,16 @@ RunResult gengc::workload::runWorkload(const Profile &P,
     uint64_t Start = nowNanos();
     {
       std::vector<std::thread> Threads;
-      std::vector<ThreadResult> PerThread(P.Threads);
-      for (unsigned T = 1; T < P.Threads; ++T)
+      std::vector<ThreadResult> PerThread(Seeded.Threads);
+      for (unsigned T = 1; T < Seeded.Threads; ++T)
         Threads.emplace_back([&, T] {
-          PerThread[T] = runMutatorProgram(RT, P, Table, T, Scale);
+          PerThread[T] = runMutatorProgram(RT, Seeded, Table, T, Scale);
         });
       // Thread 0's share runs on this thread, via its own fresh Mutator —
       // the setup mutator M must not be used concurrently.
       {
         BlockedScope Blocked(*M);
-        PerThread[0] = runMutatorProgram(RT, P, Table, 0, Scale);
+        PerThread[0] = runMutatorProgram(RT, Seeded, Table, 0, Scale);
         for (std::thread &T : Threads)
           T.join();
       }
@@ -72,31 +80,85 @@ RunResult gengc::workload::runWorkload(const Profile &P,
   return Result;
 }
 
-RunResult gengc::workload::runWorkloadCopies(const Profile &P,
-                                             const RuntimeConfig &Config,
-                                             unsigned Copies, double Scale) {
-  GENGC_ASSERT(Copies >= 1, "need at least one copy");
-  if (Copies == 1)
-    return runWorkload(P, Config, Scale);
+/// Aggregates \p Copy into \p Total: counters sum, histograms merge,
+/// checksums XOR, gauges take the maximum where summing is meaningless.
+void aggregateCopy(RunResult &Total, const RunResult &Copy) {
+  Total.AllocatedObjects += Copy.AllocatedObjects;
+  Total.AllocatedBytes += Copy.AllocatedBytes;
+  Total.Checksum ^= Copy.Checksum;
+  Total.Requests += Copy.Requests;
+  Total.SoftLimitBytes = std::max(Total.SoftLimitBytes, Copy.SoftLimitBytes);
+  Total.Metrics.merge(Copy.Metrics);
+  Total.Gc.Cycles.insert(Total.Gc.Cycles.end(), Copy.Gc.Cycles.begin(),
+                         Copy.Gc.Cycles.end());
+  Total.Gc.GcActiveNanos += Copy.Gc.GcActiveNanos;
+}
+
+/// Runs one group of Options.Copies simultaneous copies and returns the
+/// aggregate under the group's wall-clock time.
+RunResult runGroup(const std::function<RunResult(uint64_t Seed)> &RunOne,
+                   uint64_t Seed, unsigned Copies) {
+  if (Copies <= 1) {
+    RunResult R = RunOne(Seed);
+    // Single-copy runs keep their own timed-phase elapsed (setup excluded).
+    return R;
+  }
 
   std::vector<RunResult> Results(Copies);
   uint64_t Start = nowNanos();
   {
     std::vector<std::thread> Threads;
     for (unsigned C = 1; C < Copies; ++C)
-      Threads.emplace_back([&, C] {
-        Profile Shifted = P;
-        Shifted.Seed += C * 0x1234567;
-        Results[C] = runWorkload(Shifted, Config, Scale);
-      });
-    Results[0] = runWorkload(P, Config, Scale);
+      Threads.emplace_back(
+          [&, C] { Results[C] = RunOne(Seed + C * 0x1234567); });
+    Results[0] = RunOne(Seed);
     for (std::thread &T : Threads)
       T.join();
   }
+
   RunResult Combined = Results[0];
-  // The paper reports the elapsed time of the saturated machine.
+  for (unsigned C = 1; C < Copies; ++C)
+    aggregateCopy(Combined, Results[C]);
+  // The paper reports the elapsed time of the saturated machine: the wall
+  // time of the whole group, not copy 0's timed phase.
   Combined.ElapsedSeconds = double(nowNanos() - Start) * 1e-9;
   return Combined;
+}
+
+} // namespace
+
+RunResult
+gengc::workload::runRepeated(const std::function<RunResult(uint64_t)> &RunOne,
+                             uint64_t BaseSeed, const RunOptions &Options) {
+  GENGC_ASSERT(Options.Reps >= 1, "need at least one timed repetition");
+  GENGC_ASSERT(Options.Copies >= 1, "need at least one copy");
+  uint64_t Seed = Options.Seed ? Options.Seed : BaseSeed;
+
+  // Warmup reps run the full group shape but are discarded; they shift the
+  // seed backwards so they never share a stream with a timed rep.
+  for (unsigned W = 0; W < Options.Warmup; ++W)
+    (void)runGroup(RunOne, Seed + 0xC0FFEE + W, Options.Copies);
+
+  std::vector<RunResult> Reps;
+  Reps.reserve(Options.Reps);
+  for (unsigned Rep = 0; Rep < Options.Reps; ++Rep)
+    Reps.push_back(runGroup(RunOne, Seed + Rep, Options.Copies));
+
+  std::sort(Reps.begin(), Reps.end(),
+            [](const RunResult &A, const RunResult &B) {
+              return A.ElapsedSeconds < B.ElapsedSeconds;
+            });
+  return Reps[Reps.size() / 2];
+}
+
+RunResult gengc::workload::runWorkload(const Profile &P,
+                                       const RuntimeConfig &Config,
+                                       const RunOptions &Options) {
+  return runRepeated(
+      [&](uint64_t Seed) {
+        return runProfileOnce(P, Config, Options.Scale, Seed);
+      },
+      P.Seed, Options);
 }
 
 RuntimeConfig gengc::workload::makeConfig(CollectorChoice Choice,
@@ -116,12 +178,4 @@ double gengc::workload::improvementPercent(const RunResult &Base,
     return 0.0;
   return 100.0 * (Base.ElapsedSeconds - Gen.ElapsedSeconds) /
          Base.ElapsedSeconds;
-}
-
-double gengc::workload::envScale(double Default) {
-  const char *Env = std::getenv("GENGC_SCALE");
-  if (!Env)
-    return Default;
-  double Value = std::atof(Env);
-  return Value > 0.0 ? Value : Default;
 }

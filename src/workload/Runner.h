@@ -7,20 +7,48 @@
 /// \file
 /// Runs a complete workload: builds a Runtime, populates the long-lived
 /// table, spawns the profile's mutator threads, and collects elapsed time
-/// plus the collector's statistics.  Also provides the paper's measurement
-/// methodology helpers: running N simultaneous copies to saturate the
-/// machine (Section 8.1) and computing the percentage improvement of the
-/// generational collector over the baseline.
+/// plus the collector's statistics.  The single entry point takes a
+/// RunOptions bundle — scale, simultaneous copies (the paper's Section 8.1
+/// machine-saturation methodology), warmup runs, timed repetitions with
+/// median selection, and a seed override — and every driver (figure
+/// benches, micro benches, the scenario matrix, tools, tests) goes through
+/// it.  Multi-copy runs return a true aggregate: summed allocation
+/// counters, merged latency histograms, XOR-combined checksums.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef GENGC_WORKLOAD_RUNNER_H
 #define GENGC_WORKLOAD_RUNNER_H
 
+#include <functional>
+
 #include "core/Runtime.h"
 #include "workload/Profile.h"
 
 namespace gengc::workload {
+
+/// How to run a workload, orthogonal to *what* runs (Profile or
+/// ServerProfile) and *under which collector* (RuntimeConfig).
+struct RunOptions {
+  /// Multiplies the workload's volume knob: allocation budgets for the
+  /// figure profiles, per-phase request counts for server scenarios.
+  double Scale = 1.0;
+  /// Simultaneous, independent copies of the workload — the paper's way of
+  /// making sure "all the processors [are] busy all the time, and the more
+  /// efficient garbage collector [wins]".  Each copy gets its own Runtime
+  /// and a shifted seed; the result aggregates all copies under the group's
+  /// wall-clock elapsed time.
+  unsigned Copies = 1;
+  /// Untimed, discarded runs before the timed repetitions (cache/branch
+  /// warmup on shared benchmark machines).
+  unsigned Warmup = 0;
+  /// Timed repetitions; the rep with the median elapsed time is returned
+  /// (counts and histograms come from that same rep).  Each rep shifts the
+  /// seed so repetitions are independent allocation streams.
+  unsigned Reps = 1;
+  /// When nonzero, overrides the workload's own seed.
+  uint64_t Seed = 0;
+};
 
 /// Outcome of one workload run.
 struct RunResult {
@@ -28,33 +56,49 @@ struct RunResult {
   GcRunStats Gc;
   /// The runtime's metrics snapshot, taken after the timed phase: the same
   /// cycle aggregates as Gc plus latency histograms and gauges.  The figure
-  /// benches read their numbers from here.
+  /// benches read their numbers from here; for multi-copy runs this is the
+  /// merged aggregate across all copies (see MetricsSnapshot::merge).
   MetricsSnapshot Metrics;
-  /// All recorded events (empty unless Config.Collector.Obs.Tracing).
+  /// All recorded events (empty unless Config.Collector.Obs.Tracing; for
+  /// multi-copy runs, copy 0's trace — rings are per-runtime).
   TraceSnapshot Trace;
   uint64_t AllocatedObjects = 0;
   uint64_t AllocatedBytes = 0;
   uint64_t Checksum = 0;
-  /// Final soft heap limit (how far the heap grew).
+  /// Final soft heap limit (how far the heap grew; max across copies).
   uint64_t SoftLimitBytes = 0;
+  /// Requests completed — nonzero only for server scenarios
+  /// (workload/Scenario.h), whose latency samples are in
+  /// Metrics.RequestNanos.
+  uint64_t Requests = 0;
 
   /// Percent of elapsed time a collection cycle was active (Figure 10).
+  /// Multi-copy runs sum GC-active time across copies, so this can exceed
+  /// 100 on a saturated machine.
   double percentGcActive() const {
     return Metrics.percentActive(uint64_t(ElapsedSeconds * 1e9));
   }
+
+  /// Completed requests per second of elapsed time (0 for figure
+  /// workloads).
+  double requestsPerSecond() const {
+    return ElapsedSeconds > 0.0 ? double(Requests) / ElapsedSeconds : 0.0;
+  }
 };
 
-/// Runs \p P once under \p Config.  \p Scale multiplies the allocation
-/// budget (benchmarks use it to trade accuracy for wall-clock time).
+/// Runs \p P under \p Config per \p Options (see RunOptions for the
+/// warmup/reps/copies semantics).
 RunResult runWorkload(const Profile &P, const RuntimeConfig &Config,
-                      double Scale = 1.0);
+                      const RunOptions &Options = {});
 
-/// Runs \p Copies simultaneous, independent copies of the workload — the
-/// paper's way of making sure "all the processors [are] busy all the time,
-/// and the more efficient garbage collector [wins]".  Returns the total
-/// elapsed wall time plus copy 0's detailed result.
-RunResult runWorkloadCopies(const Profile &P, const RuntimeConfig &Config,
-                            unsigned Copies, double Scale = 1.0);
+/// The generic orchestration under runWorkload and runScenario: \p Warmup
+/// discarded runs, then \p Reps timed repetitions of \p Copies simultaneous
+/// copies, returning the median-elapsed rep's aggregate.  \p RunOne runs a
+/// single copy with the given workload seed and must fill every RunResult
+/// field except ElapsedSeconds-of-the-group.  Exposed so new workload
+/// families plug into the same methodology instead of reimplementing it.
+RunResult runRepeated(const std::function<RunResult(uint64_t Seed)> &RunOne,
+                      uint64_t BaseSeed, const RunOptions &Options);
 
 /// Baseline runtime configuration used across the benchmark suite:
 /// 32 MB max heap (the paper's setting), collector per \p Choice.
@@ -65,10 +109,6 @@ RuntimeConfig makeConfig(CollectorChoice Choice,
 /// Percentage improvement of \p Gen over \p Base in elapsed time
 /// (positive = generational is faster), the paper's headline metric.
 double improvementPercent(const RunResult &Base, const RunResult &Gen);
-
-/// Reads the GENGC_SCALE environment variable (default \p Default); the
-/// bench binaries use it so a full suite can be dialed up or down.
-double envScale(double Default = 1.0);
 
 } // namespace gengc::workload
 

@@ -1,0 +1,369 @@
+//===- workload/Scenario.cpp - Server-shaped workload family ---------------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workload/Scenario.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include "runtime/RootScope.h"
+#include "support/Assert.h"
+#include "support/Random.h"
+#include "support/Timer.h"
+#include "workload/Program.h"
+
+using namespace gengc;
+using namespace gengc::workload;
+
+namespace {
+
+/// Type tags so heap dumps are interpretable in tests (the figure program
+/// uses 1-4).
+enum : uint16_t {
+  TagRequestNode = 5,
+  TagSession = 6,
+  TagCacheEntry = 7,
+};
+
+/// Same integer mixing as the figure program's compute kernel.
+uint64_t computeWork(uint64_t Seed, uint32_t Iterations) {
+  uint64_t X = Seed | 1;
+  for (uint32_t I = 0; I < Iterations; ++I) {
+    X ^= X << 13;
+    X ^= X >> 7;
+    X ^= X << 17;
+  }
+  return X;
+}
+
+/// One phase of the schedule, resolved against Scale and the base rate.
+struct PhaseRt {
+  uint64_t FirstIndex = 0;     // first request index of this phase
+  uint64_t Count = 0;          // requests in this phase (scaled)
+  double StartNanos = 0.0;     // schedule offset of the phase start
+  double IntervalNanos = 0.0;  // inter-arrival gap within the phase
+};
+
+/// Everything the workers share for one scenario copy.
+struct ScenarioShared {
+  const ServerProfile &SP;
+  Runtime &RT;
+  std::vector<PhaseRt> Phases;
+  uint64_t Total = 0;
+  uint64_t T0 = 0;
+  std::atomic<uint64_t> Next{0};
+  /// FIFO session-aging clock: the next new session evicts the slot the
+  /// clock points at, so slots age out in insertion order.
+  std::atomic<uint64_t> SessionClock{0};
+  LongLivedTable *Sessions = nullptr;
+  LongLivedTable *Cache = nullptr;
+
+  ScenarioShared(const ServerProfile &SP, Runtime &RT, double Scale)
+      : SP(SP), RT(RT) {
+    GENGC_ASSERT(SP.RequestsPerSecond > 0.0, "scenario needs a request rate");
+    GENGC_ASSERT(!SP.Phases.empty(), "scenario needs at least one phase");
+    double Offset = 0.0;
+    for (const ScenarioPhase &P : SP.Phases) {
+      GENGC_ASSERT(P.RateMultiplier > 0.0, "phase rate must be positive");
+      PhaseRt Rt;
+      Rt.FirstIndex = Total;
+      Rt.Count = uint64_t(double(P.Requests) * Scale);
+      Rt.StartNanos = Offset;
+      Rt.IntervalNanos = 1e9 / (SP.RequestsPerSecond * P.RateMultiplier);
+      Offset += double(Rt.Count) * Rt.IntervalNanos;
+      Total += Rt.Count;
+      Phases.push_back(Rt);
+    }
+    if (Total == 0) { // degenerate scale: keep one request so runs complete
+      Total = 1;
+      Phases.back().Count = 1;
+    }
+  }
+
+  /// Scheduled arrival of request \p Idx, nanoseconds after T0.
+  uint64_t offsetNanos(uint64_t Idx) const {
+    const PhaseRt *P = &Phases.back();
+    for (const PhaseRt &Rt : Phases)
+      if (Idx < Rt.FirstIndex + Rt.Count && Rt.Count > 0) {
+        P = &Rt;
+        break;
+      }
+    uint64_t InPhase = Idx >= P->FirstIndex ? Idx - P->FirstIndex : 0;
+    return uint64_t(P->StartNanos + double(InPhase + 1) * P->IntervalNanos);
+  }
+};
+
+/// Per-worker tallies (summed into the RunResult after the join).
+struct WorkerStats {
+  uint64_t Requests = 0;
+  uint64_t AllocatedObjects = 0;
+  uint64_t AllocatedBytes = 0;
+  uint64_t Checksum = 0;
+};
+
+/// Open-loop pacing: block (handshake-safe) for long gaps, spin-cooperate
+/// for the last stretch so arrival jitter stays small.
+void waitUntilNanos(Mutator &M, uint64_t Deadline) {
+  for (;;) {
+    uint64_t Now = nowNanos();
+    if (Now >= Deadline)
+      return;
+    uint64_t Left = Deadline - Now;
+    if (Left > 200'000) {
+      BlockedScope Blocked(M);
+      std::this_thread::sleep_for(std::chrono::nanoseconds(Left - 100'000));
+    } else {
+      M.cooperate();
+      std::this_thread::yield();
+    }
+  }
+}
+
+/// One server worker: pull the next scheduled request, pace to its arrival,
+/// run the handler, record completion-minus-scheduled-arrival.
+void serverWorker(ScenarioShared &S, WorkerStats &Out) {
+  const ServerProfile &SP = S.SP;
+  std::unique_ptr<Mutator> M = S.RT.attachMutator();
+
+  // The request root window: graph nodes stay rooted until the next
+  // request's nodes overwrite the slots — young death by overwrite, no
+  // unlink stores.
+  RootScope Roots(*M);
+  uint32_t GraphNodes = SP.GraphNodesPerRequest ? SP.GraphNodesPerRequest : 1;
+  size_t FirstSlot = Roots.addSlot(NullRef);
+  for (uint32_t J = 1; J < GraphNodes; ++J)
+    Roots.addSlot(NullRef);
+
+  for (;;) {
+    uint64_t Idx = S.Next.fetch_add(1, std::memory_order_relaxed);
+    if (Idx >= S.Total)
+      break;
+    uint64_t Sched = S.T0 + S.offsetNanos(Idx);
+    waitUntilNanos(*M, Sched);
+
+    // Request content is a pure function of (seed, index): the checksum
+    // and allocation stream cannot depend on the collector or on which
+    // worker drew the request.
+    Rng R(SP.Seed + 0x9E3779B97F4A7C15ull * (Idx + 1));
+
+    // Ephemeral graph: allocate + link, rooted in the worker's window.
+    ObjectRef Prev = NullRef;
+    uint32_t PrevBytes = 0;
+    for (uint32_t J = 0; J < GraphNodes; ++J) {
+      uint32_t Bytes =
+          uint32_t(R.nextInRange(SP.MinNodeBytes, SP.MaxNodeBytes));
+      ObjectRef Node = M->allocate(SP.NodeRefSlots, Bytes, TagRequestNode);
+      Roots.set(FirstSlot + J, Node);
+      if (Prev != NullRef && SP.NodeRefSlots > 0)
+        M->writeRef(Node, 0, Prev);
+      Prev = Node;
+      PrevBytes = Bytes;
+      ++Out.AllocatedObjects;
+      Out.AllocatedBytes += objectBytesFor(SP.NodeRefSlots, Bytes);
+    }
+
+    // Session layer: a few reads, sometimes a new session that FIFO-evicts
+    // the oldest slot.
+    if (S.Sessions) {
+      for (uint32_t T = 0; T < SP.SessionTouchesPerRequest; ++T)
+        (void)S.Sessions->get(*M, size_t(R.nextBelow(SP.SessionSlots)));
+      if (R.nextBool(SP.NewSessionChance)) {
+        ObjectRef Sess = M->allocate(1, SP.SessionBytes, TagSession);
+        ++Out.AllocatedObjects;
+        Out.AllocatedBytes += objectBytesFor(1, SP.SessionBytes);
+        uint64_t Clock = S.SessionClock.fetch_add(1, std::memory_order_relaxed);
+        S.Sessions->put(*M, size_t(Clock % SP.SessionSlots), Sess);
+      }
+    }
+
+    // Cache lookup; a miss allocates the replacement entry — old-generation
+    // churn and a dirtied old card.
+    if (S.Cache) {
+      size_t Slot = size_t(R.nextBelow(SP.CacheSlots));
+      if (R.nextBool(SP.CacheHitRate)) {
+        (void)S.Cache->get(*M, Slot);
+      } else {
+        ObjectRef Entry = M->allocate(1, SP.CacheEntryBytes, TagCacheEntry);
+        ++Out.AllocatedObjects;
+        Out.AllocatedBytes += objectBytesFor(1, SP.CacheEntryBytes);
+        S.Cache->put(*M, Slot, Entry);
+      }
+    }
+
+    // Application compute; the result is the request's checksum share.
+    uint64_t C = computeWork(R.next() + Idx, SP.ComputePerRequest);
+    Out.Checksum ^= C;
+    if (Prev != NullRef && PrevBytes >= 4)
+      storeDataWord(S.RT.heap(), Prev, 0, uint32_t(C));
+
+    S.RT.obs().requestHistogram().record(nowNanos() - Sched);
+    ++Out.Requests;
+    M->cooperate();
+  }
+}
+
+/// One copy of the scenario under its own Runtime.
+RunResult runScenarioOnce(const ServerProfile &SP0,
+                          const RuntimeConfig &Config, double Scale,
+                          uint64_t Seed) {
+  ServerProfile SP = SP0;
+  SP.Seed = Seed;
+  GENGC_ASSERT(SP.Workers >= 1, "scenario needs at least one worker");
+
+  Runtime RT(Config);
+  RunResult Result;
+  {
+    std::unique_ptr<Mutator> M = RT.attachMutator();
+
+    // Untimed setup: build the session ring and prefill the cache, then
+    // tenure both with one full collection so the timed phase starts from
+    // the steady state a warmed-up server is in.
+    std::unique_ptr<LongLivedTable> Sessions, Cache;
+    if (SP.SessionSlots > 0)
+      Sessions = std::make_unique<LongLivedTable>(RT, *M, SP.SessionSlots);
+    if (SP.CacheSlots > 0) {
+      Cache = std::make_unique<LongLivedTable>(RT, *M, SP.CacheSlots);
+      for (size_t I = 0; I < Cache->size(); ++I)
+        Cache->put(*M, I, M->allocate(1, SP.CacheEntryBytes, TagCacheEntry));
+    }
+    RT.collector().collectSyncCooperating(CycleRequest::Full, *M);
+    RT.collector().resetStats();
+
+    ScenarioShared Shared(SP, RT, Scale);
+    Shared.Sessions = Sessions.get();
+    Shared.Cache = Cache.get();
+
+    std::vector<WorkerStats> PerWorker(SP.Workers);
+    Shared.T0 = nowNanos();
+    {
+      std::vector<std::thread> Threads;
+      for (unsigned W = 1; W < SP.Workers; ++W)
+        Threads.emplace_back(
+            [&, W] { serverWorker(Shared, PerWorker[W]); });
+      {
+        BlockedScope Blocked(*M);
+        serverWorker(Shared, PerWorker[0]);
+        for (std::thread &T : Threads)
+          T.join();
+      }
+    }
+    Result.ElapsedSeconds = double(nowNanos() - Shared.T0) * 1e-9;
+
+    for (const WorkerStats &W : PerWorker) {
+      Result.Requests += W.Requests;
+      Result.AllocatedObjects += W.AllocatedObjects;
+      Result.AllocatedBytes += W.AllocatedBytes;
+      Result.Checksum ^= W.Checksum;
+    }
+  }
+
+  Result.Gc = RT.gcStats();
+  Result.Metrics = RT.metrics();
+  Result.Trace = RT.traceSnapshot();
+  Result.SoftLimitBytes = RT.collector().trigger().softLimitBytes();
+  return Result;
+}
+
+} // namespace
+
+uint64_t ServerProfile::totalRequests(double Scale) const {
+  uint64_t Total = 0;
+  for (const ScenarioPhase &P : Phases)
+    Total += uint64_t(double(P.Requests) * Scale);
+  return Total ? Total : 1;
+}
+
+RunResult gengc::workload::runScenario(const ServerProfile &SP,
+                                       const RuntimeConfig &Config,
+                                       const RunOptions &Options) {
+  return runRepeated(
+      [&](uint64_t Seed) {
+        return runScenarioOnce(SP, Config, Options.Scale, Seed);
+      },
+      SP.Seed, Options);
+}
+
+/// churn: the request-handler shape — big ephemeral graphs per request,
+/// small session/cache layers.  Young-generation churn dominates; this is
+/// the cell where an on-the-fly generational collector should hold p99
+/// while a stop-the-world collector pays its whole trace in tail latency.
+static ServerProfile churnScenario() {
+  ServerProfile SP;
+  SP.Name = "churn";
+  SP.Workers = 2;
+  SP.RequestsPerSecond = 24000.0;
+  SP.Phases = {{"steady", 48000, 1.0}};
+  SP.GraphNodesPerRequest = 64;
+  SP.ComputePerRequest = 300;
+  SP.SessionSlots = 2048;
+  SP.SessionTouchesPerRequest = 1;
+  SP.NewSessionChance = 0.05;
+  SP.SessionBytes = 96;
+  SP.CacheSlots = 8192;
+  SP.CacheHitRate = 0.98;
+  SP.CacheEntryBytes = 384;
+  return SP;
+}
+
+/// cache: a read-mostly service in front of a big in-process store — a
+/// large prefilled old generation, small requests, miss-driven churn into
+/// tenured space.  Stresses whole-heap trace cost and card precision.
+static ServerProfile cacheScenario() {
+  ServerProfile SP;
+  SP.Name = "cache";
+  SP.Workers = 2;
+  SP.RequestsPerSecond = 24000.0;
+  SP.Phases = {{"steady", 48000, 1.0}};
+  SP.GraphNodesPerRequest = 8;
+  SP.ComputePerRequest = 600;
+  SP.SessionSlots = 4096;
+  SP.SessionTouchesPerRequest = 2;
+  SP.NewSessionChance = 0.10;
+  SP.SessionBytes = 128;
+  SP.CacheSlots = 24576;
+  SP.CacheHitRate = 0.70;
+  SP.CacheEntryBytes = 384;
+  return SP;
+}
+
+/// mixed: the middle of the road — moderate graphs, active sessions, a
+/// warm cache.  The default cell for config sweeps.
+static ServerProfile mixedScenario() {
+  ServerProfile SP;
+  SP.Name = "mixed";
+  return SP;
+}
+
+/// burst: the mixed shape under a phase-shifting schedule — a 3x burst the
+/// machine cannot sustain, a steady recovery, then an idle trickle.  The
+/// workload the planned adaptive controller (ROADMAP "Self-tuning GC")
+/// must be scored on.
+static ServerProfile burstScenario() {
+  ServerProfile SP = mixedScenario();
+  SP.Name = "burst";
+  SP.Phases = {{"burst", 24000, 3.0},
+               {"steady", 16000, 1.0},
+               {"idle", 800, 0.05}};
+  return SP;
+}
+
+ServerProfile gengc::workload::serverScenarioByName(const std::string &Name) {
+  if (Name == "churn")
+    return churnScenario();
+  if (Name == "cache")
+    return cacheScenario();
+  if (Name == "mixed")
+    return mixedScenario();
+  if (Name == "burst")
+    return burstScenario();
+  fatalError("unknown server scenario (known: churn, cache, mixed, burst)",
+             __FILE__, __LINE__);
+}
+
+std::vector<std::string> gengc::workload::serverScenarioNames() {
+  return {"churn", "cache", "mixed", "burst"};
+}

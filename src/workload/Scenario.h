@@ -1,0 +1,130 @@
+//===- workload/Scenario.h - Server-shaped workload family ------*- C++ -*-===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The server scenario family: request/response traffic instead of the
+/// figure benches' fixed allocation budgets.  The paper evaluated its
+/// collector the 1999 way — SPECjvm98-shaped throughput — but a collector
+/// serving live traffic is scored on *mutator tail latency under sustained
+/// request load*, so scenarios model exactly that:
+///
+///  - an **open-loop arrival process**: requests are scheduled at a
+///    configured rate regardless of whether the server keeps up, so
+///    collector-induced backlog shows up as queueing delay in every
+///    subsequent sample (no coordinated omission).  Per-request latency is
+///    completion minus *scheduled arrival*, recorded into the runtime's
+///    always-on request histogram — p50/p99/p999 come straight from
+///    MetricsSnapshot::RequestNanos, never from ad-hoc timing;
+///  - **per-request ephemeral work**: each request allocates and links a
+///    small object graph that dies as soon as the next requests overwrite
+///    the worker's root window — the young-generation churn of request
+///    handlers;
+///  - a **session table**: a fixed ring of anchors aged FIFO (oldest
+///    session evicted by the next new one) — the middle-aged state that
+///    defeats a pure "most objects die young" heuristic and feeds the
+///    Section 6 aging machinery;
+///  - a **long-lived in-process cache**: prefilled before timing starts,
+///    mutated on misses — the stable old generation whose size dictates
+///    what a stop-the-world trace costs while the world is stopped;
+///  - **phase-shifting schedules**: each scenario is a list of phases
+///    (burst -> steady -> idle) with per-phase rate multipliers, the
+///    traffic shape the planned adaptive controller must react to.
+///
+/// Request *content* is a pure function of (seed, request index), so the
+/// request count and checksum are identical across collectors and runs —
+/// the determinism the workload tests pin — while timing, liveness overlap
+/// and GC interleaving remain free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef GENGC_WORKLOAD_SCENARIO_H
+#define GENGC_WORKLOAD_SCENARIO_H
+
+#include <string>
+#include <vector>
+
+#include "workload/Runner.h"
+
+namespace gengc::workload {
+
+/// One segment of a scenario's traffic schedule.
+struct ScenarioPhase {
+  std::string Name = "steady";
+  /// Requests issued in this phase (scaled by RunOptions::Scale).
+  uint64_t Requests = 0;
+  /// Multiplies ServerProfile::RequestsPerSecond for this phase's
+  /// inter-arrival spacing (3.0 = burst, 0.05 = idle trickle).
+  double RateMultiplier = 1.0;
+};
+
+/// Knobs of one server scenario.
+struct ServerProfile {
+  std::string Name = "custom";
+
+  //===-- Traffic ---------------------------------------------------------===
+  /// Server worker threads pulling from the shared arrival schedule.
+  unsigned Workers = 2;
+  /// Base open-loop arrival rate (requests/second) at RateMultiplier 1.
+  double RequestsPerSecond = 20000.0;
+  /// The schedule; phases run back to back.
+  std::vector<ScenarioPhase> Phases = {{"steady", 40000, 1.0}};
+
+  //===-- Per-request ephemeral graph -------------------------------------===
+  /// Nodes allocated and linked per request; they live in the worker's
+  /// root window until the following requests overwrite it.
+  uint32_t GraphNodesPerRequest = 32;
+  uint32_t NodeRefSlots = 2;
+  uint32_t MinNodeBytes = 24;
+  uint32_t MaxNodeBytes = 72;
+  /// Iterations of scalar compute per request (the non-allocating share of
+  /// request handling).
+  uint32_t ComputePerRequest = 400;
+
+  //===-- Session table (middle generation) --------------------------------===
+  /// Session anchors; 0 disables the session layer.
+  uint32_t SessionSlots = 8192;
+  /// Session-table reads per request.
+  uint32_t SessionTouchesPerRequest = 2;
+  /// Probability a request creates a session, FIFO-evicting the oldest
+  /// slot: sessions live SessionSlots/(rate * chance) seconds — too long
+  /// for the young generation, too short to be immortal.
+  double NewSessionChance = 0.15;
+  /// Scalar payload of a session object.
+  uint32_t SessionBytes = 128;
+
+  //===-- In-process cache (old generation) --------------------------------===
+  /// Cache anchors, prefilled before the timed phase; 0 disables.
+  uint32_t CacheSlots = 8192;
+  /// Probability a request's cache lookup hits; a miss allocates a
+  /// replacement entry and stores it (old-generation mutation + churn).
+  double CacheHitRate = 0.9;
+  /// Scalar payload of a cache entry.
+  uint32_t CacheEntryBytes = 256;
+
+  /// Scenario PRNG seed (request streams derive from it).
+  uint64_t Seed = 0x5E55;
+
+  /// Total requests over all phases at \p Scale (>= 1).
+  uint64_t totalRequests(double Scale) const;
+};
+
+/// Runs \p SP under \p Config per \p Options (same warmup/reps/copies
+/// semantics as runWorkload).  The result's Requests and
+/// Metrics.RequestNanos carry the SLO numbers; requestsPerSecond() and
+/// percentGcActive() the throughput and collector-load columns.
+RunResult runScenario(const ServerProfile &SP, const RuntimeConfig &Config,
+                      const RunOptions &Options = {});
+
+/// Returns the named preset scenario.  Known names: churn, cache, mixed,
+/// burst.  Aborts on unknown names.
+ServerProfile serverScenarioByName(const std::string &Name);
+
+/// All preset scenario names, in matrix order.
+std::vector<std::string> serverScenarioNames();
+
+} // namespace gengc::workload
+
+#endif // GENGC_WORKLOAD_SCENARIO_H

@@ -1,0 +1,129 @@
+//===- tests/integration/ScenarioTest.cpp - Server scenario tests ----------===//
+//
+// Part of the gengc project (PLDI 2000 generational on-the-fly GC repro).
+//
+//===----------------------------------------------------------------------===//
+//
+// The server scenario family (workload/Scenario.h), pinned:
+//
+//  - determinism: request count and checksum are a pure function of the
+//    seed — identical across all three collectors and across repeated runs
+//    with the same seed, even though timing and GC interleaving differ;
+//  - SLO sanity: the latency quantiles read from the runtime's request
+//    histogram are ordered (p50 <= p99 <= p999), nonzero, and the
+//    histogram holds exactly one sample per completed request;
+//  - the preset registry and phase arithmetic.
+//
+//===----------------------------------------------------------------------===//
+
+#include <gtest/gtest.h>
+
+#include "workload/Scenario.h"
+
+using namespace gengc;
+using namespace gengc::workload;
+
+namespace {
+
+/// Small scale so the suite stays fast: a few hundred requests per run.
+constexpr double TestScale = 0.02;
+
+RunOptions scaled(double Scale) {
+  RunOptions Options;
+  Options.Scale = Scale;
+  return Options;
+}
+
+TEST(ScenarioDeterminism, SameSeedSameResultAcrossCollectors) {
+  ServerProfile SP = serverScenarioByName("mixed");
+  RunResult PerChoice[3];
+  const CollectorChoice Choices[] = {CollectorChoice::StopTheWorld,
+                                     CollectorChoice::NonGenerational,
+                                     CollectorChoice::Generational};
+  for (int I = 0; I < 3; ++I)
+    PerChoice[I] = runScenario(SP, makeConfig(Choices[I]), scaled(TestScale));
+
+  EXPECT_EQ(PerChoice[0].Requests, SP.totalRequests(TestScale));
+  for (int I = 1; I < 3; ++I) {
+    EXPECT_EQ(PerChoice[I].Requests, PerChoice[0].Requests)
+        << "request count must not depend on the collector";
+    EXPECT_EQ(PerChoice[I].Checksum, PerChoice[0].Checksum)
+        << "request content must not depend on the collector";
+    EXPECT_EQ(PerChoice[I].AllocatedObjects, PerChoice[0].AllocatedObjects)
+        << "the allocation stream must not depend on the collector";
+  }
+}
+
+TEST(ScenarioDeterminism, SameSeedSameResultAcrossRuns) {
+  ServerProfile SP = serverScenarioByName("churn");
+  RuntimeConfig Config = makeConfig(CollectorChoice::Generational);
+  RunResult First = runScenario(SP, Config, scaled(TestScale));
+  RunResult Second = runScenario(SP, Config, scaled(TestScale));
+  EXPECT_EQ(First.Requests, Second.Requests);
+  EXPECT_EQ(First.Checksum, Second.Checksum);
+  EXPECT_EQ(First.AllocatedObjects, Second.AllocatedObjects);
+}
+
+TEST(ScenarioDeterminism, DifferentSeedsDiverge) {
+  ServerProfile SP = serverScenarioByName("mixed");
+  RuntimeConfig Config = makeConfig(CollectorChoice::Generational);
+  RunOptions A = scaled(TestScale);
+  RunOptions B = scaled(TestScale);
+  B.Seed = SP.Seed + 1;
+  RunResult RA = runScenario(SP, Config, A);
+  RunResult RB = runScenario(SP, Config, B);
+  EXPECT_EQ(RA.Requests, RB.Requests) << "the schedule is seed-independent";
+  EXPECT_NE(RA.Checksum, RB.Checksum)
+      << "request content must follow the seed";
+}
+
+class ScenarioSloTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(ScenarioSloTest, QuantilesAreOrderedAndCoverEveryRequest) {
+  ServerProfile SP = serverScenarioByName(GetParam());
+  RunResult R = runScenario(SP, makeConfig(CollectorChoice::Generational),
+                            scaled(TestScale));
+
+  ASSERT_GT(R.Requests, 0u);
+  // Every completed request records exactly one latency sample into the
+  // runtime's request histogram — the matrix reads its quantiles from
+  // MetricsSnapshot, never from ad-hoc timing.
+  EXPECT_EQ(R.Metrics.RequestNanos.count(), R.Requests);
+
+  double P50 = R.Metrics.RequestNanos.quantileNanos(0.50);
+  double P99 = R.Metrics.RequestNanos.quantileNanos(0.99);
+  double P999 = R.Metrics.RequestNanos.quantileNanos(0.999);
+  EXPECT_GT(P50, 0.0) << "open-loop latency is never exactly zero";
+  EXPECT_LE(P50, P99);
+  EXPECT_LE(P99, P999);
+  EXPECT_GT(R.requestsPerSecond(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, ScenarioSloTest,
+                         ::testing::Values("churn", "cache", "mixed",
+                                           "burst"),
+                         [](const auto &Info) { return Info.param; });
+
+TEST(ScenarioPresets, RegistryIsCompleteAndPhaseMathAdds) {
+  for (const std::string &Name : serverScenarioNames()) {
+    ServerProfile SP = serverScenarioByName(Name);
+    EXPECT_EQ(SP.Name, Name);
+    EXPECT_GE(SP.Workers, 1u);
+    EXPECT_FALSE(SP.Phases.empty());
+    uint64_t Sum = 0;
+    for (const ScenarioPhase &P : SP.Phases)
+      Sum += uint64_t(double(P.Requests) * 0.5);
+    EXPECT_EQ(SP.totalRequests(0.5), Sum ? Sum : 1);
+  }
+  // Degenerate scales still schedule one request so runs terminate.
+  EXPECT_EQ(serverScenarioByName("mixed").totalRequests(0.0), 1u);
+}
+
+TEST(ScenarioPresets, BurstIsPhaseShifted) {
+  ServerProfile SP = serverScenarioByName("burst");
+  ASSERT_EQ(SP.Phases.size(), 3u);
+  EXPECT_GT(SP.Phases[0].RateMultiplier, SP.Phases[1].RateMultiplier);
+  EXPECT_GT(SP.Phases[1].RateMultiplier, SP.Phases[2].RateMultiplier);
+}
+
+} // namespace

@@ -25,6 +25,12 @@ namespace {
 /// Small scale so the whole suite stays fast.
 constexpr double TestScale = 0.05;
 
+RunOptions scaled(double Scale) {
+  RunOptions Options;
+  Options.Scale = Scale;
+  return Options;
+}
+
 class ProfileRunTest : public ::testing::TestWithParam<std::string> {};
 
 TEST_P(ProfileRunTest, RunsToCompletionUnderBothCollectors) {
@@ -32,9 +38,9 @@ TEST_P(ProfileRunTest, RunsToCompletionUnderBothCollectors) {
   P.AllocBytesPerThread = std::min<uint64_t>(P.AllocBytesPerThread,
                                              64ull << 20);
   RunResult Gen = runWorkload(P, makeConfig(CollectorChoice::Generational),
-                              TestScale);
+                              scaled(TestScale));
   RunResult Base = runWorkload(
-      P, makeConfig(CollectorChoice::NonGenerational), TestScale);
+      P, makeConfig(CollectorChoice::NonGenerational), scaled(TestScale));
 
   EXPECT_GT(Gen.AllocatedObjects, 0u);
   EXPECT_EQ(Gen.AllocatedObjects, Base.AllocatedObjects)
@@ -51,7 +57,7 @@ INSTANTIATE_TEST_SUITE_P(AllProfiles, ProfileRunTest,
 TEST(WorkloadCharacter, AnagramTriggersManyCollections) {
   Profile P = profileByName("anagram");
   RunResult R = runWorkload(P, makeConfig(CollectorChoice::Generational),
-                            0.3);
+                            scaled(0.3));
   EXPECT_GE(R.Gc.Cycles.size(), 3u)
       << "the collection-intensive profile must actually collect";
 }
@@ -60,10 +66,10 @@ TEST(WorkloadCharacter, JessScansFarMoreOldObjectsThanAnagram) {
   double Scale = 0.4;
   RunResult Jess = runWorkload(profileByName("jess"),
                                makeConfig(CollectorChoice::Generational),
-                               Scale);
+                               scaled(Scale));
   RunResult Anagram = runWorkload(profileByName("anagram"),
                                   makeConfig(CollectorChoice::Generational),
-                                  Scale);
+                                  scaled(Scale));
   double JessScan =
       Jess.Gc.mean(CycleKind::Partial, &CycleStats::OldObjectsScanned);
   double AnagramScan =
@@ -74,7 +80,8 @@ TEST(WorkloadCharacter, JessScansFarMoreOldObjectsThanAnagram) {
 
 TEST(WorkloadCharacter, MostYoungObjectsDieInAnagramPartials) {
   RunResult R = runWorkload(profileByName("anagram"),
-                            makeConfig(CollectorChoice::Generational), 0.3);
+                            makeConfig(CollectorChoice::Generational),
+                            scaled(0.3));
   ASSERT_GT(R.Gc.count(CycleKind::Partial), 0u);
   EXPECT_GT(R.Gc.percentFreedPartialObjects(), 80.0);
 }
@@ -83,16 +90,34 @@ TEST(WorkloadCharacter, MultiThreadedProfileRuns) {
   Profile P = profileByName("mtrt");
   P.Threads = 3;
   RunResult R = runWorkload(P, makeConfig(CollectorChoice::Generational),
-                            TestScale);
+                            scaled(TestScale));
   EXPECT_GT(R.AllocatedObjects, 0u);
 }
 
-TEST(WorkloadCharacter, CopiesRunConcurrently) {
+TEST(WorkloadCharacter, CopiesAggregateAcrossAllCopies) {
+  // Regression test: multi-copy runs used to return only copy 0's detailed
+  // result.  The aggregate must carry every copy's counters and histogram
+  // samples, so a 2-copy run reports ~2x the single-copy totals.
   Profile P = profileByName("mtrt");
-  RunResult R = runWorkloadCopies(
-      P, makeConfig(CollectorChoice::Generational), 2, 0.02);
-  EXPECT_GT(R.AllocatedObjects, 0u);
-  EXPECT_GT(R.ElapsedSeconds, 0.0);
+  RunOptions One = scaled(0.02);
+  One.Seed = P.Seed; // pin the seed so both shapes run the same streams
+  RunOptions Two = One;
+  Two.Copies = 2;
+  RunResult Single =
+      runWorkload(P, makeConfig(CollectorChoice::Generational), One);
+  RunResult Pair =
+      runWorkload(P, makeConfig(CollectorChoice::Generational), Two);
+
+  EXPECT_GT(Pair.ElapsedSeconds, 0.0);
+  // Copy 1 runs a shifted seed, so totals are close to but not exactly
+  // double; well above 1.5x proves the second copy is in the aggregate.
+  EXPECT_GT(Pair.AllocatedObjects, Single.AllocatedObjects * 3 / 2);
+  EXPECT_GT(Pair.AllocatedBytes, Single.AllocatedBytes * 3 / 2);
+  // Merged histograms: each copy records its own stall/pause samples.
+  EXPECT_GE(Pair.Metrics.StallNanos.count(),
+            Single.Metrics.StallNanos.count());
+  // Cycle lists concatenate across copies.
+  EXPECT_GE(Pair.Gc.Cycles.size(), Single.Gc.Cycles.size());
 }
 
 TEST(WorkloadCharacter, AgingConfigurationRuns) {
@@ -100,13 +125,14 @@ TEST(WorkloadCharacter, AgingConfigurationRuns) {
   RuntimeConfig Config = makeConfig(CollectorChoice::Generational);
   Config.Collector.Aging = true;
   Config.Collector.OldestAge = 4;
-  RunResult R = runWorkload(P, Config, TestScale);
+  RunResult R = runWorkload(P, Config, scaled(TestScale));
   EXPECT_GT(R.AllocatedObjects, 0u);
 }
 
 TEST(WorkloadCharacter, DbKeepsALargeStableOldGeneration) {
   RunResult R = runWorkload(profileByName("db"),
-                            makeConfig(CollectorChoice::Generational), 0.3);
+                            makeConfig(CollectorChoice::Generational),
+                            scaled(0.3));
   // The populated table survives partial collections: live bytes after any
   // partial stay well above the table's footprint floor (~4 MB).
   ASSERT_GT(R.Gc.count(CycleKind::Partial), 0u);

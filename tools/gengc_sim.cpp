@@ -114,7 +114,9 @@ int main(int Argc, char **Argv) {
               (unsigned long long)HeapMb, P.Threads, Scale,
               AgingThreshold ? " aging" : "", RemSet ? " remset" : "");
 
-  RunResult R = runWorkload(P, Config, Scale);
+  RunOptions Options;
+  Options.Scale = Scale;
+  RunResult R = runWorkload(P, Config, Options);
 
   std::printf("\nelapsed %.3f s | allocated %llu objects (%llu MB) | "
               "GC active %.1f%%\n",

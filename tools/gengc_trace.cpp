@@ -113,7 +113,9 @@ int record(int Argc, char **Argv) {
               P.Name.c_str(), CollectorName.c_str(), P.Threads, GcThreads,
               Scale, RingEvents);
 
-  RunResult R = runWorkload(P, Config, Scale);
+  RunOptions Options;
+  Options.Scale = Scale;
+  RunResult R = runWorkload(P, Config, Options);
 
   std::ofstream Out(OutPath);
   if (!Out) {
