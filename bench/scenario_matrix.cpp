@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "harness/BenchHarness.h"
+#include "support/FaultInjector.h"
 #include "workload/Scenario.h"
 
 using namespace gengc;
@@ -78,18 +79,53 @@ struct Cell {
   double P999Usec = 0.0;
   double GcActivePercent = 0.0;
   size_t Cycles = 0;
+  size_t Aborts = 0;
+  size_t DegradedCycles = 0;
 };
 
+/// Arms the deterministic fault mix behind --faults: fixed seeds, so every
+/// run of the column sees the same firing sequence.  Delay sites model a
+/// noisy host; the bounded TraceAbort exercises the cycle-abort unwind and
+/// the escalation ladder (DESIGN.md §19) under real request load.
+void armBenchFaults() {
+  FaultInjector::arm(FaultSite::HandshakeDelay,
+                     FaultConfig{.Probability = 0.10,
+                                 .DelayNanos = 500'000, .MaxHits = 64},
+                     /*Seed=*/1);
+  FaultInjector::arm(FaultSite::WorkerLaneStall,
+                     FaultConfig{.Probability = 0.25,
+                                 .DelayNanos = 200'000, .MaxHits = 64},
+                     /*Seed=*/2);
+  FaultInjector::arm(FaultSite::CardScanDelay,
+                     FaultConfig{.Probability = 0.10,
+                                 .DelayNanos = 100'000, .MaxHits = 64},
+                     /*Seed=*/3);
+  FaultInjector::arm(FaultSite::TraceAbort,
+                     FaultConfig{.Probability = 0.5, .MaxHits = 2},
+                     /*Seed=*/4);
+}
+
 Cell runCell(const ServerProfile &SP, const CollectorRow &Collector,
-             const ConfigRow &Config, const BenchOptions &Options) {
+             const ConfigRow &Config, const BenchOptions &Options,
+             bool Faults = false) {
   RuntimeConfig RC = configFor(Collector.Choice, Options);
   Config.Apply(RC);
+  if (Faults) {
+    // The faulted column runs the full escalation ladder so a wedged
+    // handshake degrades the cell instead of hanging the benchmark.
+    RC.Collector.Watchdog.Policy = WatchdogPolicy::Escalate;
+    RC.Collector.Watchdog.DeadlineNanos = 2'000'000;
+    RC.Collector.Watchdog.EscalateAfterFires = 2;
+    armBenchFaults();
+  }
   RunResult R = runScenario(SP, RC, Options.Run);
+  if (Faults)
+    FaultInjector::disarmAll();
 
   Cell C;
   C.Scenario = SP.Name;
   C.Collector = Collector.Label;
-  C.Config = Config.Label;
+  C.Config = Faults ? "faults" : Config.Label;
   C.Requests = R.Requests;
   C.Rps = R.requestsPerSecond();
   C.P50Usec = R.Metrics.RequestNanos.quantileNanos(0.50) * 1e-3;
@@ -97,6 +133,10 @@ Cell runCell(const ServerProfile &SP, const CollectorRow &Collector,
   C.P999Usec = R.Metrics.RequestNanos.quantileNanos(0.999) * 1e-3;
   C.GcActivePercent = R.percentGcActive();
   C.Cycles = R.Gc.Cycles.size();
+  for (const CycleStats &Cycle : R.Gc.Cycles) {
+    C.Aborts += Cycle.Aborted ? 1 : 0;
+    C.DegradedCycles += Cycle.Degraded ? 1 : 0;
+  }
   return C;
 }
 
@@ -125,8 +165,13 @@ void writeJson(const std::string &Path, const std::vector<Cell> &Cells,
     std::snprintf(Buf, sizeof(Buf), "%.2f", C.P999Usec);
     Out << "\"p999_usec\": " << Buf << ",\n     ";
     std::snprintf(Buf, sizeof(Buf), "%.2f", C.GcActivePercent);
-    Out << "\"gc_active_percent\": " << Buf << ", \"cycles\": " << C.Cycles
-        << "}";
+    Out << "\"gc_active_percent\": " << Buf << ", \"cycles\": " << C.Cycles;
+    // Only the opt-in faulted column carries resilience counters, so the
+    // committed baseline schema is byte-identical without --faults.
+    if (C.Config == "faults")
+      Out << ", \"cycle_aborts\": " << C.Aborts
+          << ", \"degraded_cycles\": " << C.DegradedCycles;
+    Out << "}";
     Out << (I + 1 < Cells.size() ? ",\n" : "\n");
   }
   Out << "  ]\n}\n";
@@ -138,7 +183,7 @@ void writeJson(const std::string &Path, const std::vector<Cell> &Cells,
                "usage: scenario_matrix [shared bench options] "
                "[--scenario=churn|cache|mixed|burst]\n"
                "                       [--collector=stw|dlg|gen] "
-               "[--json=PATH]\n");
+               "[--json=PATH] [--faults]\n");
   std::exit(2);
 }
 
@@ -149,6 +194,7 @@ int main(int Argc, char **Argv) {
       Argc, Argv, {.Run = {.Scale = 1.0, .Reps = 1}}, /*AllowUnknown=*/true);
 
   std::string OnlyScenario, OnlyCollector, JsonPath;
+  bool WithFaults = false;
   for (int I = 1; I < Argc; ++I) {
     const char *Arg = Argv[I];
     if (std::strncmp(Arg, "--scenario=", 11) == 0)
@@ -157,6 +203,8 @@ int main(int Argc, char **Argv) {
       OnlyCollector = Arg + 12;
     else if (std::strncmp(Arg, "--json=", 7) == 0)
       JsonPath = Arg + 7;
+    else if (std::strcmp(Arg, "--faults") == 0)
+      WithFaults = true;
     else
       usage();
   }
@@ -192,6 +240,21 @@ int main(int Argc, char **Argv) {
                   Table::number(C.P99Usec, 1), Table::number(C.P999Usec, 1),
                   Table::number(C.GcActivePercent, 1),
                   Table::count(C.Cycles)});
+        Cells.push_back(std::move(C));
+      }
+      // The opt-in faulted column: the base configuration again, but under
+      // the deterministic fault mix and the Escalate ladder.  Off by
+      // default so the committed baseline never sees it.
+      if (WithFaults) {
+        Cell C = runCell(SP, Collector, Configs[0], Options, /*Faults=*/true);
+        T.addRow({C.Scenario, C.Collector, C.Config,
+                  Table::number(C.Rps, 0), Table::number(C.P50Usec, 1),
+                  Table::number(C.P99Usec, 1), Table::number(C.P999Usec, 1),
+                  Table::number(C.GcActivePercent, 1),
+                  Table::count(C.Cycles)});
+        std::printf("  [faults] %s/%s: %zu aborts, %zu degraded cycles\n",
+                    C.Scenario.c_str(), C.Collector.c_str(), C.Aborts,
+                    C.DegradedCycles);
         Cells.push_back(std::move(C));
       }
     }

@@ -89,6 +89,17 @@ std::string RuntimeConfig::validate() const {
       !Collector.Watchdog.OnStall)
     return "Watchdog.Policy is Callback but Watchdog.OnStall is empty";
 
+  // Escalate is deadline-driven: without a handshake deadline no wait ever
+  // fires, so the ladder could never start, and a zero fire threshold
+  // would make the very first fire force-complete the handshake.
+  if (Collector.Watchdog.Policy == WatchdogPolicy::Escalate) {
+    if (Collector.Watchdog.DeadlineNanos == 0)
+      return "Watchdog.Policy is Escalate but Watchdog.DeadlineNanos is 0 "
+             "(the escalation ladder is deadline-driven)";
+    if (Collector.Watchdog.EscalateAfterFires < 1)
+      return "Watchdog.EscalateAfterFires must be at least 1";
+  }
+
   // Sweep policy: the enum is part of the embedding API, so an
   // out-of-range value (e.g. a memset configuration) is caught here rather
   // than surfacing as an unswept heap.

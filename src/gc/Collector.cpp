@@ -9,6 +9,7 @@
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <thread>
 
 #include "gc/LazySweep.h"
 #include "support/Backoff.h"
@@ -64,6 +65,8 @@ CyclePhase Collector::sweepPhase(bool GenerationalEstimate) {
   if (lazySweep())
     return {GcPhase::PublishSweep, &CycleStats::SweepNanos,
             [this](CycleStats &C) {
+              if (abortPhaseEntry(FaultSite::SweepAbort, GcPhase::PublishSweep))
+                return;
               LazySweepEngine::PublishResult P = LazyEngine->publish();
               C.LazyBlocksPublished = P.BlocksPublished;
               C.ObjectsFreed += P.Large.ObjectsFreed;
@@ -73,6 +76,8 @@ CyclePhase Collector::sweepPhase(bool GenerationalEstimate) {
             }};
   return {GcPhase::Sweep, &CycleStats::SweepNanos,
           [this, GenerationalEstimate](CycleStats &C) {
+            if (abortPhaseEntry(FaultSite::SweepAbort, GcPhase::Sweep))
+              return;
             ParallelSweepResult R =
                 sweepParallel(H, State, Pool, Plan, &Obs);
             C.ObjectsFreed += R.Total.ObjectsFreed;
@@ -258,6 +263,204 @@ void Collector::sumGrayCounters(CycleStats &Stats) {
   Stats.YoungSurvivorBytes = Bytes;
 }
 
+//===----------------------------------------------------------------------===
+// Cycle recovery (WatchdogPolicy::Escalate; DESIGN.md §19).
+//===----------------------------------------------------------------------===
+
+bool Collector::waitOrAbort() {
+  if (Handshakes.wait())
+    return true;
+  AbortCycleFlag = true;
+  EscalatedAbort = true;
+  AbortEscalation = Handshakes.lastEscalation();
+  AbortPhase = State.Phase.load(std::memory_order_relaxed);
+  return false;
+}
+
+bool Collector::handshakeOrAbort(HandshakeStatus Status) {
+  Handshakes.post(Status);
+  return waitOrAbort();
+}
+
+bool Collector::abortPhaseEntry(FaultSite Site, GcPhase Phase) {
+  if (!AllowAbort)
+    return false;
+  if (AbortCycleFlag)
+    return true;
+  if (!FaultInjector::fire(Site))
+    return false;
+  AbortCycleFlag = true;
+  EscalatedAbort = false;
+  AbortPhase = Phase;
+  AbortEscalation = 0;
+  return true;
+}
+
+void Collector::abortRecolor() {
+  // Everything allocated becomes the allocation color.  Dead cells are
+  // revived as floating garbage for exactly one cycle: the next cycle is
+  // forced Full, its toggle turns all of this into the clear color, and
+  // its whole-heap trace re-derives liveness from the roots.  Leaving any
+  // OTHER color behind would be unsound — a gray or stale-colored object
+  // looks either already-traced (sons never scanned) or dead to that
+  // cycle.
+  Color Alloc = State.allocationColor();
+  forEachHeapCell([&](ObjectRef Ref) {
+    Color C = H.loadColor(Ref, std::memory_order_relaxed);
+    if (C != Color::Blue && C != Alloc)
+      H.storeColor(Ref, Alloc);
+  });
+}
+
+void Collector::abortCycle(CycleStats &Cycle) {
+  Cycle.Aborted = true;
+
+  // 1. Quiesce the trace-path barrier tests: no phase is running.  (The
+  //    pipeline stopped without publishing Idle — that is ours to do.)
+  State.Phase.store(GcPhase::Idle, std::memory_order_release);
+
+  // 2. Finish the handshake protocol back to Async so the mutator-facing
+  //    state machine is whole again.  The wedged mutator that caused an
+  //    escalated abort is usually still wedged, so this wait is bounded by
+  //    the same deadline and ends in force-adoption — counted here, once,
+  //    as this cycle's forced mutators.
+  if (State.StatusC.load(std::memory_order_acquire) != HandshakeStatus::Async)
+    Handshakes.post(HandshakeStatus::Async);
+  uint64_t Window =
+      std::max<uint64_t>(Config.Watchdog.DeadlineNanos, 1'000'000);
+  uint64_t Begin = nowNanos();
+  while (Registry.countLaggingAndHelp(HandshakeStatus::Async) != 0) {
+    if (nowNanos() - Begin >= Window) {
+      Cycle.ForcedMutators +=
+          Handshakes.forceCompleteLaggards(HandshakeStatus::Async);
+      break;
+    }
+    std::this_thread::yield();
+  }
+
+  // 3. Let in-flight shade publications drain, then discard the gray work.
+  //    Every mutator is back at Async with Idle published, so no new
+  //    shades start; a bounded wait covers the CAS-won-push-pending window
+  //    (a force-adopted thread wedged inside it is the documented
+  //    quiet-thread assumption — see DESIGN.md §19).
+  Begin = nowNanos();
+  while (State.InFlightShades.load(std::memory_order_acquire) != 0 &&
+         nowNanos() - Begin < 10'000'000)
+    std::this_thread::yield();
+  State.Grays.clear();
+
+  // 4. Lazy sweep: nothing was published this cycle (SweepAbort fires
+  //    before publish), but drain defensively so no needs-sweep block can
+  //    straddle the next cycle's toggle.
+  if (LazyEngine)
+    LazyEngine->drainResidue();
+
+  // 5. Restore colors under the current (kept) color assignment.
+  abortRecolor();
+
+  // 6. The cycle consumed card / remembered-set information mid-flight;
+  //    rather than reconstruct it, the next cycle traces everything.
+  ForceFullNext = true;
+
+  if (EventRing *Ring = Obs.laneRing(0)) {
+    Ring->instant(ObsEventKind::EscalationStep, nowNanos(),
+                  uint64_t(EscalationAction::AbortCycle),
+                  Cycle.ForcedMutators);
+    Ring->instant(ObsEventKind::CycleAbort, nowNanos(), uint64_t(AbortPhase),
+                  AbortEscalation);
+  }
+
+  // 7. Certify the unwound heap before declaring the abort complete.
+  runVerifier(VerifyScope::Concurrent);
+}
+
+uint64_t Collector::waitWorldStoppedBounded(uint64_t Epoch) {
+  // Same accounting loop as StwCollector::waitWorldStopped, with a
+  // deadline: a thread that blew through every handshake grace period gets
+  // its roots shaded on its behalf and is counted stopped.
+  uint64_t Deadline = Config.Watchdog.DeadlineNanos != 0
+                          ? Config.Watchdog.DeadlineNanos
+                          : 50'000'000;
+  Deadline *= std::max(1u, Config.Watchdog.EscalateAfterFires);
+  uint64_t Begin = nowNanos();
+  for (unsigned Spin = 0;; ++Spin) {
+    size_t Total = 0;
+    size_t Accounted = 0;
+    Registry.forEach([&](Mutator &M) {
+      ++Total;
+      if (M.stwParkedFor(Epoch) || M.markRootsIfBlockedForStw())
+        ++Accounted;
+    });
+    if (Accounted >= Total)
+      return 0;
+    uint64_t Waited = nowNanos() - Begin;
+    if (Waited >= Deadline) {
+      uint64_t Forced = 0;
+      Registry.forEach([&](Mutator &M) {
+        if (!M.stwParkedFor(Epoch) && !M.markRootsIfBlockedForStw()) {
+          M.forceShadeForStw();
+          ++Forced;
+        }
+      });
+      Handshakes.fireStall("stop-the-world", Waited);
+      if (EventRing *Ring = Obs.laneRing(0))
+        Ring->instant(ObsEventKind::EscalationStep, nowNanos(),
+                      uint64_t(EscalationAction::ForceAdopt), Forced);
+      return Forced;
+    }
+    if (Spin < 64)
+      std::this_thread::yield();
+    else
+      std::this_thread::sleep_for(std::chrono::microseconds(20));
+  }
+}
+
+CycleStats Collector::runDegradedCycle(CycleRequest Kind) {
+  (void)Kind; // The fallback always collects the whole heap.
+  CycleStats Cycle;
+  Cycle.Kind = CycleKind::NonGenerational;
+  Cycle.Degraded = true;
+  Cycle.GcWorkers = Pool.lanes();
+
+  runCyclePhases(
+      State,
+      // The residue drain runs before StopWorld is raised, as in the STW
+      // comparator.
+      withResiduePhase({
+          {GcPhase::Clear, &CycleStats::ClearNanos,
+           [this](CycleStats &C) {
+             State.switchAllocationClearColors();
+             uint64_t Epoch =
+                 State.StopEpoch.fetch_add(1, std::memory_order_acq_rel) + 1;
+             State.StopWorld.store(true, std::memory_order_seq_cst);
+             C.ForcedMutators += waitWorldStoppedBounded(Epoch);
+           }},
+
+          {GcPhase::Mark, &CycleStats::MarkNanos,
+           [this](CycleStats &) { Roots.markAll(CollectorGrays); }},
+
+          {GcPhase::Trace, &CycleStats::TraceNanos,
+           [this](CycleStats &C) {
+             ParallelTracer::Result TraceResult =
+                 TraceEngine.trace(State.allocationColor(), CollectorGrays);
+             C.ObjectsTraced = TraceResult.ObjectsTraced;
+             C.BytesTraced = TraceResult.BytesTraced;
+             C.LiveEstimateBytes = TraceResult.BytesTraced;
+             C.TraceSteals = TraceResult.Steals;
+             C.TraceOffloads = TraceResult.Offloads;
+             C.TraceSegmentsAcquired = TraceResult.SegmentsAcquired;
+             C.TraceTermScanNanos = TraceResult.TermScanNanos;
+             C.TraceWorkerNanos = std::move(TraceResult.WorkerNanos);
+           }},
+
+          sweepPhase(/*GenerationalEstimate=*/false),
+      }),
+      Cycle, Obs.laneRing(0), verifyHook(/*FullCycle=*/true));
+
+  State.StopWorld.store(false, std::memory_order_seq_cst);
+  return Cycle;
+}
+
 void Collector::runOneCycle(CycleRequest Kind) {
   H.pages().reset();
   resetGrayCounters();
@@ -266,13 +469,32 @@ void Collector::runOneCycle(CycleRequest Kind) {
   // verification pass.
   State.Grays.clear();
 
+  // An aborted cycle's successor traces everything (abortCycle set this);
+  // consuming the flag before the kind is recorded keeps the stats honest.
+  if (ForceFullNext) {
+    ForceFullNext = false;
+    Kind = CycleRequest::Full;
+  }
+
+  // Per-cycle abort state: only the on-the-fly cycles of collectors that
+  // opted in can abort, and the degraded fallback never does (an armed
+  // abort site must not silently skip a sweep it has no unwind for).
+  AllowAbort = AbortableCycles && !InDegradedMode;
+  AbortCycleFlag = false;
+  EscalatedAbort = false;
+  AbortPhase = GcPhase::Idle;
+  AbortEscalation = 0;
+
   uint64_t Index = CyclesDone.load(std::memory_order_relaxed);
   EventRing *Ring = Obs.laneRing(0);
   uint64_t CycleStartNanos = Ring ? nowNanos() : 0;
 
   StopWatch Watch;
   Watch.start();
-  CycleStats Cycle = runCycle(Kind);
+  bool WasDegraded = InDegradedMode;
+  CycleStats Cycle = WasDegraded ? runDegradedCycle(Kind) : runCycle(Kind);
+  if (AbortCycleFlag)
+    abortCycle(Cycle);
   Cycle.DurationNanos = Watch.stop();
   Cycle.PagesTouched = H.pages().countTouched();
   sumGrayCounters(Cycle);
@@ -280,13 +502,42 @@ void Collector::runOneCycle(CycleRequest Kind) {
   // Whole-cycle deadline: a cycle that ran far past its budget is reported
   // through the same stall machinery as a wedged handshake.  (A cycle that
   // never finishes surfaces as a handshake stall first — the per-wait
-  // deadline covers that.)
-  if (Config.Watchdog.CycleDeadlineNanos != 0 &&
+  // deadline covers that.)  An aborted cycle already reported through the
+  // escalation ladder; re-firing here would double-count it.
+  if (!Cycle.Aborted && Config.Watchdog.CycleDeadlineNanos != 0 &&
       Cycle.DurationNanos > Config.Watchdog.CycleDeadlineNanos)
     Handshakes.fireStall("cycle", Cycle.DurationNanos);
 
-  H.resetAllocatedSinceGc();
-  Trig.afterCycle(Cycle.LiveEstimateBytes);
+  if (!Cycle.Aborted) {
+    H.resetAllocatedSinceGc();
+    Trig.afterCycle(Cycle.LiveEstimateBytes);
+  }
+  // An aborted cycle freed nothing: leaving the allocation clock running
+  // re-triggers the (forced-Full) successor promptly, and the trigger's
+  // soft limit never learns from a live estimate that does not exist.
+
+  // Escalation-ladder transitions.  Entering degraded mode is decided by
+  // an escalated abort; leaving it by a degraded cycle in which every
+  // mutator parked voluntarily — the signal that handshakes work again.
+  if (WasDegraded) {
+    if (Ring)
+      Ring->instant(ObsEventKind::EscalationStep, nowNanos(),
+                    uint64_t(EscalationAction::StwFallback),
+                    Cycle.ForcedMutators);
+    if (Cycle.ForcedMutators == 0) {
+      InDegradedMode = false;
+      if (Ring) {
+        Ring->instant(ObsEventKind::EscalationStep, nowNanos(),
+                      uint64_t(EscalationAction::Recovered), 0);
+        Ring->instant(ObsEventKind::DegradedMode, nowNanos(), 0, 0);
+      }
+    }
+  } else if (Cycle.Aborted && EscalatedAbort) {
+    InDegradedMode = true;
+    if (Ring)
+      Ring->instant(ObsEventKind::DegradedMode, nowNanos(), 1,
+                    Cycle.ForcedMutators);
+  }
 
   if (Ring) {
     // Begin and end are emitted together once the kind is final (the

@@ -41,6 +41,7 @@
 #include "runtime/Mutator.h"
 #include "runtime/MutatorRegistry.h"
 #include "runtime/Roots.h"
+#include "support/FaultInjector.h"
 
 namespace gengc {
 
@@ -196,6 +197,100 @@ protected:
   /// Runs one cycle; implemented by subclasses.
   virtual CycleStats runCycle(CycleRequest Kind) = 0;
 
+  //===--------------------------------------------------------------------===
+  // Cycle recovery (WatchdogPolicy::Escalate; DESIGN.md §19).
+  //===--------------------------------------------------------------------===
+
+  /// post + wait with escalation support: a wait() that escalated (every
+  /// laggard force-adopted) flips the cycle into the aborting state and
+  /// returns false — the phase body must return promptly so abortCycle can
+  /// unwind.  Plain pass-throughs when no escalation happens.
+  bool handshakeOrAbort(HandshakeStatus Status);
+  bool waitOrAbort();
+
+  /// Consults an abort fault site at a phase entry: returns true when the
+  /// phase body must be skipped, either because the cycle is already
+  /// aborting or because \p Site (TraceAbort / SweepAbort) fired.  Inert
+  /// while a cycle that cannot abort runs (STW comparator, the degraded
+  /// fallback) so an armed site can never silently skip a sweep it has no
+  /// unwind for.
+  bool abortPhaseEntry(FaultSite Site, GcPhase Phase);
+
+  /// True once this cycle decided to abort (the pipeline's AbortCheck).
+  bool abortPending() const { return AbortCycleFlag; }
+
+  /// Unwinds an aborted cycle to a consistent state — quiesce barrier
+  /// shading, finish the handshake protocol back to Async, discard the
+  /// gray work, drain lazy-sweep residue, restore every allocated cell to
+  /// a traced-looking color (abortRecolor), force the next cycle Full —
+  /// and certifies the result with a verifier pass.  The mid-cycle color
+  /// toggle (if it happened) is deliberately KEPT, not reverted: racing
+  /// allocations stamp the current allocation color, so reverting would
+  /// reopen the very create/sweep race the toggle closed; recoloring
+  /// forward under the current assignment is race-free.  Collector thread
+  /// only, with the phase pipeline already stopped.
+  void abortCycle(CycleStats &Cycle);
+
+  /// Collector-specific color restoration for abortCycle: the base
+  /// version returns every non-blue cell to the current allocation color
+  /// (no Black generation exists for DLG/STW — the next Full cycle's
+  /// toggle makes all of it clear and re-traces from roots);
+  /// GenerationalCollector overrides to keep the old generation black.
+  virtual void abortRecolor();
+
+  /// One cycle of the cooperating-STW degraded fallback: toggle, stop the
+  /// world with a forced-progress bound (waitWorldStoppedBounded), mark
+  /// global roots, trace, sweep.  The base version is the whole-heap
+  /// non-generational cycle; GenerationalCollector overrides with a full
+  /// generational cycle (init-full before the toggle, Black trace).
+  virtual CycleStats runDegradedCycle(CycleRequest Kind);
+
+  /// StwCollector::waitWorldStopped with a deadline: mutators that fail to
+  /// park (or declare themselves blocked) within roughly DeadlineNanos x
+  /// EscalateAfterFires are force-shaded (Mutator::forceShadeForStw) and
+  /// counted stopped.  Returns the number forced — 0 means every thread
+  /// parked voluntarily, the signal that handshakes work again and
+  /// on-the-fly collection can resume.
+  uint64_t waitWorldStoppedBounded(uint64_t Epoch);
+
+  /// Visits every size-class cell and large-object start in the heap (a
+  /// single-threaded block-table walk; only the abort unwind's recolor
+  /// passes use it — not a hot path).
+  template <typename Fn> void forEachHeapCell(Fn Visit) {
+    for (size_t BlockIdx = 0; BlockIdx < H.numBlocks(); ++BlockIdx) {
+      const BlockDescriptor &Desc = H.block(BlockIdx);
+      uint64_t Base = uint64_t(BlockIdx) << Heap::BlockShift;
+      if (Desc.State == BlockState::LargeStart) {
+        Visit(ObjectRef(Base));
+        continue;
+      }
+      if (Desc.State != BlockState::SizeClass)
+        continue;
+      for (uint32_t Cell = 0; Cell < Desc.NumCells; ++Cell)
+        Visit(ObjectRef(Base + uint64_t(Cell) * Desc.CellBytes));
+    }
+  }
+
+  /// Set by DlgCollector/GenerationalCollector: their on-the-fly cycles
+  /// know how to abort.  The STW comparator leaves it false — its cycle
+  /// has no handshake waits and no unwind.
+  bool AbortableCycles = false;
+  /// Computed per cycle: AbortableCycles and not running degraded.
+  bool AllowAbort = false;
+  /// This cycle has decided to abort; phase bodies return early and the
+  /// pipeline stops (abortPending).
+  bool AbortCycleFlag = false;
+  /// The abort came from an escalated handshake (vs. an injected fault):
+  /// laggards were force-adopted, so the ladder proceeds to degraded mode.
+  bool EscalatedAbort = false;
+  /// Phase the abort was requested in, and the escalating wait's fire
+  /// count (CycleAbort event payload).
+  GcPhase AbortPhase = GcPhase::Idle;
+  uint64_t AbortEscalation = 0;
+  /// Cycles run as the cooperating-STW fallback until one completes with
+  /// no forced mutators.  Collector thread only.
+  bool InDegradedMode = false;
+
   /// Resets the per-cycle gray counters of the collector and all mutators.
   void resetGrayCounters();
 
@@ -301,6 +396,12 @@ private:
 
   std::atomic<uint64_t> CyclesDone{0};
   std::atomic<uint64_t> MemoryWaits{0};
+
+  /// An aborted cycle consumed its card / remembered-set information
+  /// mid-flight; rather than reconstruct per-generation records, the next
+  /// cycle traces everything (abortCycle sets this, runOneCycle consumes
+  /// it).  Collector thread only.
+  bool ForceFullNext = false;
 
   /// The cycle-publication lock: runOneCycle pushes each finished cycle's
   /// statistics under it *before* CyclesDone is bumped (with release) under

@@ -52,11 +52,18 @@ struct CyclePhase {
 /// after each phase body, outside its timed span, with the completed phase
 /// still published in CollectorState — the heap-verifier hook relies on the
 /// phase still being visible to the write barrier while it checks.
-inline void runCyclePhases(CollectorState &State,
+///
+/// \p AbortCheck (when non-empty) is consulted after each phase body: if it
+/// returns true the pipeline stops — the remaining phases are skipped, the
+/// aborting phase's AfterPhase hook does NOT run (the heap is mid-unwind by
+/// definition, so a verifier pass there would check half-done state), Idle
+/// is NOT published (Collector::abortCycle owns the state machine from
+/// here), and the runner returns false.  Returns true when every phase ran.
+inline bool runCyclePhases(CollectorState &State,
                            const std::vector<CyclePhase> &Phases,
                            CycleStats &Cycle, EventRing *Obs = nullptr,
-                           const std::function<void(GcPhase)> &AfterPhase =
-                               {}) {
+                           const std::function<void(GcPhase)> &AfterPhase = {},
+                           const std::function<bool()> &AbortCheck = {}) {
   for (const CyclePhase &P : Phases) {
     State.Phase.store(P.Phase, std::memory_order_release);
     uint64_t Start = nowNanos();
@@ -65,10 +72,13 @@ inline void runCyclePhases(CollectorState &State,
     Cycle.*(P.DurationField) += Duration;
     if (Obs)
       Obs->emit(ObsEventKind::Phase, Start, Duration, uint64_t(P.Phase));
+    if (AbortCheck && AbortCheck())
+      return false;
     if (AfterPhase)
       AfterPhase(P.Phase);
   }
   State.Phase.store(GcPhase::Idle, std::memory_order_release);
+  return true;
 }
 
 } // namespace gengc

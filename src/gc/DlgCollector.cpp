@@ -23,6 +23,9 @@ DlgCollector::DlgCollector(Heap &H, CollectorState &S,
   GENGC_ASSERT(!Config.Trigger.Generational,
                "DLG baseline must not use the young-generation trigger");
   initSweepPlan(SweepMode::NonGenerational);
+  // The on-the-fly cycle knows how to abort (WatchdogPolicy::Escalate and
+  // the TraceAbort/SweepAbort fault sites; DESIGN.md §19).
+  AbortableCycles = true;
 }
 
 CycleStats DlgCollector::runCycle(CycleRequest Kind) {
@@ -37,25 +40,30 @@ CycleStats DlgCollector::runCycle(CycleRequest Kind) {
           // clear stage: first handshake — write barriers become active.
           {GcPhase::Clear, &CycleStats::ClearNanos,
            [this](CycleStats &) {
-             Handshakes.handshake(HandshakeStatus::Sync1);
+             handshakeOrAbort(HandshakeStatus::Sync1);
            }},
 
           // mark stage: second handshake brackets the color toggle; the
-          // third handshake makes every mutator shade its own roots.
+          // third handshake makes every mutator shade its own roots.  An
+          // escalated wait aborts the cycle: return promptly, the
+          // pipeline's AbortCheck hands control to abortCycle.
           {GcPhase::Mark, &CycleStats::MarkNanos,
            [this](CycleStats &) {
              Handshakes.post(HandshakeStatus::Sync2);
              State.switchAllocationClearColors();
-             Handshakes.wait();
+             if (!waitOrAbort())
+               return;
 
              Handshakes.post(HandshakeStatus::Async);
              Roots.markAll(CollectorGrays);
-             Handshakes.wait();
+             waitOrAbort();
            }},
 
           // trace: "black" is the allocation color (Remark 5.1 toggle).
           {GcPhase::Trace, &CycleStats::TraceNanos,
            [this](CycleStats &C) {
+             if (abortPhaseEntry(FaultSite::TraceAbort, GcPhase::Trace))
+               return;
              ParallelTracer::Result TraceResult =
                  TraceEngine.trace(State.allocationColor(), CollectorGrays);
              C.ObjectsTraced = TraceResult.ObjectsTraced;
@@ -71,6 +79,7 @@ CycleStats DlgCollector::runCycle(CycleRequest Kind) {
           // reclamation: eager whole-heap sweep, or lazy publish.
           sweepPhase(/*GenerationalEstimate=*/false),
       }),
-      Cycle, Obs.laneRing(0), verifyHook(/*FullCycle=*/true));
+      Cycle, Obs.laneRing(0), verifyHook(/*FullCycle=*/true),
+      [this] { return abortPending(); });
   return Cycle;
 }

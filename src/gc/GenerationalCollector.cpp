@@ -166,6 +166,89 @@ GenerationalCollector::GenerationalCollector(Heap &H, CollectorState &S,
     TraceEngine.setAgingThreshold(Config.OldestAge);
   initSweepPlan(Config.Aging ? SweepMode::GenerationalAging
                              : SweepMode::GenerationalSimple);
+  // The on-the-fly cycle knows how to abort (WatchdogPolicy::Escalate and
+  // the TraceAbort/SweepAbort fault sites; DESIGN.md §19).
+  AbortableCycles = true;
+}
+
+void GenerationalCollector::abortRecolor() {
+  Color Alloc = State.allocationColor();
+  bool Aging = Config.Aging;
+  uint8_t OldestAge = Config.OldestAge;
+  forEachHeapCell([&](ObjectRef Ref) {
+    Color C = H.loadColor(Ref, std::memory_order_relaxed);
+    if (C == Color::Blue || C == Color::Black || C == Alloc)
+      return;
+    if (C == Color::Gray) {
+      // Promote: a re-grayed old object returns to the old generation; a
+      // mid-trace young one tenures early.  Bumping the age keeps the
+      // black-implies-oldest invariant, so the card scans of later partial
+      // collections treat it exactly like any other old object.
+      H.storeColor(Ref, Color::Black);
+      if (Aging)
+        H.ages().setAge(Ref, OldestAge);
+      return;
+    }
+    // Clear-colored: possibly-live young object whose trace never
+    // finished (or a dead one — floating garbage until the forced-Full
+    // successor).  Back to the young generation.
+    H.storeColor(Ref, Alloc);
+  });
+}
+
+CycleStats GenerationalCollector::runDegradedCycle(CycleRequest Kind) {
+  (void)Kind; // The fallback always runs a full collection.
+  CycleStats Cycle;
+  Cycle.Kind = CycleKind::Full;
+  Cycle.AllocatedCards = H.countAllocatedCards();
+  Cycle.GcWorkers = Pool.lanes();
+  Cycle.Degraded = true;
+
+  runCyclePhases(
+      State,
+      withResiduePhase({
+          {GcPhase::Clear, &CycleStats::ClearNanos,
+           [this](CycleStats &C) {
+             // Full-collection init first (it recolors under the
+             // PRE-toggle allocation color, as in the concurrent Full
+             // cycle), then toggle, then stop the world with the bounded
+             // wait.
+             C.DirtyCardsAtStart = H.cards().countDirty();
+             if (Config.Aging)
+               initFullCollectionAging();
+             else
+               initFullCollectionSimple();
+             State.switchAllocationClearColors();
+             uint64_t Epoch =
+                 State.StopEpoch.fetch_add(1, std::memory_order_acq_rel) + 1;
+             State.StopWorld.store(true, std::memory_order_seq_cst);
+             C.ForcedMutators += waitWorldStoppedBounded(Epoch);
+           }},
+
+          {GcPhase::Mark, &CycleStats::MarkNanos,
+           [this](CycleStats &) { Roots.markAll(CollectorGrays); }},
+
+          {GcPhase::Trace, &CycleStats::TraceNanos,
+           [this](CycleStats &C) {
+             ParallelTracer::Result TraceResult =
+                 TraceEngine.trace(Color::Black, CollectorGrays);
+             C.ObjectsTraced = TraceResult.ObjectsTraced;
+             C.BytesTraced = TraceResult.BytesTraced;
+             C.TraceSteals = TraceResult.Steals;
+             C.TraceOffloads = TraceResult.Offloads;
+             C.TraceSegmentsAcquired = TraceResult.SegmentsAcquired;
+             C.TraceTermScanNanos = TraceResult.TermScanNanos;
+             C.TraceWorkerNanos = std::move(TraceResult.WorkerNanos);
+             if (lazySweep())
+               C.LiveEstimateBytes = TraceResult.BytesTraced;
+           }},
+
+          sweepPhase(/*GenerationalEstimate=*/true),
+      }),
+      Cycle, Obs.laneRing(0), verifyHook(/*FullCycle=*/true));
+
+  State.StopWorld.store(false, std::memory_order_seq_cst);
+  return Cycle;
 }
 
 void GenerationalCollector::recolorTracedToAllocation() {
@@ -391,7 +474,7 @@ CycleStats GenerationalCollector::runCycle(CycleRequest Kind) {
                else
                  initFullCollectionSimple();
              }
-             Handshakes.handshake(HandshakeStatus::Sync1);
+             handshakeOrAbort(HandshakeStatus::Sync1);
            }},
 
           // mark stage.  Order matters and differs between the variants:
@@ -421,16 +504,19 @@ CycleStats GenerationalCollector::runCycle(CycleRequest Kind) {
                }
                State.switchAllocationClearColors();
              }
-             Handshakes.wait();
+             if (!waitOrAbort())
+               return;
 
              Handshakes.post(HandshakeStatus::Async);
              Roots.markAll(CollectorGrays);
-             Handshakes.wait();
+             waitOrAbort();
            }},
 
           // trace: black marks promoted/old objects in both variants.
           {GcPhase::Trace, &CycleStats::TraceNanos,
            [&](CycleStats &C) {
+             if (abortPhaseEntry(FaultSite::TraceAbort, GcPhase::Trace))
+               return;
              ParallelTracer::Result TraceResult =
                  TraceEngine.trace(Color::Black, CollectorGrays);
              C.ObjectsTraced = TraceResult.ObjectsTraced;
@@ -452,6 +538,7 @@ CycleStats GenerationalCollector::runCycle(CycleRequest Kind) {
           // (LiveBytesAfter - AllocColoredBytes).
           sweepPhase(/*GenerationalEstimate=*/true),
       }),
-      Cycle, Obs.laneRing(0), verifyHook(Full));
+      Cycle, Obs.laneRing(0), verifyHook(Full),
+      [this] { return abortPending(); });
   return Cycle;
 }

@@ -43,6 +43,21 @@ protected:
   /// color.
   Color tracedBlackColor() const override { return Color::Black; }
 
+  /// Abort unwind (DESIGN.md §19): unlike the base version, the old
+  /// generation stays black — gray objects are promoted (re-grayed old
+  /// objects go back where they were; a mid-trace young object tenures
+  /// early, under aging with its age bumped to the threshold so the
+  /// black-implies-old invariant holds), everything else non-blue returns
+  /// to the allocation color.  Dead promotions are floating garbage until
+  /// the forced-Full successor cycle sweeps them.
+  void abortRecolor() override;
+
+  /// The degraded fallback runs a FULL generational cycle under a stopped
+  /// world — init-full recolor before the toggle, Black trace — so the
+  /// verifier's Black-keyed checks and the aging invariants keep holding
+  /// while the collector rides out the stall.
+  CycleStats runDegradedCycle(CycleRequest Kind) override;
+
 private:
   /// Figure 3 InitFullCollection: recolor black/gray objects to the
   /// (pre-toggle) allocation color and clear every card mark.

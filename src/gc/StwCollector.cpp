@@ -61,16 +61,21 @@ CycleStats StwCollector::runCycle(CycleRequest Kind) {
       // only on shard/stash mutexes, so running it concurrently is safe.
       withResiduePhase({
           {GcPhase::Clear, &CycleStats::ClearNanos,
-           [this](CycleStats &) {
+           [this](CycleStats &C) {
              State.switchAllocationClearColors();
 
              // Stop the world.  The epoch bump follows the toggle, so a
              // parker that observes the new epoch also sees the new colors
-             // when it (re-)shades its roots.
+             // when it (re-)shades its roots.  Under the Escalate policy
+             // the wait is bounded: a thread that never parks gets its
+             // roots force-shaded instead of hanging the collector.
              uint64_t Epoch =
                  State.StopEpoch.fetch_add(1, std::memory_order_acq_rel) + 1;
              State.StopWorld.store(true, std::memory_order_seq_cst);
-             waitWorldStopped(Epoch);
+             if (Config.Watchdog.Policy == WatchdogPolicy::Escalate)
+               C.ForcedMutators += waitWorldStoppedBounded(Epoch);
+             else
+               waitWorldStopped(Epoch);
            }},
 
           {GcPhase::Mark, &CycleStats::MarkNanos,

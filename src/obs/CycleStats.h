@@ -117,6 +117,17 @@ struct CycleStats {
   uint64_t LazyBlocksPublished = 0;
   uint64_t LazyBlocksResidueSwept = 0;
 
+  // Cycle recovery (DESIGN.md §19).
+  /// This cycle was aborted mid-flight and unwound to pre-cycle state: its
+  /// phase counters cover only the work done before the abort and it freed
+  /// nothing.
+  bool Aborted = false;
+  /// This cycle ran as the cooperating-STW degraded fallback.
+  bool Degraded = false;
+  /// Mutators whose handshake response or STW root scan had to be forced
+  /// (escalation force-adopt, degraded-cycle force-shade).
+  uint64_t ForcedMutators = 0;
+
   // Collector page residency (Figure 15).
   uint64_t PagesTouched = 0;
 

@@ -63,6 +63,12 @@ const char *gengc::obsEventKindName(ObsEventKind Kind) {
     return "LazySweepClaim";
   case ObsEventKind::SweepResidue:
     return "SweepResidue";
+  case ObsEventKind::CycleAbort:
+    return "CycleAbort";
+  case ObsEventKind::DegradedMode:
+    return "DegradedMode";
+  case ObsEventKind::EscalationStep:
+    return "EscalationStep";
   }
   return "invalid";
 }

@@ -108,11 +108,27 @@ enum class ObsEventKind : uint8_t {
   /// Span, collector ring: a residue pass (idle drip or the SweepResidue
   /// phase) swept blocks no mutator claimed.  Arg0 = blocks swept.
   SweepResidue,
+  /// Instant, collector ring: an on-the-fly cycle was aborted mid-flight
+  /// and unwound to a consistent pre-cycle state (watchdog escalation or
+  /// an injected TraceAbort/SweepAbort fault).  Arg0 = GcPhase the abort
+  /// was requested in, Arg1 = watchdog fires of the escalating wait (0 for
+  /// fault-injected aborts).
+  CycleAbort,
+  /// Instant, collector ring: degraded-mode transition.  Arg0 = 1 when
+  /// entering (subsequent cycles run as the cooperating-STW fallback), 0
+  /// when leaving (a degraded cycle saw every mutator park voluntarily).
+  /// Arg1 = mutators forced by the cycle that caused the transition.
+  DegradedMode,
+  /// Instant, collector ring: the watchdog escalation ladder advanced a
+  /// rung (see EscalationAction).  Arg0 = EscalationAction, Arg1 =
+  /// action-specific count (fires for Refire, mutators forced for
+  /// ForceAdopt / StwFallback, 0 for the rest).
+  EscalationStep,
 };
 
 /// Number of distinct ObsEventKind values (array sizing).
 constexpr unsigned NumObsEventKinds =
-    unsigned(ObsEventKind::SweepResidue) + 1;
+    unsigned(ObsEventKind::EscalationStep) + 1;
 
 /// Returns a printable name for \p Kind (stable; the exporters and the
 /// gengc_trace summarizer both key on it).
@@ -140,6 +156,25 @@ enum class OomEscalationStep : uint8_t {
   Handler = 2,
   /// The handler chose GiveUp; the allocation returns NullRef.
   GaveUp = 3,
+};
+
+/// Which rung of the watchdog escalation ladder was taken (EscalationStep's
+/// Arg0).  The ladder, in order: re-fire the stall report on a capped
+/// backoff schedule, force-complete the laggards' handshakes, abort the
+/// on-the-fly cycle, run the next cycles as cooperating-STW, and return to
+/// on-the-fly once a degraded cycle needed no forcing.  DESIGN.md §19.
+enum class EscalationAction : uint8_t {
+  /// A still-stalled wait re-fired its stall report.
+  Refire = 0,
+  /// Lagging mutators were force-adopted to the posted status (their owed
+  /// root shades are skipped; the cycle is aborted right after).
+  ForceAdopt = 1,
+  /// The on-the-fly cycle was aborted and unwound to pre-cycle state.
+  AbortCycle = 2,
+  /// A cycle ran as the cooperating-STW degraded fallback.
+  StwFallback = 3,
+  /// Handshakes succeed again; on-the-fly collection resumed.
+  Recovered = 4,
 };
 
 /// One recorded event, as read out of a ring.

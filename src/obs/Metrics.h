@@ -83,6 +83,14 @@ struct MetricsSnapshot {
   /// Published blocks swept by the collector (idle drip + SweepResidue).
   uint64_t LazyBlocksResidueSwept = 0;
 
+  //===-- Cycle recovery (WatchdogPolicy::Escalate; DESIGN.md §19) --------===
+  /// Cycles aborted mid-flight and unwound to pre-cycle state.
+  uint64_t CycleAborts = 0;
+  /// Cycles that ran as the cooperating-STW degraded fallback.
+  uint64_t DegradedCycles = 0;
+  /// Mutators force-adopted / force-shaded across all cycles.
+  uint64_t ForcedMutators = 0;
+
   //===-- Latency histograms (always on) ----------------------------------===
   /// Voluntary allocation stalls (throttle + out-of-memory waits).
   HistogramSnapshot StallNanos;
@@ -141,6 +149,9 @@ struct MetricsSnapshot {
       TraceOffloads += C.TraceOffloads;
       TraceSegmentsAcquired += C.TraceSegmentsAcquired;
       TraceTermScanNanos += C.TraceTermScanNanos;
+      CycleAborts += C.Aborted ? 1 : 0;
+      DegradedCycles += C.Degraded ? 1 : 0;
+      ForcedMutators += C.ForcedMutators;
     }
     GcActiveNanos += Stats.GcActiveNanos;
     if (!Stats.Cycles.empty()) {
@@ -188,6 +199,9 @@ struct MetricsSnapshot {
     LazyBlocksPublished += Other.LazyBlocksPublished;
     LazyBlocksMutatorSwept += Other.LazyBlocksMutatorSwept;
     LazyBlocksResidueSwept += Other.LazyBlocksResidueSwept;
+    CycleAborts += Other.CycleAborts;
+    DegradedCycles += Other.DegradedCycles;
+    ForcedMutators += Other.ForcedMutators;
     StallNanos.merge(Other.StallNanos);
     StwPauseNanos.merge(Other.StwPauseNanos);
     HandshakeNanos.merge(Other.HandshakeNanos);

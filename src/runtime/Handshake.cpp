@@ -6,10 +6,12 @@
 
 #include "runtime/Handshake.h"
 
+#include <algorithm>
 #include <thread>
 
 #include "runtime/Mutator.h"
 #include "support/Assert.h"
+#include "support/Backoff.h"
 #include "support/Timer.h"
 
 using namespace gengc;
@@ -25,24 +27,47 @@ void HandshakeDriver::post(HandshakeStatus Status) {
     Obs->instant(ObsEventKind::HandshakeReq, Now, uint64_t(Status));
 }
 
-void HandshakeDriver::wait() {
+bool HandshakeDriver::wait() {
   HandshakeStatus Status = State.StatusC.load(std::memory_order_relaxed);
   uint64_t Deadline = Watchdog ? Watchdog->DeadlineNanos : 0;
   uint64_t Begin = Deadline ? nowNanos() : 0;
-  bool Fired = false;
+  uint64_t Fires = 0;
+  // Re-fire schedule: first fire at the deadline, then gaps doubling up to
+  // the cap — a wedged mutator produces a handful of escalating reports,
+  // not one silent line followed by an unbounded hang, and never a flood
+  // at poll frequency.
+  uint64_t Cap = 0;
+  if (Deadline) {
+    Cap = Watchdog->RefireCapNanos ? Watchdog->RefireCapNanos : 8 * Deadline;
+    if (Cap < Deadline)
+      Cap = Deadline;
+  }
+  Backoff Refire(Deadline ? Deadline : 1, Cap ? Cap : 1);
+  uint64_t NextFire = Deadline ? Refire.advance() : 0;
   // Mutators respond at their own pace; poll, helping blocked threads.
   // The paper's collector behaves the same way ("the collector considers a
   // handshake complete after all mutators have responded").
   for (unsigned Spin = 0;; ++Spin) {
     if (Registry.countLaggingAndHelp(Status) == 0)
-      return;
-    if (Deadline && !Fired) {
+      return true;
+    if (Deadline) {
       uint64_t Waited = nowNanos() - Begin;
-      if (Waited >= Deadline) {
-        // Fire at most once per wait: the report is the diagnosis, and a
-        // wedged mutator would otherwise flood stderr at poll frequency.
-        Fired = true;
-        fireStall("handshake", Waited);
+      if (Waited >= NextFire) {
+        ++Fires;
+        fireStall("handshake", Waited, Fires);
+        if (Fires > 1 && Obs)
+          Obs->instant(ObsEventKind::EscalationStep, nowNanos(),
+                       uint64_t(EscalationAction::Refire), Fires);
+        if (Watchdog->Policy == WatchdogPolicy::Escalate &&
+            Fires >= std::max(1u, Watchdog->EscalateAfterFires)) {
+          // End of the report-only rungs: complete the laggards' handshakes
+          // on their behalf and hand the (now untrustworthy) cycle back to
+          // the collector for abort.
+          LastEscalation = Fires;
+          forceCompleteLaggards(Status);
+          return false;
+        }
+        NextFire = Waited + Refire.advance();
       }
     }
     if (Spin < 64)
@@ -52,19 +77,41 @@ void HandshakeDriver::wait() {
   }
 }
 
-void HandshakeDriver::fireStall(const char *What, uint64_t WaitedNanos) {
+uint64_t HandshakeDriver::forceCompleteLaggards(HandshakeStatus Status) {
+  uint64_t Forced = 0;
+  Registry.forEach([&](Mutator &M) {
+    if (M.status() != Status) {
+      M.forceAdopt();
+      ++Forced;
+    }
+  });
+  if (Obs)
+    Obs->instant(ObsEventKind::EscalationStep, nowNanos(),
+                 uint64_t(EscalationAction::ForceAdopt), Forced);
+  return Forced;
+}
+
+void HandshakeDriver::fireStall(const char *What, uint64_t WaitedNanos,
+                                uint64_t Escalation) {
   if (!Watchdog)
     return;
   StallReport Report;
   Report.What = What;
   Report.Posted = State.StatusC.load(std::memory_order_relaxed);
+  Report.PostedName = handshakeStatusName(Report.Posted);
   Report.WaitedNanos = WaitedNanos;
   Report.NowNanos = nowNanos();
+  Report.Escalation = Escalation;
   // Snapshot every registered mutator.  forEach holds the registry lock;
   // diag() reads only atomics plus the CoopMutex-free racy Blocked flag, so
   // the callback stays short and never blocks on a wedged thread.
   Registry.forEach(
       [&Report](Mutator &M) { Report.Mutators.push_back(M.diag()); });
+  for (MutatorDiag &D : Report.Mutators)
+    D.SinceResponseNanos =
+        D.LastResponseNanos == 0 || D.LastResponseNanos > Report.NowNanos
+            ? UINT64_MAX
+            : Report.NowNanos - D.LastResponseNanos;
 
   State.WatchdogFires.fetch_add(1, std::memory_order_relaxed);
   if (Obs)
@@ -78,6 +125,14 @@ void HandshakeDriver::fireStall(const char *What, uint64_t WaitedNanos) {
   case WatchdogPolicy::Callback:
     if (Watchdog->OnStall)
       Watchdog->OnStall(Report);
+    break;
+  case WatchdogPolicy::Escalate:
+    // The ladder's report channel; the escalation decisions themselves
+    // live in wait() and the collector.
+    if (Watchdog->OnStall)
+      Watchdog->OnStall(Report);
+    else
+      dumpStallReport(Report);
     break;
   case WatchdogPolicy::Abort:
     dumpStallReport(Report);

@@ -44,27 +44,49 @@ public:
 
   /// Spins until every mutator matches the posted status (waitHandshake).
   /// If a watchdog is installed with a nonzero DeadlineNanos and some
-  /// mutator is still lagging past it, fires the stall policy once and
-  /// keeps waiting (unless the policy aborted).
-  void wait();
+  /// mutator is still lagging past it, fires the stall policy — and keeps
+  /// re-firing on a capped-exponential schedule while the wait stays
+  /// stalled.  Returns true when every mutator adopted the status.  Under
+  /// WatchdogPolicy::Escalate only, a wait that reaches EscalateAfterFires
+  /// fires instead force-completes the laggards (their responses are
+  /// adopted on their behalf, WITHOUT the root shades a real response
+  /// performs) and returns false: the caller must abort the cycle, whose
+  /// trace can no longer be trusted.  All other policies never return
+  /// false.
+  bool wait();
 
   /// post + wait.
-  void handshake(HandshakeStatus Status) {
+  bool handshake(HandshakeStatus Status) {
     post(Status);
-    wait();
+    return wait();
   }
 
   /// Assembles a StallReport (snapshotting every registered mutator) and
   /// applies the watchdog policy.  Public so the collector can report
-  /// whole-cycle deadline overruns through the same machinery; no-op when
-  /// no watchdog is installed.
-  void fireStall(const char *What, uint64_t WaitedNanos);
+  /// whole-cycle deadline overruns and stop-the-world timeouts through the
+  /// same machinery; no-op when no watchdog is installed.  \p Escalation is
+  /// the 1-based fire index within the stalled wait.
+  void fireStall(const char *What, uint64_t WaitedNanos,
+                 uint64_t Escalation = 1);
+
+  /// Adopts the posted status on behalf of every mutator still lagging
+  /// behind \p Status (Mutator::forceAdopt: no root shading, no
+  /// last-response update) and returns how many were forced.  Only sound
+  /// when the in-flight cycle is about to be aborted — public because
+  /// Collector::abortCycle uses it to finish the unwind's return-to-Async
+  /// handshake.
+  uint64_t forceCompleteLaggards(HandshakeStatus Status);
+
+  /// Fire count of the most recent wait() that returned false (telemetry
+  /// for the abort path; collector-thread only).
+  uint64_t lastEscalation() const { return LastEscalation; }
 
 private:
   CollectorState &State;
   MutatorRegistry &Registry;
   EventRing *Obs = nullptr;
   const WatchdogConfig *Watchdog = nullptr;
+  uint64_t LastEscalation = 0;
 };
 
 } // namespace gengc

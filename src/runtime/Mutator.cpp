@@ -347,11 +347,33 @@ void Mutator::cooperate() {
   if (StatusM.load(std::memory_order_relaxed) ==
       State.StatusC.load(std::memory_order_acquire))
     return;
+  // Fault site: swallow the response entirely — the thread keeps mutating
+  // but the handshake never completes on its own, which is the scenario
+  // WatchdogPolicy::Escalate exists for.  Placed after the StopWorld check
+  // so a "stalled" thread still parks for the degraded STW fallback
+  // (recovery is then observable: the fallback needs no forcing).
+  if (FaultInjector::fire(FaultSite::ThreadStall))
+    return;
   // Fault site: delay the response while a handshake is actually pending —
   // the unresponsive-mutator scenario the watchdog exists to diagnose.
   FaultInjector::fire(FaultSite::HandshakeDelay);
   std::scoped_lock Locked(CoopMutex);
   cooperateLocked();
+}
+
+void Mutator::forceAdopt() {
+  // No cooperateLocked: the Sync2 root shade a real response would perform
+  // is exactly what cannot be trusted from a wedged thread, and the caller
+  // is about to abort the cycle anyway — adopt the status bare so the
+  // protocol's bookkeeping (countLaggingAndHelp) terminates.
+  std::scoped_lock Locked(CoopMutex);
+  StatusM.store(State.StatusC.load(std::memory_order_acquire),
+                std::memory_order_release);
+}
+
+void Mutator::forceShadeForStw() {
+  std::scoped_lock Locked(CoopMutex);
+  markOwnRootsForStw();
 }
 
 void Mutator::parkForStopTheWorld() {

@@ -206,6 +206,23 @@ public:
   /// Called with the registry lock held while waiting out a handshake.
   void helpIfBlocked();
 
+  /// Watchdog escalation: adopts the posted status on this thread's behalf
+  /// WITHOUT performing the protocol work a real response owes — no root
+  /// shading, and LastResponseNanos deliberately stays (the thread itself
+  /// never responded).  Only sound because the caller is committed to
+  /// aborting the cycle and discarding its trace; see
+  /// HandshakeDriver::forceCompleteLaggards.  Relies on the same assumption
+  /// BlockedScope makes of a quiet thread: one that has stopped calling
+  /// cooperate() is not mid-heap-operation holding CoopMutex.
+  void forceAdopt();
+
+  /// Degraded-cycle escalation: shades this thread's roots for a
+  /// stop-the-world pause on its behalf, blocked or not (the bounded
+  /// world-stop gave up waiting for it to park).  Sound under the same
+  /// quiet-thread assumption as forceAdopt — a wedged thread is outside
+  /// heap operations, so its shadow stack is stable.
+  void forceShadeForStw();
+
   /// Watchdog side: snapshots this mutator's responsiveness state for a
   /// stall report.  All reads are relaxed — the snapshot is advisory.
   MutatorDiag diag() const {

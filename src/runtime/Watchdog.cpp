@@ -26,20 +26,18 @@ const char *gengc::handshakeStatusName(HandshakeStatus Status) {
 void gengc::dumpStallReport(const StallReport &Report) {
   std::fprintf(stderr,
                "gengc watchdog: %s stalled for %.1f ms (posted status %s, "
-               "%zu mutators)\n",
+               "fire %" PRIu64 ", %zu mutators)\n",
                Report.What, double(Report.WaitedNanos) / 1e6,
-               handshakeStatusName(Report.Posted), Report.Mutators.size());
+               handshakeStatusName(Report.Posted), Report.Escalation,
+               Report.Mutators.size());
   for (size_t I = 0; I < Report.Mutators.size(); ++I) {
     const MutatorDiag &D = Report.Mutators[I];
-    double SinceMs =
-        D.LastResponseNanos == 0 || D.LastResponseNanos > Report.NowNanos
-            ? -1.0
-            : double(Report.NowNanos - D.LastResponseNanos) / 1e6;
+    bool Never = D.SinceResponseNanos == UINT64_MAX;
+    double SinceMs = Never ? 0.0 : double(D.SinceResponseNanos) / 1e6;
     std::fprintf(stderr,
                  "  mutator %zu: adopted=%s blocked=%d allocated=%" PRIu64
                  " last-response=%+.1f ms%s\n",
                  I, handshakeStatusName(D.Adopted), int(D.Blocked),
-                 D.AllocatedObjects, SinceMs < 0 ? 0.0 : -SinceMs,
-                 SinceMs < 0 ? " (never)" : "");
+                 D.AllocatedObjects, -SinceMs, Never ? " (never)" : "");
   }
 }

@@ -44,6 +44,16 @@ public:
   /// The delay the next pause() would sleep, in nanoseconds.
   uint64_t currentNanos() const { return Current; }
 
+  /// Returns the current delay and doubles it up to the cap *without*
+  /// sleeping — for schedules paced against an external clock, like the
+  /// watchdog's capped-exponential re-fire intervals, where the caller is
+  /// already inside its own poll loop.
+  uint64_t advance() {
+    uint64_t Delay = Current;
+    Current = Current >= Cap / 2 ? Cap : Current * 2;
+    return Delay;
+  }
+
   /// Restarts the schedule from the initial delay (call when the awaited
   /// condition made progress, so the next wait starts fine-grained again).
   void reset() { Current = Initial; }

@@ -43,6 +43,12 @@ const char *gengc::faultSiteName(FaultSite Site) {
     return "worker-lane-stall";
   case FaultSite::CardScanDelay:
     return "card-scan-delay";
+  case FaultSite::ThreadStall:
+    return "thread-stall";
+  case FaultSite::TraceAbort:
+    return "trace-abort";
+  case FaultSite::SweepAbort:
+    return "sweep-abort";
   }
   return "invalid";
 }

@@ -47,10 +47,22 @@ enum class FaultSite : uint8_t {
   WorkerLaneStall,
   /// The generational card scan: a firing delays one summary-chunk open.
   CardScanDelay,
+  /// Mutator::cooperate: a firing swallows the handshake response entirely
+  /// — the mutator keeps running but never adopts the posted status on its
+  /// own (the uncooperative-thread scenario WatchdogPolicy::Escalate
+  /// exists for).  Unlike HandshakeDelay this costs no wall-clock sleep,
+  /// so tests bound it with MaxHits instead of DelayNanos.
+  ThreadStall,
+  /// Collector trace-phase entry: a firing aborts the on-the-fly cycle
+  /// before any object is traced (exercises Collector::abortCycle).
+  TraceAbort,
+  /// Collector sweep/publish-phase entry: a firing aborts the cycle before
+  /// any cell is reclaimed.
+  SweepAbort,
 };
 
 /// Number of distinct fault sites (array sizing).
-constexpr unsigned NumFaultSites = unsigned(FaultSite::CardScanDelay) + 1;
+constexpr unsigned NumFaultSites = unsigned(FaultSite::SweepAbort) + 1;
 
 /// Returns a printable name for \p Site.
 const char *faultSiteName(FaultSite Site);

@@ -37,6 +37,23 @@ TEST_F(FaultInjectionTest, SiteNames) {
   EXPECT_STREQ(faultSiteName(FaultSite::WorkerLaneStall),
                "worker-lane-stall");
   EXPECT_STREQ(faultSiteName(FaultSite::CardScanDelay), "card-scan-delay");
+  EXPECT_STREQ(faultSiteName(FaultSite::ThreadStall), "thread-stall");
+  EXPECT_STREQ(faultSiteName(FaultSite::TraceAbort), "trace-abort");
+  EXPECT_STREQ(faultSiteName(FaultSite::SweepAbort), "sweep-abort");
+}
+
+TEST_F(FaultInjectionTest, EverySiteIsNamedAndArmable) {
+  // Table coverage: adding a FaultSite without extending the name table
+  // (or NumFaultSites) fails here, not in a production stall report.
+  for (unsigned I = 0; I < NumFaultSites; ++I) {
+    FaultSite Site = FaultSite(I);
+    EXPECT_STRNE(faultSiteName(Site), "invalid") << "site " << I;
+    EXPECT_NE(faultSiteName(Site), nullptr) << "site " << I;
+    FaultInjector::arm(Site, FaultConfig{.Probability = 1.0, .MaxHits = 1});
+    EXPECT_TRUE(FaultInjector::fire(Site)) << "site " << I;
+    EXPECT_EQ(FaultInjector::hitCount(Site), 1u) << "site " << I;
+    FaultInjector::disarm(Site);
+  }
 }
 
 TEST_F(FaultInjectionTest, DisarmedSiteNeverFires) {

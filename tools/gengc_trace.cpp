@@ -228,6 +228,27 @@ int summarize(const char *Argv0, const char *Path) {
                    Table::number(double(Agg.SpanNanos) * 1e-6, 2)});
   ByKind.print(stdout);
 
+  // Resilience digest: the escalation-ladder events (DESIGN.md §19) get
+  // their own call-out so a degraded or aborted run is visible without
+  // scanning the per-kind table.
+  auto countOf = [&](const char *Kind) -> uint64_t {
+    auto It = Kinds.find(Kind);
+    return It == Kinds.end() ? 0 : It->second.Count;
+  };
+  uint64_t Fires = countOf("WatchdogFire");
+  uint64_t Aborts = countOf("CycleAbort");
+  uint64_t Degraded = countOf("DegradedMode");
+  uint64_t Steps = countOf("EscalationStep");
+  if (Fires || Aborts || Degraded || Steps) {
+    std::printf("\nresilience: %llu watchdog fires, %llu escalation steps, "
+                "%llu cycle aborts, %llu degraded-mode transitions\n",
+                (unsigned long long)Fires, (unsigned long long)Steps,
+                (unsigned long long)Aborts, (unsigned long long)Degraded);
+    if (Aborts || Degraded)
+      std::printf("  (the run left the no-fault fast path; see DESIGN.md "
+                  "§19 and README \"Running degraded\")\n");
+  }
+
   std::printf("\n");
   Table ByTrack({"track", "events"});
   for (const auto &[Name, Count] : Tracks)
